@@ -1,0 +1,24 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper and prints the
+corresponding rows/series (run pytest with ``-s`` to see them).  The
+pytest-benchmark plugin times the driver; absolute runtimes are incidental —
+the printed data is the reproduction artefact.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def accuracy_testbed():
+    """One trained LM shared by all accuracy benchmarks (Table IV, VI, Fig. 17)."""
+    from repro.eval.accuracy import build_testbed
+
+    return build_testbed(epochs=4, num_paragraphs=160, max_batches=4)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Time a driver exactly once (they are deterministic and often heavy)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,123 @@
+"""Ablation benches for the design choices called out in DESIGN.md.
+
+These go beyond the paper's figures: they sweep the knobs the paper fixes
+(µ, k, hFFLUT, FIGLUT-F vs -I, accumulator precision, BCQ offset) and check
+that the chosen design point is justified by the models.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.core.engines import FIGLUTFloatEngine
+from repro.eval.tables import format_table
+from repro.hw.engines import FIGLUTModel
+from repro.hw.lut_power import LUTPowerModel, optimal_fanout, pe_power_vs_fanout
+from repro.quant.bcq import BCQConfig, quantize_bcq
+from repro.quant.rtn import RTNConfig, quantize_rtn
+
+
+def test_ablation_mu_sweep(benchmark):
+    """µ sweep: relative PE power at k=32 for µ ∈ {2,3,4,6,8} — µ=4 is the sweet spot."""
+    def sweep():
+        result = pe_power_vs_fanout(k_values=(32,), mu_values=(2, 3, 4, 6, 8))
+        return {mu: result[mu][32] for mu in (2, 3, 4, 6, 8)}
+
+    powers = run_once(benchmark, sweep)
+    print("\n[Ablation] Relative power at k=32 vs µ\n"
+          + format_table(["µ", "Relative power"], [[m, p] for m, p in powers.items()]))
+    assert powers[4] < powers[2]
+    assert powers[4] < powers[8]
+
+
+def test_ablation_fanout_optimum_shifts_with_lut_size(benchmark):
+    """k sweep: the optimal fan-out grows with the LUT size (µ)."""
+    def sweep():
+        return {mu: optimal_fanout(mu=mu) for mu in (2, 4, 6)}
+
+    optima = run_once(benchmark, sweep)
+    print("\n[Ablation] Optimal RACs per LUT vs µ\n"
+          + format_table(["µ", "optimal k"], [[m, k] for m, k in optima.items()]))
+    assert optima[2] <= optima[4] <= optima[6]
+    assert optima[4] == 32
+
+
+def test_ablation_hfflut_halves_lut_area_and_energy(benchmark):
+    """hFFLUT vs FFLUT at the engine level: area and energy both improve."""
+    def compare():
+        half = FIGLUTModel(variant="i", use_half_lut=True)
+        full = FIGLUTModel(variant="i", use_half_lut=False)
+        return {
+            "area_ratio": half.area_breakdown().total_um2 / full.area_breakdown().total_um2,
+            "energy_ratio": (half.compute_energy_per_mac(4) / full.compute_energy_per_mac(4)),
+        }
+
+    ratios = run_once(benchmark, compare)
+    print("\n[Ablation] hFFLUT / FFLUT engine-level ratios\n"
+          + format_table(["Metric", "Ratio"], [[k, v] for k, v in ratios.items()]))
+    assert ratios["area_ratio"] < 1.0
+    assert ratios["energy_ratio"] < 1.0
+
+
+def test_ablation_figlut_f_vs_i(benchmark):
+    """FIGLUT-F vs FIGLUT-I: the integer variant is cheaper in energy and area."""
+    def compare():
+        f = FIGLUTModel(variant="f")
+        i = FIGLUTModel(variant="i")
+        return {
+            "energy_f_over_i": f.compute_energy_per_mac(4) / i.compute_energy_per_mac(4),
+            "area_f_over_i": f.area_breakdown().total_um2 / i.area_breakdown().total_um2,
+        }
+
+    ratios = run_once(benchmark, compare)
+    print("\n[Ablation] FIGLUT-F / FIGLUT-I cost ratios\n"
+          + format_table(["Metric", "Ratio"], [[k, v] for k, v in ratios.items()]))
+    assert ratios["energy_f_over_i"] > 1.0
+    assert ratios["area_f_over_i"] > 1.0
+
+
+def test_ablation_accumulator_precision(benchmark, rng=None):
+    """FP32 vs FP16 accumulation in FIGLUT-F: FP16 accumulators add visible error."""
+    rng = np.random.default_rng(7)
+    weight = rng.standard_normal((128, 512)) * 0.05
+    x = rng.standard_normal((512, 4))
+    packed = quantize_bcq(weight, BCQConfig(bits=4, iterations=2))
+    reference = packed.dequantize() @ x
+
+    def compare():
+        out = {}
+        for acc in ("fp16", "fp32"):
+            engine = FIGLUTFloatEngine(activation_format="fp16", accumulator=acc)
+            y = engine.gemm(packed, x)
+            out[acc] = float(np.max(np.abs(y - reference)))
+        return out
+
+    errors = run_once(benchmark, compare)
+    print("\n[Ablation] FIGLUT-F max GEMM error vs accumulator precision\n"
+          + format_table(["Accumulator", "Max |error|"], [[k, v] for k, v in errors.items()],
+                         float_format="{:.6f}"))
+    assert errors["fp32"] < errors["fp16"]
+
+
+def test_ablation_bcq_offset_term(benchmark):
+    """BCQ with vs without the offset term (Fig. 1): the offset is what makes
+    asymmetric/uniform-like distributions representable."""
+    rng = np.random.default_rng(11)
+    weight = np.abs(rng.standard_normal((32, 256))) * 0.1 + 0.05  # one-sided distribution
+
+    def compare():
+        with_offset = quantize_bcq(weight, BCQConfig(bits=3, use_offset=True, iterations=4))
+        without = quantize_bcq(weight, BCQConfig(bits=3, use_offset=False, iterations=4))
+        uniform = quantize_rtn(weight, RTNConfig(bits=3, granularity="channel"))
+        norm = np.linalg.norm(weight)
+        return {
+            "bcq_with_offset": float(np.linalg.norm(weight - with_offset.dequantize()) / norm),
+            "bcq_without_offset": float(np.linalg.norm(weight - without.dequantize()) / norm),
+            "uniform_rtn": float(np.linalg.norm(weight - uniform.dequantize()) / norm),
+        }
+
+    errors = run_once(benchmark, compare)
+    print("\n[Ablation] Relative weight error for an asymmetric distribution (3-bit)\n"
+          + format_table(["Quantizer", "Relative error"], [[k, v] for k, v in errors.items()],
+                         float_format="{:.4f}"))
+    assert errors["bcq_with_offset"] < errors["bcq_without_offset"]

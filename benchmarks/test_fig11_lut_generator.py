@@ -1,0 +1,40 @@
+"""Fig. 11 — adder savings of the shared-partial-sum LUT generator."""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.core.lut import build_lut_values
+from repro.core.lut_generator import (
+    generate_half_lut,
+    generator_addition_count,
+    naive_addition_count,
+)
+from repro.eval.tables import format_table
+
+
+def test_fig11_generator_addition_savings(benchmark):
+    def sweep():
+        rows = []
+        for mu in (2, 3, 4, 6, 8):
+            shared = generator_addition_count(mu)
+            naive = naive_addition_count(mu, half=True)
+            saving = 1 - shared / naive if naive else 0.0
+            rows.append([mu, shared, naive, saving])
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print("\n[Fig. 11] LUT-generator additions for the hFFLUT pattern set\n"
+          + format_table(["µ", "Shared-tree adds", "Straightforward adds", "Saving"], rows))
+
+    by_mu = {row[0]: row for row in rows}
+    # Paper numbers for µ = 4: 14 additions, a 42% reduction versus 24.
+    assert by_mu[4][1] == 14
+    assert by_mu[4][2] == 24
+    assert abs(by_mu[4][3] - 0.42) < 0.01
+
+    # The generated values are exactly the hFFLUT contents.
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal(4)
+    values, stats = generate_half_lut(x)
+    np.testing.assert_allclose(values, build_lut_values(x)[:8])
+    assert stats.additions == 14

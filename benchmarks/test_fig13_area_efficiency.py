@@ -1,0 +1,35 @@
+"""Fig. 13 — TOPS/mm² of the engines for Q4 and Q8 models, normalised to FPE."""
+
+from benchmarks.conftest import run_once
+from repro.eval.efficiency import area_efficiency_by_model
+from repro.eval.tables import format_table
+
+MODELS = ("opt-125m", "opt-1.3b", "opt-6.7b", "opt-30b")
+ENGINES = ("fpe", "ifpu", "figna", "figlut-f", "figlut-i")
+
+
+def test_fig13_tops_per_mm2(benchmark):
+    def sweep():
+        return {
+            "q4": area_efficiency_by_model(weight_bits=4, models=MODELS),
+            "q8": area_efficiency_by_model(weight_bits=8, models=MODELS),
+        }
+
+    result = run_once(benchmark, sweep)
+    for precision, per_model in result.items():
+        rows = [[model] + [per_model[model][e] for e in ENGINES] for model in MODELS]
+        print(f"\n[Fig. 13] TOPS/mm² normalised to FPE — {precision.upper()}\n"
+              + format_table(["Model"] + list(ENGINES), rows))
+
+    for model in MODELS:
+        q4 = result["q4"][model]
+        q8 = result["q8"][model]
+        # Integer-datapath engines are far denser than the FP baseline at Q4.
+        assert q4["figna"] > 1.0 and q4["figlut-i"] > 1.0
+        # FIGLUT-I stays competitive with FIGNA (within ~25%) at Q4.
+        assert q4["figlut-i"] > 0.75 * q4["figna"]
+        # Bit-serial engines lose area efficiency at Q8 (twice the cycles).
+        assert q8["figlut-i"] < q4["figlut-i"]
+        assert q8["ifpu"] < q4["ifpu"]
+        # Fixed-precision FIGNA does not pay the bit-serial Q8 penalty.
+        assert q8["figna"] > q8["figlut-i"]

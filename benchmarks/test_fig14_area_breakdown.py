@@ -1,0 +1,47 @@
+"""Fig. 14 — MPU area breakdown (arithmetic vs flip-flop) per engine and input format."""
+
+from benchmarks.conftest import run_once
+from repro.eval.efficiency import area_breakdown_by_format
+from repro.eval.tables import format_table
+
+ENGINES = ("fpe", "ifpu", "figna", "figlut-f", "figlut-i")
+
+
+def test_fig14_area_breakdown(benchmark):
+    def sweep():
+        return {
+            "q4": area_breakdown_by_format(weight_bits=4),
+            "q8": area_breakdown_by_format(weight_bits=8),
+        }
+
+    result = run_once(benchmark, sweep)
+    for precision, per_format in result.items():
+        for fmt, engines in per_format.items():
+            rows = [[e, engines[e]["arithmetic"], engines[e]["flip_flop"], engines[e]["total"]]
+                    for e in ENGINES]
+            print(f"\n[Fig. 14] MPU area breakdown, {fmt.upper()}-{precision.upper()} "
+                  "(normalised to FPE total)\n"
+                  + format_table(["Engine", "Arithmetic", "Flip-flop", "Total"], rows))
+
+    for precision in ("q4", "q8"):
+        for fmt in ("fp16", "bf16", "fp32"):
+            engines = result[precision][fmt]
+            # Arithmetic dominates FPE and FIGLUT-F (FP datapaths); FIGLUT-F is
+            # smaller than FPE because it adds instead of multiplying.
+            assert engines["figlut-f"]["arithmetic"] < engines["fpe"]["arithmetic"]
+            for integer_engine in ("figna", "ifpu", "figlut-i"):
+                assert engines[integer_engine]["arithmetic"] < engines["figlut-f"]["arithmetic"]
+            # FIGLUT-I's arithmetic area is similar to FIGNA despite the LUT generator.
+            ratio = engines["figlut-i"]["arithmetic"] / engines["figna"]["arithmetic"]
+            assert 0.5 < ratio < 2.0
+            # LUT-based operation reduces flip-flop area versus the bit-serial iFPU.
+            assert engines["figlut-i"]["flip_flop"] < engines["ifpu"]["flip_flop"]
+            assert engines["figlut-f"]["flip_flop"] < engines["ifpu"]["flip_flop"]
+
+    # FIGNA's arithmetic grows more than FPE's from Q4 to Q8 (multiplier scales
+    # with the weight width, the FPE only grows its dequantizer).
+    figna_growth = (result["q8"]["fp16"]["figna"]["arithmetic"]
+                    / result["q4"]["fp16"]["figna"]["arithmetic"])
+    fpe_growth = (result["q8"]["fp16"]["fpe"]["arithmetic"]
+                  / result["q4"]["fp16"]["fpe"]["arithmetic"])
+    assert figna_growth > fpe_growth * 0.99

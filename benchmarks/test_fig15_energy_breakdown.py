@@ -1,0 +1,43 @@
+"""Fig. 15 — normalised energy breakdown across weight precisions (OPT-6.7B)."""
+
+from benchmarks.conftest import run_once
+from repro.eval.efficiency import energy_breakdown_by_precision
+from repro.eval.tables import format_table
+
+ENGINES = ("fpe", "ifpu", "figna", "figlut-f", "figlut-i")
+PRECISIONS = (1, 2, 3, 4, 8)
+
+
+def test_fig15_energy_breakdown(benchmark):
+    result = run_once(benchmark, energy_breakdown_by_precision, "opt-6.7b", 32, "fp16", PRECISIONS)
+    for precision, engines in result.items():
+        rows = [[e, engines[e]["mpu"], engines[e]["vpu"], engines[e]["sram"],
+                 engines[e]["dram"], sum(engines[e].values())] for e in ENGINES]
+        print(f"\n[Fig. 15] Energy breakdown normalised to FPE — {precision.upper()}\n"
+              + format_table(["Engine", "MPU", "VPU", "SRAM", "DRAM", "Total"], rows))
+
+    def total(precision, engine):
+        return sum(result[f"q{precision}"][engine].values())
+
+    # FPE is the normalisation baseline (total = 1.0) at every precision.
+    for p in PRECISIONS:
+        assert abs(total(p, "fpe") - 1.0) < 1e-9
+
+    # Bit-serial engines get cheaper as the weight precision drops; fixed
+    # precision engines do not benefit below 4 bits.
+    assert total(1, "figlut-i") < total(2, "figlut-i") < total(4, "figlut-i")
+    assert abs(total(2, "figna") - total(4, "figna")) < 1e-9
+
+    # For the sub-4-bit regime the paper targets, the integer FIGLUT variant is
+    # the most energy-efficient engine.
+    for p in (1, 2, 3, 4):
+        totals = {e: total(p, e) for e in ENGINES}
+        assert totals["figlut-i"] == min(totals.values())
+
+    # Diminishing gains at higher precision: FIGLUT's advantage over FIGNA is
+    # larger at Q2 than at Q8 (the paper's stated limitation; at Q8 the
+    # bit-serial engines approach — and in this model slightly cross — FIGNA).
+    advantage_q2 = total(2, "figna") / total(2, "figlut-i")
+    advantage_q8 = total(8, "figna") / total(8, "figlut-i")
+    assert advantage_q2 > advantage_q8
+    assert total(8, "figlut-i") < total(8, "figna") * 1.15

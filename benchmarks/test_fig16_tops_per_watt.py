@@ -1,0 +1,28 @@
+"""Fig. 16 — TOPS/W of the engines for sub-4-bit OPT models, normalised to FPE."""
+
+from benchmarks.conftest import run_once
+from repro.eval.efficiency import tops_per_watt_by_model
+from repro.eval.tables import format_table
+
+MODELS = ("opt-125m", "opt-1.3b", "opt-6.7b", "opt-30b")
+ENGINES = ("fpe", "ifpu", "figna", "figlut-f", "figlut-i")
+
+
+def test_fig16_tops_per_watt(benchmark):
+    result = run_once(benchmark, tops_per_watt_by_model, (2, 3, 4), 32, "fp16", MODELS)
+    for model, per_precision in result.items():
+        rows = [[f"q{q}"] + [per_precision[f"q{q}"][e] for e in ENGINES] for q in (2, 3, 4)]
+        print(f"\n[Fig. 16] TOPS/W normalised to FPE — {model}\n"
+              + format_table(["Precision"] + list(ENGINES), rows))
+
+    for model in MODELS:
+        per_precision = result[model]
+        for q in (2, 3, 4):
+            values = per_precision[f"q{q}"]
+            # FIGLUT(-I) achieves the highest TOPS/W at every weight bit-width.
+            assert values["figlut-i"] == max(values.values())
+            assert values["figna"] > 1.0
+        # The advantage grows as the weight precision shrinks (Q2 > Q3 > Q4).
+        ratios = [per_precision[f"q{q}"]["figlut-i"] / per_precision[f"q{q}"]["figna"]
+                  for q in (4, 3, 2)]
+        assert ratios[0] < ratios[1] < ratios[2]

@@ -1,0 +1,38 @@
+"""Fig. 17 — TOPS/W versus perplexity for mixed-precision OPT-6.7B-shaped inference."""
+
+from benchmarks.conftest import run_once
+from repro.eval.pareto import mixed_precision_pareto
+from repro.eval.tables import format_table
+
+
+def test_fig17_mixed_precision_pareto(benchmark, accuracy_testbed):
+    points = run_once(benchmark, mixed_precision_pareto, accuracy_testbed,
+                      (2.0, 2.4, 3.0, 4.0), (2, 3, 4))
+    rows = [[p.engine, p.method, p.average_bits, p.tops_per_watt, p.perplexity] for p in points]
+    print("\n[Fig. 17] TOPS/W vs perplexity for mixed-precision configurations (OPT-6.7B workload)\n"
+          + format_table(["Engine", "Method", "Avg bits", "TOPS/W", "Perplexity"], rows))
+
+    by_label = {(p.engine, p.average_bits): p for p in points}
+    figna_q3 = by_label[("figna", 3.0)]
+    figna_q4 = by_label[("figna", 4.0)]
+    figlut_q3 = by_label[("figlut", 3.0)]
+    figlut_q4 = by_label[("figlut", 4.0)]
+    figlut_q24 = by_label[("figlut", 2.4)]
+    figlut_q2 = by_label[("figlut", 2.0)]
+
+    # Efficiency axis: same-precision FIGLUT beats FIGNA and the gap widens as
+    # the average bit width shrinks (paper: 1.2× @Q4, 1.6× @Q3, 1.98× @Q2.4 vs Q3).
+    assert figlut_q4.tops_per_watt > figna_q4.tops_per_watt
+    assert figlut_q3.tops_per_watt / figna_q3.tops_per_watt > \
+        figlut_q4.tops_per_watt / figna_q4.tops_per_watt
+    assert figlut_q24.tops_per_watt / figna_q3.tops_per_watt > 1.5
+    assert figlut_q2.tops_per_watt > figlut_q24.tops_per_watt > figlut_q3.tops_per_watt
+
+    # Mixed precision trades accuracy for efficiency monotonically on the
+    # FIGLUT side: fewer average bits → higher TOPS/W, no better perplexity.
+    assert figlut_q2.perplexity >= figlut_q4.perplexity * 0.999
+
+    # Accuracy stays in a sane band (quantized models remain usable).
+    fp_ppl = accuracy_testbed.fp_perplexity()
+    for p in points:
+        assert p.perplexity < fp_ppl * 1.5

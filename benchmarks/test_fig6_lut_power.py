@@ -1,0 +1,21 @@
+"""Fig. 6 — relative power of RFLUT and FFLUT reads versus an FP adder baseline."""
+
+from benchmarks.conftest import run_once
+from repro.eval.tables import format_table
+from repro.hw.lut_power import lut_read_power_comparison
+
+
+def test_fig6_lut_read_power(benchmark):
+    result = run_once(benchmark, lut_read_power_comparison, (2, 4, 8))
+    table = format_table(
+        ["µ", "RFLUT / FP adder", "FFLUT / FP adder"],
+        [[mu, result["rflut"][mu], result["fflut"][mu]] for mu in (2, 4, 8)])
+    print("\n[Fig. 6] Relative LUT read power (FP adder baseline = 1.0)\n" + table)
+
+    # Paper findings: RFLUTs are more expensive than FP adders (and the µ=4
+    # macro is worse overall than µ=8); the FFLUT is cheaper than an FP adder
+    # for µ=2 and µ=4 but blows up at µ=8.
+    assert result["rflut"][4] > 1.0 and result["rflut"][8] > 1.0
+    assert result["rflut"][4] > result["rflut"][8]
+    assert result["fflut"][2] < 1.0 and result["fflut"][4] < 1.0
+    assert result["fflut"][8] > 1.0

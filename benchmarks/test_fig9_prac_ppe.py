@@ -1,0 +1,23 @@
+"""Fig. 9 — P_PE and P_RAC versus the number of RACs sharing one LUT (optimum k = 32)."""
+
+from benchmarks.conftest import run_once
+from repro.eval.tables import format_table
+from repro.hw.lut_power import optimal_fanout, prac_ppe_vs_fanout
+
+
+def test_fig9_prac_and_ppe(benchmark):
+    k_values = (1, 2, 4, 8, 16, 32, 64, 128)
+    curves = run_once(benchmark, prac_ppe_vs_fanout, k_values, 4)
+    table = format_table(
+        ["k", "P_PE (norm. to k=1)", "P_RAC (norm. to k=1)"],
+        [[k, curves["p_pe"][k], curves["p_rac"][k]] for k in k_values])
+    print("\n[Fig. 9] PE and per-RAC power vs LUT fan-out (µ = 4)\n" + table)
+
+    prac = curves["p_rac"]
+    ppe = curves["p_pe"]
+    # P_PE grows monotonically with k; P_RAC has an interior minimum at k=32.
+    assert list(ppe.values()) == sorted(ppe.values())
+    assert min(prac, key=prac.get) == 32
+    assert optimal_fanout(mu=4) == 32
+    assert prac[32] < prac[1]
+    assert prac[128] > prac[32]

@@ -1,0 +1,45 @@
+"""Table I — feature and computational-complexity comparison of the accelerators.
+
+Also verifies the complexity claim operationally: the number of LUT reads the
+functional FIGLUT engine issues for a GEMM is the iFPU bit-serial operation
+count divided by µ.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.core.engines import FIGLUTIntEngine, IFPUEngine
+from repro.eval.tables import format_table
+from repro.hw.engines import complexity_table
+from repro.quant.bcq import BCQConfig, quantize_bcq
+
+
+def test_table1_feature_matrix(benchmark):
+    rows = run_once(benchmark, complexity_table)
+    table = format_table(
+        ["Hardware", "FP-INT op", "Mixed precision", "BCQ support", "Complexity"],
+        [[r["hardware"], r["fp_int_operation"], r["mixed_precision"], r["bcq_support"],
+          r["complexity"]] for r in rows])
+    print("\n[Table I] Comparison of different hardware accelerators\n" + table)
+    assert rows[-1]["complexity"] == "O(mnkq/μ)"
+
+
+def test_table1_operation_counts_back_the_complexity_claim(benchmark):
+    rng = np.random.default_rng(0)
+    m, n, batch, q, mu = 32, 64, 4, 3, 4
+    weight = rng.standard_normal((m, n))
+    x = rng.standard_normal((n, batch))
+    packed = quantize_bcq(weight, BCQConfig(bits=q, iterations=1))
+
+    def measure():
+        ifpu = IFPUEngine(activation_format="fp16")
+        figlut = FIGLUTIntEngine(activation_format="fp16", mu=mu)
+        ifpu.gemm(packed, x)
+        figlut.gemm(packed, x)
+        return ifpu.stats.int_additions, figlut.stats.lut_reads
+
+    ifpu_ops, figlut_reads = run_once(benchmark, measure)
+    print(f"\n[Table I] iFPU bit-serial additions: {ifpu_ops}  "
+          f"FIGLUT LUT reads: {figlut_reads}  ratio: {ifpu_ops / figlut_reads:.2f} (µ = {mu})")
+    assert ifpu_ops == m * n * batch * q
+    assert figlut_reads == m * (n // mu) * batch * q

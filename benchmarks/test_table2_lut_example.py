@@ -1,0 +1,20 @@
+"""Table II — the look-up table contents for µ = 3."""
+
+from benchmarks.conftest import run_once
+from repro.core.lut import lut_table_rows
+from repro.eval.tables import format_table
+
+
+def test_table2_lut_contents(benchmark):
+    x = [1.0, 2.0, 4.0]
+    rows = run_once(benchmark, lut_table_rows, x)
+    table = format_table(
+        ["Binary pattern", "Key", "Value"],
+        [[str(p), f"{k} (b'{k:03b}')", v] for p, k, v in rows])
+    print("\n[Table II] Look-up table for µ = 3, x = (x1, x2, x3) = (1, 2, 4)\n" + table)
+
+    assert len(rows) == 8
+    # Row 0 is -x1-x2-x3 and row 7 is +x1+x2+x3 (vertical symmetry).
+    assert rows[0][2] == -7.0
+    assert rows[7][2] == 7.0
+    assert all(rows[k][2] == -rows[7 - k][2] for k in range(8))

@@ -1,0 +1,28 @@
+"""Table III — relative power of the LUT, MUX and decoder in the FFLUT and hFFLUT."""
+
+from benchmarks.conftest import run_once
+from repro.eval.tables import format_table
+from repro.hw.lut_power import hfflut_component_power
+
+PAPER_TABLE3 = {
+    "fflut": {"lut": 1.000, "mux": 0.003, "decoder": 0.000, "mux+decoder": 0.003},
+    "hfflut": {"lut": 0.494, "mux": 0.002, "decoder": 0.003, "mux+decoder": 0.005},
+}
+
+
+def test_table3_hfflut_power(benchmark):
+    table3 = run_once(benchmark, hfflut_component_power, 4)
+    rows = []
+    for variant in ("fflut", "hfflut"):
+        rows.append([variant.upper(), table3[variant]["lut"], table3[variant]["mux"],
+                     table3[variant]["decoder"], table3[variant]["mux+decoder"]])
+        rows.append([f"  (paper {variant.upper()})", PAPER_TABLE3[variant]["lut"],
+                     PAPER_TABLE3[variant]["mux"], PAPER_TABLE3[variant]["decoder"],
+                     PAPER_TABLE3[variant]["mux+decoder"]])
+    print("\n[Table III] Relative power of LUT and decode/mux components (µ = 4)\n"
+          + format_table(["Structure", "LUT", "MUX", "Decoder", "MUX+Decoder"], rows))
+
+    assert table3["hfflut"]["lut"] < 0.55          # the hFFLUT halves the LUT power
+    assert table3["fflut"]["mux"] < 0.02           # mux overhead is negligible
+    assert table3["hfflut"]["mux+decoder"] < 0.02  # decode overhead is negligible
+    assert table3["hfflut"]["mux+decoder"] > table3["fflut"]["mux+decoder"]

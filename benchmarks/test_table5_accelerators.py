@@ -1,0 +1,51 @@
+"""Table V — throughput, power and energy efficiency of GPUs and FP-Q4 accelerators."""
+
+from benchmarks.conftest import run_once
+from repro.eval.efficiency import accelerator_comparison_table
+from repro.eval.tables import format_table
+
+PAPER_TABLE5 = {
+    ("A100", "FP16-FP16"): (40.27, 192.0, 0.21),
+    ("H100", "FP16-FP16"): (62.08, 279.0, 0.22),
+    ("A100", "FP16-Q4 (LUT-GEMM)"): (1.85, 208.0, 0.01),
+    ("iFPU", "FP16-Q4"): (0.14, 0.67, 0.21),
+    ("FIGNA", "FP16-Q4"): (0.14, 0.41, 0.33),
+    ("FIGLUT", "FP16-Q4"): (0.14, 0.29, 0.47),
+}
+
+
+def test_table5_accelerator_comparison(benchmark):
+    rows = run_once(benchmark, accelerator_comparison_table, "opt-6.7b", 32)
+    printable = []
+    for r in rows:
+        paper = PAPER_TABLE5.get((r["hardware"], r["format"]))
+        printable.append([r["hardware"], r["format"], r["throughput_tops"], r["power_w"],
+                          r["tops_per_watt"],
+                          f"{paper[2]:.2f}" if paper else "-"])
+    print("\n[Table V] Hardware accelerator comparison (OPT-6.7B, batch 32, Q4)\n"
+          + format_table(["Hardware", "Format", "TOPS", "Power (W)", "TOPS/W", "Paper TOPS/W"],
+                         printable))
+
+    by_key = {(r["hardware"], r["format"]): r for r in rows}
+    a100 = by_key[("A100", "FP16-FP16")]
+    h100 = by_key[("H100", "FP16-FP16")]
+    lutgemm = by_key[("A100", "FP16-Q4 (LUT-GEMM)")]
+    ifpu = by_key[("iFPU", "FP16-Q4")]
+    figna = by_key[("FIGNA", "FP16-Q4")]
+    figlut = by_key[("FIGLUT", "FP16-Q4")]
+
+    # GPU rows land near the paper's empirical measurements.
+    assert abs(a100["throughput_tops"] - 40.27) / 40.27 < 0.2
+    assert abs(h100["throughput_tops"] - 62.08) / 62.08 < 0.2
+    assert lutgemm["throughput_tops"] < 4.0
+
+    # Ordering of energy efficiency: FIGLUT > FIGNA > iFPU ≈ GPUs > LUT-GEMM.
+    assert figlut["tops_per_watt"] > figna["tops_per_watt"] > ifpu["tops_per_watt"]
+    assert ifpu["tops_per_watt"] > a100["tops_per_watt"]
+    assert lutgemm["tops_per_watt"] < a100["tops_per_watt"]
+    # H100 is more efficient than A100 thanks to process/bandwidth advances.
+    assert h100["tops_per_watt"] > a100["tops_per_watt"]
+    # FIGLUT improves on FIGNA by a factor in the neighbourhood of the paper's
+    # 0.47 / 0.33 ≈ 1.4× (we accept 1.05–2×, see EXPERIMENTS.md).
+    ratio = figlut["tops_per_watt"] / figna["tops_per_watt"]
+    assert 1.05 < ratio < 2.0

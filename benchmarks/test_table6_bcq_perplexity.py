@@ -1,0 +1,22 @@
+"""Table VI — perplexity of weight-only BCQ quantization (FP16 vs BCQ4 vs BCQ3)."""
+
+from benchmarks.conftest import run_once
+from repro.eval.accuracy import bcq_perplexity_table
+from repro.eval.tables import format_table
+
+# Paper rows for OPT-6.7B: FP16 10.86, BCQ4 11.08 (+2.0%), BCQ3 11.80 (+8.7%).
+
+
+def test_table6_bcq_perplexity(benchmark, accuracy_testbed):
+    table = run_once(benchmark, bcq_perplexity_table, accuracy_testbed, (4, 3, 2))
+    print("\n[Table VI] Perplexity of weight-only BCQ quantization\n"
+          + format_table(["Configuration", "Perplexity"], [[k, v] for k, v in table.items()]))
+
+    fp16 = table["fp16"]
+    # Shape of the paper's table: BCQ4 is close to FP16, BCQ3 degrades more,
+    # BCQ2 more still; nothing collapses.
+    assert table["bcq4"] >= fp16 * 0.999
+    assert table["bcq4"] <= fp16 * 1.15
+    assert table["bcq3"] >= table["bcq4"] * 0.999
+    assert table["bcq2"] >= table["bcq3"] * 0.999
+    assert table["bcq2"] <= fp16 * 1.6

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Hardware design-space exploration with the analytical FIGLUT models.
+
+Reproduces the paper's architecture search (Sections III-C/III-D) and the
+engine-level comparison (Section IV-B) on the OPT-6.7B decoding workload:
+
+1. choose µ (LUT key width) from the LUT-vs-FP-adder power comparison,
+2. choose k (RACs per shared LUT) from the fan-out analysis,
+3. quantify what the hFFLUT saves,
+4. compare FPE / iFPU / FIGNA / FIGLUT on TOPS/W, TOPS/mm², and energy
+   breakdown across weight precisions.
+
+Run:  python examples/design_space_exploration.py
+"""
+
+from __future__ import annotations
+
+from repro.eval.tables import format_table
+from repro.hw import (
+    MemorySystemModel,
+    all_engine_models,
+    compare_engines,
+    hfflut_component_power,
+    lut_read_power_comparison,
+    optimal_fanout,
+    pe_power_vs_fanout,
+)
+from repro.models.opt import decoder_gemm_shapes
+
+
+def main() -> None:
+    print("=" * 72)
+    print("Step 1 — pick µ: LUT read power vs FP adder (Fig. 6)")
+    print("=" * 72)
+    fig6 = lut_read_power_comparison((2, 4, 8))
+    print(format_table(["µ", "RFLUT / FP adder", "FFLUT / FP adder"],
+                       [[mu, fig6["rflut"][mu], fig6["fflut"][mu]] for mu in (2, 4, 8)]))
+
+    print("\n" + "=" * 72)
+    print("Step 2 — pick k: PE power vs LUT fan-out (Fig. 8/9)")
+    print("=" * 72)
+    fig8 = pe_power_vs_fanout(k_values=(1, 4, 16, 32, 64), mu_values=(2, 4))
+    print(format_table(["k", "µ=2", "µ=4"],
+                       [[k, fig8[2][k], fig8[4][k]] for k in (1, 4, 16, 32, 64)]))
+    print(f"optimal k for µ=4: {optimal_fanout(mu=4)} (paper: 32)")
+
+    print("\n" + "=" * 72)
+    print("Step 3 — hFFLUT: halve the LUT, add a tiny decoder (Table III)")
+    print("=" * 72)
+    table3 = hfflut_component_power(mu=4)
+    print(format_table(["Structure", "LUT", "MUX", "Decoder"],
+                       [[v.upper(), table3[v]["lut"], table3[v]["mux"], table3[v]["decoder"]]
+                        for v in ("fflut", "hfflut")]))
+
+    print("\n" + "=" * 72)
+    print("Step 4 — engine comparison on the OPT-6.7B decoding workload (batch 32)")
+    print("=" * 72)
+    shapes = decoder_gemm_shapes("opt-6.7b", batch=32)
+    memory = MemorySystemModel()
+    for bits in (4, 3, 2):
+        comparison = compare_engines(all_engine_models("fp16", 4), shapes, bits, memory)
+        rows = []
+        for name, result in comparison.results.items():
+            rows.append([name, result.achieved_tops, result.average_power_w,
+                         result.tops_per_watt, result.tops_per_mm2])
+        print(f"\nweight precision Q{bits}")
+        print(format_table(["Engine", "TOPS", "Power (W)", "TOPS/W", "TOPS/mm²"], rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Mixed-precision scenario: the accuracy / energy-efficiency trade-off (Fig. 17).
+
+Because FIGLUT is bit-serial, a layer quantized with fewer BCQ bit-planes
+simply finishes in fewer passes — so per-layer mixed precision turns directly
+into energy efficiency.  This example:
+
+1. measures each layer's quantization sensitivity on the trained small LM,
+2. allocates bit-planes to hit fractional average-bit budgets (e.g. Q2.4),
+3. evaluates perplexity for each plan, and
+4. pairs it with the modelled TOPS/W of the OPT-6.7B workload at that
+   average precision.
+
+Run:  python examples/mixed_precision_pareto.py
+"""
+
+from __future__ import annotations
+
+from repro.eval.accuracy import build_testbed
+from repro.eval.pareto import mixed_precision_pareto
+from repro.eval.tables import format_table
+from repro.quant.mixed_precision import allocate_mixed_precision, measure_layer_sensitivity
+
+
+def main() -> None:
+    print("Training the small transformer LM ...")
+    testbed = build_testbed(epochs=4, num_paragraphs=160)
+    model = testbed.model
+
+    print("\nPer-layer sensitivity (proxy output error at each bit width):")
+    sensitivities = [measure_layer_sensitivity(name, model.params[name],
+                                               candidate_bits=(2, 3, 4), bcq_iterations=2)
+                     for name in model.weight_matrix_names()]
+    rows = [[s.name, s.error_by_bits[2], s.error_by_bits[3], s.error_by_bits[4]]
+            for s in sensitivities]
+    print(format_table(["Layer", "err@2b", "err@3b", "err@4b"], rows, float_format="{:.4f}"))
+
+    print("\nBit allocation for an average budget of 2.4 bits:")
+    plan = allocate_mixed_precision(sensitivities, target_average_bits=2.4,
+                                    min_bits=2, max_bits=4)
+    print(format_table(["Layer", "bits"], [[n, b] for n, b in plan.bits_per_layer.items()]))
+    print(f"average bits: {plan.average_bits:.2f}")
+
+    print("\nFig. 17-style Pareto points (efficiency from the OPT-6.7B workload model):")
+    points = mixed_precision_pareto(testbed, figlut_bits=(2.0, 2.4, 3.0, 4.0),
+                                    figna_bits=(2, 3, 4))
+    print(format_table(["Engine", "Method", "Avg bits", "TOPS/W", "Perplexity"],
+                       [[p.engine, p.method, p.average_bits, p.tops_per_watt, p.perplexity]
+                        for p in points]))
+
+
+if __name__ == "__main__":
+    main()

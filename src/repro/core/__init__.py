@@ -1,0 +1,94 @@
+"""FIGLUT core: LUT-based FP-INT GEMM.
+
+This package implements the paper's primary contribution:
+
+* :mod:`repro.core.lut` — LUT construction, the conflict-free FFLUT, and the
+  half-size hFFLUT with its sign-flip decoder.
+* :mod:`repro.core.lut_generator` — the shared-partial-sum LUT generator and
+  its adder accounting.
+* :mod:`repro.core.rac`, :mod:`repro.core.pe` — the read-accumulate unit and
+  the processing element (one shared LUT + k RACs).
+* :mod:`repro.core.dataflow`, :mod:`repro.core.mpu` — weight-stationary
+  tiling with bit-plane-innermost ordering and the functional MPU model.
+* :mod:`repro.core.engines` — functional GEMM engines with the numerics of
+  FPE, iFPU, FIGNA, FIGLUT-F and FIGLUT-I.
+* :mod:`repro.core.gemm` — the high-level ``prepare_weights`` /
+  ``figlut_gemm`` API.
+"""
+
+from repro.core.lut import (
+    FFLUT,
+    HalfFFLUT,
+    build_lut_values,
+    lut_table_rows,
+    pattern_to_key,
+    key_to_pattern,
+)
+from repro.core.lut_generator import (
+    LUTGenerator,
+    LUTGeneratorStats,
+    generate_full_lut,
+    generate_half_lut,
+    generator_addition_count,
+    naive_addition_count,
+)
+from repro.core.rac import RAC
+from repro.core.pe import ProcessingElement, PEStats
+from repro.core.dataflow import (
+    TilingConfig,
+    TileCoordinates,
+    iterate_int_weight_tiles,
+    iterate_bcq_weight_tiles,
+    count_tile_fetches,
+)
+from repro.core.mpu import MPUConfig, MPURunStats, MatrixProcessingUnit
+from repro.core.engines import (
+    EngineStats,
+    GEMMEngine,
+    FPEngine,
+    IFPUEngine,
+    FIGNAEngine,
+    FIGLUTFloatEngine,
+    FIGLUTIntEngine,
+    available_engines,
+    make_engine,
+)
+from repro.core.gemm import prepare_weights, figlut_gemm, reference_gemm
+
+__all__ = [
+    "FFLUT",
+    "HalfFFLUT",
+    "build_lut_values",
+    "lut_table_rows",
+    "pattern_to_key",
+    "key_to_pattern",
+    "LUTGenerator",
+    "LUTGeneratorStats",
+    "generate_full_lut",
+    "generate_half_lut",
+    "generator_addition_count",
+    "naive_addition_count",
+    "RAC",
+    "ProcessingElement",
+    "PEStats",
+    "TilingConfig",
+    "TileCoordinates",
+    "iterate_int_weight_tiles",
+    "iterate_bcq_weight_tiles",
+    "count_tile_fetches",
+    "MPUConfig",
+    "MPURunStats",
+    "MatrixProcessingUnit",
+    "EngineStats",
+    "GEMMEngine",
+    "FPEngine",
+    "IFPUEngine",
+    "FIGNAEngine",
+    "FIGLUTFloatEngine",
+    "FIGLUTIntEngine",
+    "available_engines",
+    "make_engine",
+    "prepare_weights",
+    "figlut_gemm",
+    "reference_gemm",
+]

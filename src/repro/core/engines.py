@@ -1,0 +1,339 @@
+"""Functional GEMM engines for the five hardware designs compared in the paper.
+
+Each engine computes ``Y = W X`` (weights quantized, activations FP) using
+the *numerics* of the corresponding hardware, so the accuracy experiments
+(Table IV, Table VI, Fig. 17) can run a whole model through any engine:
+
+* :class:`FPEngine` (FPE) — the baseline: dequantize INT weights to the
+  activation format and do FP multiply + FP accumulate.
+* :class:`IFPUEngine` (iFPU) — bit-serial BCQ: pre-align activation mantissas
+  to a shared exponent, then per bit-plane add/subtract integer mantissas,
+  scale by α, and accumulate.
+* :class:`FIGNAEngine` (FIGNA) — pre-align activations, multiply the integer
+  mantissas by the INT weight codes, accumulate in integer, then apply the
+  FP scale / zero-point.
+* :class:`FIGLUTFloatEngine` (FIGLUT-F) — LUT-based BCQ GEMM with FP LUT
+  entries and FP32 accumulation (no pre-alignment).
+* :class:`FIGLUTIntEngine` (FIGLUT-I) — LUT-based BCQ GEMM on pre-aligned
+  integer mantissas with integer accumulation.
+
+All engines accept either a :class:`~repro.quant.rtn.UniformQuantizedTensor`
+or a :class:`~repro.quant.bcq.BCQTensor`; engines that natively consume the
+other format convert via :func:`repro.quant.bcq.uniform_to_bcq` (BCQ engines
+given uniform weights) or reject BCQ (INT-only engines, mirroring Table I's
+"BCQ support" column).
+
+The heavy lifting is vectorised NumPy so a small LLM can be evaluated
+end-to-end; exact LUT indexing (rather than an algebraically equivalent
+matmul) is exercised by :class:`repro.core.mpu.MatrixProcessingUnit` and the
+unit tests, which confirm that both paths agree bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.numerics.floats import FloatFormat, cast_to_format, get_format
+from repro.numerics.prealign import prealign
+from repro.quant.bcq import BCQTensor, uniform_to_bcq
+from repro.quant.rtn import UniformQuantizedTensor
+
+__all__ = [
+    "EngineStats",
+    "GEMMEngine",
+    "FPEngine",
+    "IFPUEngine",
+    "FIGNAEngine",
+    "FIGLUTFloatEngine",
+    "FIGLUTIntEngine",
+    "available_engines",
+    "make_engine",
+]
+
+
+@dataclass
+class EngineStats:
+    """Operation counts accumulated over an engine's GEMM calls."""
+
+    fp_multiplications: int = 0
+    fp_additions: int = 0
+    int_multiplications: int = 0
+    int_additions: int = 0
+    lut_reads: int = 0
+    lut_generations: int = 0
+    dequantizations: int = 0
+    prealignments: int = 0
+
+    def total_operations(self) -> int:
+        return (self.fp_multiplications + self.fp_additions + self.int_multiplications
+                + self.int_additions + self.lut_reads + self.lut_generations
+                + self.dequantizations + self.prealignments)
+
+
+def _as_bcq(weights: "BCQTensor | UniformQuantizedTensor") -> BCQTensor:
+    if isinstance(weights, BCQTensor):
+        return weights
+    return uniform_to_bcq(weights)
+
+
+def _activation_2d(x: np.ndarray, n: int) -> tuple[np.ndarray, bool]:
+    arr = np.asarray(x, dtype=np.float64)
+    squeeze = arr.ndim == 1
+    if squeeze:
+        arr = arr[:, None]
+    if arr.shape[0] != n:
+        raise ValueError(f"activation rows {arr.shape[0]} != weight cols {n}")
+    return arr, squeeze
+
+
+class GEMMEngine:
+    """Base class for the functional GEMM engines.
+
+    Parameters
+    ----------
+    activation_format:
+        The FP format activations arrive in (``"fp16"``, ``"bf16"``,
+        ``"fp32"``).
+    accumulator:
+        Accumulation precision; ``"fp32"`` matches the paper's configuration,
+        ``"fp16"`` can be used for ablation.
+    """
+
+    name = "base"
+    supports_bcq = False
+    supports_mixed_precision = False
+
+    def __init__(self, activation_format: "FloatFormat | str" = "fp16",
+                 accumulator: str = "fp32") -> None:
+        self.activation_format = get_format(activation_format)
+        if accumulator not in ("fp16", "fp32", "fp64"):
+            raise ValueError("accumulator must be 'fp16', 'fp32' or 'fp64'")
+        self.accumulator = accumulator
+        self.stats = EngineStats()
+
+    # -- helpers -----------------------------------------------------------
+    def _acc_dtype(self) -> np.dtype:
+        return {"fp16": np.dtype(np.float16), "fp32": np.dtype(np.float32),
+                "fp64": np.dtype(np.float64)}[self.accumulator]
+
+    def _quantize_activations(self, x: np.ndarray) -> np.ndarray:
+        return cast_to_format(x, self.activation_format)
+
+    # -- interface ---------------------------------------------------------
+    def gemm(self, weights, activations: np.ndarray) -> np.ndarray:
+        """Compute ``Y = W X``; subclasses implement the engine numerics."""
+        raise NotImplementedError
+
+    def reset_stats(self) -> None:
+        self.stats = EngineStats()
+
+
+class FPEngine(GEMMEngine):
+    """Baseline FPE: dequantize to FP, multiply and accumulate in FP."""
+
+    name = "fpe"
+    supports_bcq = False
+
+    def gemm(self, weights: "UniformQuantizedTensor | BCQTensor",
+             activations: np.ndarray) -> np.ndarray:
+        if isinstance(weights, BCQTensor):
+            raise TypeError("FPE has no BCQ datapath (Table I); provide a uniform tensor")
+        m, n = weights.shape
+        x, squeeze = _activation_2d(activations, n)
+        x = self._quantize_activations(x)
+
+        # Dequantize weights into the activation format (the FPE's converter).
+        w = cast_to_format(weights.dequantize(), self.activation_format)
+        self.stats.dequantizations += w.size
+
+        acc = self._acc_dtype()
+        y = (w.astype(acc) @ x.astype(acc)).astype(np.float64)
+        self.stats.fp_multiplications += m * n * x.shape[1]
+        self.stats.fp_additions += m * max(n - 1, 0) * x.shape[1]
+        return y[:, 0] if squeeze else y
+
+
+class IFPUEngine(GEMMEngine):
+    """iFPU: bit-serial BCQ with pre-aligned mantissas and INT add/subtract."""
+
+    name = "ifpu"
+    supports_bcq = True
+    supports_mixed_precision = True
+
+    def gemm(self, weights: "UniformQuantizedTensor | BCQTensor",
+             activations: np.ndarray) -> np.ndarray:
+        bcq = _as_bcq(weights)
+        m, n = bcq.shape
+        x, squeeze = _activation_2d(activations, n)
+        x = self._quantize_activations(x)
+        batch = x.shape[1]
+        y = np.zeros((m, batch), dtype=np.float64)
+
+        group_slices = bcq.column_groups()
+        for b in range(batch):
+            for g, sl in enumerate(group_slices):
+                block = prealign(x[sl, b], fmt=self.activation_format)
+                self.stats.prealignments += block.mantissas.size
+                mant = block.mantissas.astype(np.int64)
+                for plane in range(bcq.bits):
+                    signs = bcq.bitplanes[plane][:, sl].astype(np.int64)
+                    acc = signs @ mant  # integer add/subtract per bit plane
+                    self.stats.int_additions += m * mant.size
+                    y[:, b] += bcq.scales[plane][:, g] * (acc * block.scale)
+                    self.stats.fp_multiplications += m
+                    self.stats.fp_additions += m
+                y[:, b] += bcq.offsets[:, g] * float(np.sum(x[sl, b]))
+                self.stats.fp_additions += m
+        return y[:, 0] if squeeze else y
+
+
+class FIGNAEngine(GEMMEngine):
+    """FIGNA: pre-aligned integer mantissa × INT weight code multiplication."""
+
+    name = "figna"
+    supports_bcq = False
+
+    def gemm(self, weights: "UniformQuantizedTensor | BCQTensor",
+             activations: np.ndarray) -> np.ndarray:
+        if isinstance(weights, BCQTensor):
+            raise TypeError("FIGNA supports only uniformly quantized weights (Table I)")
+        m, n = weights.shape
+        x, squeeze = _activation_2d(activations, n)
+        x = self._quantize_activations(x)
+        batch = x.shape[1]
+        y = np.zeros((m, batch), dtype=np.float64)
+
+        codes = weights.codes.astype(np.int64)
+        # Centre the codes around the zero point so the integer product is of
+        # (code - zero); the residual fractional zero point is applied in FP.
+        zero_int = np.rint(weights.zero_points).astype(np.int64)
+        zero_frac = weights.zero_points - zero_int
+
+        from repro.quant.rtn import _iter_scopes  # scope geometry shared with RTN
+
+        for b in range(batch):
+            block = prealign(x[:, b], fmt=self.activation_format)
+            self.stats.prealignments += n
+            mant = block.mantissas.astype(np.int64)
+            for scope_idx, rsl, csl in _iter_scopes(weights.shape, weights.granularity,
+                                                    weights.group_size):
+                sub_codes = codes[rsl, csl] - zero_int[scope_idx]
+                acc = sub_codes @ mant[csl]  # integer multiply-accumulate
+                rows = np.arange(rsl.start, rsl.stop)
+                cols = csl.stop - csl.start
+                self.stats.int_multiplications += rows.size * cols
+                self.stats.int_additions += rows.size * max(cols - 1, 0)
+                contribution = weights.scales[scope_idx] * (acc * block.scale
+                                                            - zero_frac[scope_idx] * x[csl, b].sum())
+                y[rows, b] += contribution
+                self.stats.fp_multiplications += rows.size
+                self.stats.fp_additions += rows.size
+        return y[:, 0] if squeeze else y
+
+
+class _FIGLUTBase(GEMMEngine):
+    """Shared machinery of the two FIGLUT variants."""
+
+    supports_bcq = True
+    supports_mixed_precision = True
+
+    def __init__(self, activation_format: "FloatFormat | str" = "fp16",
+                 accumulator: str = "fp32", mu: int = 4) -> None:
+        super().__init__(activation_format, accumulator)
+        if mu < 1:
+            raise ValueError("mu must be >= 1")
+        self.mu = mu
+
+    def _count_lut_ops(self, m: int, n: int, batch: int, bits: int) -> None:
+        groups = (n + self.mu - 1) // self.mu
+        self.stats.lut_generations += groups * batch * bits
+        self.stats.lut_reads += m * groups * batch * bits
+        self.stats.int_additions += m * groups * batch * bits  # accumulations
+
+
+class FIGLUTFloatEngine(_FIGLUTBase):
+    """FIGLUT-F: LUT entries and accumulation in floating point (no pre-alignment)."""
+
+    name = "figlut-f"
+
+    def gemm(self, weights: "UniformQuantizedTensor | BCQTensor",
+             activations: np.ndarray) -> np.ndarray:
+        bcq = _as_bcq(weights)
+        m, n = bcq.shape
+        x, squeeze = _activation_2d(activations, n)
+        x = self._quantize_activations(x)
+        batch = x.shape[1]
+        acc = self._acc_dtype()
+        y = np.zeros((m, batch), dtype=np.float64)
+
+        group_slices = bcq.column_groups()
+        for g, sl in enumerate(group_slices):
+            xg = x[sl, :].astype(acc)
+            for plane in range(bcq.bits):
+                signs = bcq.bitplanes[plane][:, sl].astype(acc)
+                # The LUT read + accumulate path is algebraically B_plane @ x
+                # accumulated in `acc` precision; LUT indexing is bit-exact
+                # with this (verified against MatrixProcessingUnit in tests).
+                partial = (signs @ xg).astype(np.float64)
+                y += (bcq.scales[plane][:, g][:, None] * partial)
+            y += bcq.offsets[:, g][:, None] * x[sl, :].sum(axis=0, keepdims=True).astype(np.float64)
+        self._count_lut_ops(m, n, batch, bcq.bits)
+        self.stats.fp_multiplications += m * batch * bcq.bits * len(group_slices)
+        self.stats.fp_additions += m * batch * (bcq.bits + 1) * len(group_slices)
+        return y[:, 0] if squeeze else y
+
+
+class FIGLUTIntEngine(_FIGLUTBase):
+    """FIGLUT-I: pre-aligned integer LUT entries with integer accumulation."""
+
+    name = "figlut-i"
+
+    def gemm(self, weights: "UniformQuantizedTensor | BCQTensor",
+             activations: np.ndarray) -> np.ndarray:
+        bcq = _as_bcq(weights)
+        m, n = bcq.shape
+        x, squeeze = _activation_2d(activations, n)
+        x = self._quantize_activations(x)
+        batch = x.shape[1]
+        y = np.zeros((m, batch), dtype=np.float64)
+
+        group_slices = bcq.column_groups()
+        for b in range(batch):
+            for g, sl in enumerate(group_slices):
+                block = prealign(x[sl, b], fmt=self.activation_format)
+                self.stats.prealignments += block.mantissas.size
+                mant = block.mantissas.astype(np.int64)
+                for plane in range(bcq.bits):
+                    signs = bcq.bitplanes[plane][:, sl].astype(np.int64)
+                    acc = signs @ mant  # integer read-accumulate
+                    y[:, b] += bcq.scales[plane][:, g] * (acc * block.scale)
+                y[:, b] += bcq.offsets[:, g] * float(np.sum(x[sl, b]))
+        self._count_lut_ops(m, n, batch, bcq.bits)
+        self.stats.fp_multiplications += m * batch * bcq.bits * len(group_slices)
+        self.stats.fp_additions += m * batch * (bcq.bits + 1) * len(group_slices)
+        return y[:, 0] if squeeze else y
+
+
+_ENGINE_CLASSES: dict[str, type[GEMMEngine]] = {
+    "fpe": FPEngine,
+    "ifpu": IFPUEngine,
+    "figna": FIGNAEngine,
+    "figlut-f": FIGLUTFloatEngine,
+    "figlut-i": FIGLUTIntEngine,
+}
+
+
+def available_engines() -> list[str]:
+    """Names of the functional engines, in the order the paper introduces them."""
+    return list(_ENGINE_CLASSES)
+
+
+def make_engine(name: str, **kwargs) -> GEMMEngine:
+    """Instantiate a functional engine by name (see :func:`available_engines`)."""
+    try:
+        cls = _ENGINE_CLASSES[name.lower()]
+    except KeyError as exc:
+        raise ValueError(f"unknown engine {name!r}; available: {available_engines()}") from exc
+    return cls(**kwargs)

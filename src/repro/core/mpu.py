@@ -1,0 +1,234 @@
+"""Functional model of the FIGLUT matrix processing unit (MPU).
+
+The MPU (Fig. 4) is a 2-D array of processing elements.  In this model:
+
+* each PE **row** is bound to one activation group of µ consecutive input
+  channels; the LUT contents generated for that group are reused by every PE
+  in the row (the paper forwards LUT values along the row for data reuse);
+* each PE **column** is bound to one block of ``k`` output channels; partial
+  sums accumulate across the PEs of a column (across activation groups);
+* weights stay stationary: the µ-bit patterns of the current weight tile are
+  latched into the RAC key registers, and the activation stream (one batch
+  element at a time) flows through;
+* for BCQ weights the schedule iterates all bit planes of a tile before
+  moving on (Fig. 5b), scaling each plane's partial sums by its α and adding
+  the offset term once per output at the end.
+
+The simulation is *functional + counting*: outputs are exact (float64
+accumulation by default) and the returned :class:`MPURunStats` reports LUT
+generations, LUT reads, accumulations, generator additions and an analytical
+cycle count that the performance model consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.dataflow import TilingConfig, iterate_bcq_weight_tiles
+from repro.core.lut import build_lut_values
+from repro.core.lut_generator import generator_addition_count
+from repro.quant.bcq import BCQTensor
+
+__all__ = ["MPUConfig", "MPURunStats", "MatrixProcessingUnit"]
+
+
+@dataclass(frozen=True)
+class MPUConfig:
+    """Geometry of the MPU PE array.
+
+    Attributes
+    ----------
+    pe_rows:
+        Number of PE rows (activation groups handled per tile).
+    pe_cols:
+        Number of PE columns (output-channel blocks per tile).
+    mu:
+        LUT key width; each PE row consumes µ input channels.
+    k:
+        RACs per PE; each PE column produces k output channels.
+    use_half_lut:
+        Model the hFFLUT (half-size LUT + sign-flip decoder).
+    """
+
+    pe_rows: int = 16
+    pe_cols: int = 2
+    mu: int = 4
+    k: int = 32
+    use_half_lut: bool = True
+
+    def __post_init__(self) -> None:
+        for name in ("pe_rows", "pe_cols", "mu", "k"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1")
+
+    @property
+    def tile_n(self) -> int:
+        """Input channels covered by one weight tile."""
+        return self.pe_rows * self.mu
+
+    @property
+    def tile_m(self) -> int:
+        """Output channels covered by one weight tile."""
+        return self.pe_cols * self.k
+
+    @property
+    def num_racs(self) -> int:
+        """Total RAC units in the array."""
+        return self.pe_rows * self.pe_cols * self.k
+
+    @property
+    def num_luts(self) -> int:
+        """Total LUTs in the array (one per PE)."""
+        return self.pe_rows * self.pe_cols
+
+
+@dataclass
+class MPURunStats:
+    """Counters produced by one MPU GEMM run."""
+
+    lut_generations: int = 0
+    lut_reads: int = 0
+    accumulations: int = 0
+    generator_additions: int = 0
+    scale_multiplications: int = 0
+    offset_additions: int = 0
+    cycles: int = 0
+    tiles: int = 0
+    bit_planes_processed: int = 0
+
+    def total_table_lookups(self) -> int:
+        return self.lut_reads
+
+
+class MatrixProcessingUnit:
+    """Functional + counting simulation of the FIGLUT MPU."""
+
+    def __init__(self, config: MPUConfig | None = None) -> None:
+        self.config = config or MPUConfig()
+
+    def _pad_inputs(self, x: np.ndarray, n: int) -> np.ndarray:
+        pad = (-x.shape[0]) % self.config.mu
+        if pad:
+            x = np.concatenate([x, np.zeros((pad,) + x.shape[1:], dtype=x.dtype)], axis=0)
+        return x
+
+    def gemm(self, weights: BCQTensor, activations: np.ndarray,
+             accumulate_dtype: np.dtype | type = np.float64) -> tuple[np.ndarray, MPURunStats]:
+        """Compute ``Y = W X`` where ``W`` is BCQ-quantized.
+
+        Parameters
+        ----------
+        weights:
+            BCQ weight tensor of logical shape ``(M, N)``.
+        activations:
+            Activation matrix of shape ``(N,)`` or ``(N, batch)``.
+        accumulate_dtype:
+            Dtype of LUT entries and accumulators (float32 models the FP32
+            accumulators the paper uses; float64 gives a reference result).
+
+        Returns
+        -------
+        (Y, stats):
+            ``Y`` has shape ``(M, batch)`` (or ``(M,)`` for vector input).
+        """
+        cfg = self.config
+        x = np.asarray(activations, dtype=np.float64)
+        squeeze = x.ndim == 1
+        if squeeze:
+            x = x[:, None]
+        m, n = weights.shape
+        if x.shape[0] != n:
+            raise ValueError(f"activation rows {x.shape[0]} != weight cols {n}")
+        batch = x.shape[1]
+
+        bits = weights.bits
+        tiling = TilingConfig(tile_m=cfg.tile_m, tile_n=cfg.tile_n)
+        stats = MPURunStats()
+
+        y = np.zeros((m, batch), dtype=np.float64)
+        acc_dtype = np.dtype(accumulate_dtype)
+
+        group_slices = weights.column_groups()
+        col_to_group = np.zeros(n, dtype=np.int64)
+        for g, sl in enumerate(group_slices):
+            col_to_group[sl] = g
+
+        seen_tiles: set[int] = set()
+        for tile in iterate_bcq_weight_tiles(m, n, bits, tiling):
+            rsl, csl, plane = tile.row_slice, tile.col_slice, tile.bit_plane
+            if tile.tile_index not in seen_tiles:
+                seen_tiles.add(tile.tile_index)
+                stats.tiles += 1
+            stats.bit_planes_processed += 1
+
+            rows = np.arange(rsl.start, rsl.stop)
+            cols = np.arange(csl.start, csl.stop)
+            plane_w = weights.bitplanes[plane][np.ix_(rows, cols)].astype(np.int64)  # (tm, tn)
+            tile_x = x[cols, :]  # (tn, batch)
+
+            # Pad the tile to whole activation groups.
+            pad_cols = (-cols.size) % cfg.mu
+            if pad_cols:
+                plane_w = np.concatenate(
+                    [plane_w, -np.ones((rows.size, pad_cols), dtype=np.int64)], axis=1)
+                tile_x = np.concatenate(
+                    [tile_x, np.zeros((pad_cols, batch), dtype=tile_x.dtype)], axis=0)
+            n_groups_tile = plane_w.shape[1] // cfg.mu
+
+            # --- LUT generation: one LUT per (activation group, batch element).
+            # Keys per (row, group): encode the ±1 pattern as an integer.
+            powers = 1 << np.arange(cfg.mu - 1, -1, -1, dtype=np.int64)
+            patt = plane_w.reshape(rows.size, n_groups_tile, cfg.mu)
+            keys = (((patt + 1) // 2) * powers[None, None, :]).sum(axis=2)  # (tm, g)
+
+            tile_partial = np.zeros((rows.size, batch), dtype=np.float64)
+            for b in range(batch):
+                xg = tile_x[:, b].reshape(n_groups_tile, cfg.mu)
+                for g in range(n_groups_tile):
+                    lut_values = build_lut_values(xg[g], dtype=acc_dtype)
+                    stats.lut_generations += 1
+                    looked_up = lut_values[keys[:, g]]
+                    tile_partial[:, b] += looked_up.astype(np.float64)
+                    stats.lut_reads += rows.size
+                    stats.accumulations += rows.size
+
+            # --- scale by α of this bit plane (per row / column group) and add.
+            # Column groups of the BCQ tensor may be coarser than the tile; we
+            # apply the scale of the group the tile's columns belong to.  When
+            # a tile spans several scale groups we fall back to splitting the
+            # tile's contribution per group (exact, still one α mult per read).
+            groups_in_tile = np.unique(col_to_group[cols])
+            if groups_in_tile.size == 1:
+                alpha = weights.scales[plane][np.ix_(rows, groups_in_tile)]  # (tm, 1)
+                y[rows[:, None], np.arange(batch)[None, :]] += alpha * tile_partial
+                stats.scale_multiplications += rows.size * batch
+            else:
+                for g in groups_in_tile:
+                    gcols = cols[col_to_group[cols] == g]
+                    sub_w = weights.bitplanes[plane][np.ix_(rows, gcols)].astype(np.float64)
+                    sub = sub_w @ x[gcols, :]
+                    alpha = weights.scales[plane][rows, g][:, None]
+                    y[rows, :] += alpha * sub
+                    stats.scale_multiplications += rows.size * batch
+                # Remove the unscaled tile_partial contribution bookkeeping:
+                # the partial sums above already include this plane's data.
+
+            # Cycle model: streaming `batch` activation groups through the
+            # array takes `batch` cycles per bit plane once the pipeline is
+            # full; add the systolic fill latency of (pe_rows + pe_cols).
+            stats.cycles += batch + cfg.pe_rows + cfg.pe_cols
+
+        # --- offset term: y += z_rg * sum(x over group g) once per output.
+        for g, sl in enumerate(group_slices):
+            group_sum = x[sl, :].sum(axis=0, keepdims=True)  # (1, batch)
+            y += weights.offsets[:, g][:, None] * group_sum
+            stats.offset_additions += m * batch
+
+        # Each LUT generation uses the shared-partial-sum generator.
+        stats.generator_additions = stats.lut_generations * generator_addition_count(cfg.mu)
+
+        if squeeze:
+            return y[:, 0], stats
+        return y, stats

@@ -1,0 +1,128 @@
+"""Processing element: one shared (h)FFLUT plus k RAC units (Fig. 4).
+
+Each PE owns a single LUT generated from a group of µ activations, shared by
+``k`` RACs.  The k RACs hold k different µ-bit weight patterns (k different
+output rows of the current weight tile) and read the LUT concurrently —
+conflict-free thanks to the flip-flop + per-reader-mux organisation.
+
+The PE model is functional: it computes exact partial sums while counting
+LUT reads, accumulations and LUT (re)generations for the cost models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.lut import FFLUT, HalfFFLUT, pattern_to_key
+from repro.core.lut_generator import LUTGenerator
+
+__all__ = ["ProcessingElement", "PEStats"]
+
+
+@dataclass
+class PEStats:
+    """Cumulative operation counts of one PE."""
+
+    lut_generations: int = 0
+    lut_reads: int = 0
+    accumulations: int = 0
+    generator_additions: int = 0
+
+    def merge(self, other: "PEStats") -> "PEStats":
+        return PEStats(
+            lut_generations=self.lut_generations + other.lut_generations,
+            lut_reads=self.lut_reads + other.lut_reads,
+            accumulations=self.accumulations + other.accumulations,
+            generator_additions=self.generator_additions + other.generator_additions,
+        )
+
+
+@dataclass
+class ProcessingElement:
+    """One FIGLUT PE: a shared LUT read by ``k`` RAC accumulators.
+
+    Parameters
+    ----------
+    mu:
+        LUT key width (activations per group).  The paper uses µ=4.
+    k:
+        Number of RACs sharing the LUT.  The paper uses k=32.
+    use_half_lut:
+        Store only the hFFLUT half and decode with the key MSB.
+    """
+
+    mu: int = 4
+    k: int = 32
+    use_half_lut: bool = True
+    _lut: "FFLUT | HalfFFLUT | None" = None
+    _generator: LUTGenerator = field(default=None)  # type: ignore[assignment]
+    _accumulators: np.ndarray = field(default=None)  # type: ignore[assignment]
+    stats: PEStats = field(default_factory=PEStats)
+
+    def __post_init__(self) -> None:
+        if self.mu < 1:
+            raise ValueError("mu must be >= 1")
+        if self.k < 1:
+            raise ValueError("k must be >= 1")
+        self._generator = LUTGenerator(mu=self.mu)
+        self._accumulators = np.zeros(self.k, dtype=np.float64)
+
+    @property
+    def lut(self) -> "FFLUT | HalfFFLUT | None":
+        return self._lut
+
+    def load_activations(self, activations: np.ndarray) -> None:
+        """(Re)generate the LUT for a new group of µ activations."""
+        x = np.asarray(activations, dtype=np.float64).ravel()
+        if x.size != self.mu:
+            raise ValueError(f"expected {self.mu} activations, got {x.size}")
+        if self.use_half_lut:
+            values = self._generator.generate(x, half=True)
+            lut = HalfFFLUT(values=values, mu=self.mu)
+        else:
+            values = self._generator.generate(x, half=False)
+            lut = FFLUT(values=values, mu=self.mu)
+        lut.write_count = values.size
+        self._lut = lut
+        self.stats.lut_generations += 1
+        self.stats.generator_additions = self._generator.total_additions
+
+    def read_accumulate(self, keys: np.ndarray) -> np.ndarray:
+        """One cycle: all k RACs read their keys and accumulate.
+
+        ``keys`` must have length k (one µ-bit pattern per RAC).  Returns the
+        updated accumulator vector.
+        """
+        if self._lut is None:
+            raise RuntimeError("load_activations() must be called before read_accumulate()")
+        keys = np.asarray(keys, dtype=np.int64)
+        if keys.shape != (self.k,):
+            raise ValueError(f"expected {self.k} keys, got shape {keys.shape}")
+        values = self._lut.read_many(keys)
+        self._accumulators += values
+        self.stats.lut_reads += int(keys.size)
+        self.stats.accumulations += int(keys.size)
+        return self._accumulators.copy()
+
+    def read_accumulate_patterns(self, patterns: np.ndarray) -> np.ndarray:
+        """Convenience wrapper taking ±1 patterns of shape (k, µ)."""
+        patterns = np.asarray(patterns)
+        if patterns.shape != (self.k, self.mu):
+            raise ValueError(f"expected patterns of shape ({self.k}, {self.mu})")
+        keys = np.array([pattern_to_key(p) for p in patterns], dtype=np.int64)
+        return self.read_accumulate(keys)
+
+    def drain(self) -> np.ndarray:
+        """Return and clear the k partial sums."""
+        out = self._accumulators.copy()
+        self._accumulators[:] = 0.0
+        return out
+
+    def reset(self) -> None:
+        """Clear LUT, accumulators, and statistics."""
+        self._lut = None
+        self._accumulators[:] = 0.0
+        self._generator = LUTGenerator(mu=self.mu)
+        self.stats = PEStats()

@@ -1,0 +1,79 @@
+"""The read-accumulate (RAC) unit.
+
+A RAC replaces the MAC of a conventional systolic array (Section III-C).
+Instead of multiplying an activation by a weight and accumulating, it
+
+1. holds a µ-bit weight pattern in a small register (the *key*),
+2. reads the precomputed partial sum for that key from the PE's shared LUT,
+3. accumulates the value into its partial-sum register.
+
+The functional model below tracks read and accumulate counts so the
+energy/performance models can charge each operation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.lut import FFLUT, HalfFFLUT
+
+__all__ = ["RAC"]
+
+
+@dataclass
+class RAC:
+    """A single read-accumulate unit.
+
+    Attributes
+    ----------
+    accumulator:
+        Running partial sum.
+    key_register:
+        The µ-bit weight pattern currently held (None before the first load).
+    reads:
+        Number of LUT reads issued.
+    accumulations:
+        Number of accumulate operations performed.
+    """
+
+    accumulator: float = 0.0
+    key_register: int | None = None
+    reads: int = 0
+    accumulations: int = 0
+
+    def load_key(self, key: int) -> None:
+        """Latch a new µ-bit weight pattern (weight-stationary reuse)."""
+        if key < 0:
+            raise ValueError("key must be non-negative")
+        self.key_register = int(key)
+
+    def step(self, lut: "FFLUT | HalfFFLUT", key: int | None = None) -> float:
+        """Perform one read-accumulate: fetch LUT[key] and add it to the accumulator.
+
+        If ``key`` is omitted, the currently latched key register is used.
+        Returns the updated accumulator value.
+        """
+        if key is not None:
+            self.load_key(key)
+        if self.key_register is None:
+            raise RuntimeError("RAC has no key loaded")
+        value = lut.read(self.key_register)
+        self.accumulator += float(value)
+        self.reads += 1
+        self.accumulations += 1
+        return self.accumulator
+
+    def drain(self) -> float:
+        """Return the accumulated partial sum and reset the accumulator."""
+        value = self.accumulator
+        self.accumulator = 0.0
+        return value
+
+    def reset(self) -> None:
+        """Clear accumulator, key register, and statistics."""
+        self.accumulator = 0.0
+        self.key_register = None
+        self.reads = 0
+        self.accumulations = 0

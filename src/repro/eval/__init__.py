@@ -1,0 +1,45 @@
+"""Evaluation drivers that regenerate the paper's tables and figures.
+
+* :mod:`repro.eval.accuracy` — Table IV (engine numerics) and Table VI
+  (BCQ bit widths) perplexity experiments.
+* :mod:`repro.eval.efficiency` — Fig. 13/14/15/16 and Table V hardware
+  efficiency experiments.
+* :mod:`repro.eval.pareto` — Fig. 17 mixed-precision TOPS/W-vs-perplexity.
+* :mod:`repro.eval.headline` — the abstract's headline efficiency ratios.
+* :mod:`repro.eval.tables` — plain-text table rendering.
+"""
+
+from repro.eval.tables import format_table, format_mapping
+from repro.eval.accuracy import (
+    AccuracyTestbed,
+    build_testbed,
+    engine_perplexity_table,
+    bcq_perplexity_table,
+)
+from repro.eval.efficiency import (
+    area_breakdown_by_format,
+    area_efficiency_by_model,
+    energy_breakdown_by_precision,
+    tops_per_watt_by_model,
+    accelerator_comparison_table,
+)
+from repro.eval.pareto import ParetoPoint, mixed_precision_pareto
+from repro.eval.headline import headline_efficiency_ratios, PAPER_HEADLINE_RATIOS
+
+__all__ = [
+    "format_table",
+    "format_mapping",
+    "AccuracyTestbed",
+    "build_testbed",
+    "engine_perplexity_table",
+    "bcq_perplexity_table",
+    "area_breakdown_by_format",
+    "area_efficiency_by_model",
+    "energy_breakdown_by_precision",
+    "tops_per_watt_by_model",
+    "accelerator_comparison_table",
+    "ParetoPoint",
+    "mixed_precision_pareto",
+    "headline_efficiency_ratios",
+    "PAPER_HEADLINE_RATIOS",
+]

@@ -1,0 +1,139 @@
+"""Accuracy experiment drivers (Table IV, Table VI).
+
+Both experiments evaluate perplexity of the small trained LM:
+
+* **Table IV** fixes the quantization (RTN, 4-bit uniform) and varies the
+  *GEMM engine numerics* — the FP reference ("GPU" row of the paper),
+  FIGLUT-F, and FIGLUT-I — expecting essentially identical perplexity.
+* **Table VI** fixes the engine (exact dequantized GEMM) and varies the
+  *quantization method / bit width* — FP16 baseline versus BCQ4 and BCQ3 —
+  expecting a modest gap at 4 bits that widens at 3 bits.
+
+The drivers return plain dictionaries so the benchmark harness can print the
+same rows the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.models.dataset import SyntheticCorpusConfig, generate_corpus, split_corpus
+from repro.models.perplexity import evaluate_perplexity
+from repro.models.quantized_model import (
+    QuantizationRecipe,
+    QuantizedLM,
+    capture_calibration_activations,
+)
+from repro.models.tokenizer import WordTokenizer
+from repro.models.training import TrainingConfig, train_language_model
+from repro.models.transformer import TransformerConfig, TransformerLM
+
+__all__ = ["AccuracyTestbed", "build_testbed", "engine_perplexity_table", "bcq_perplexity_table"]
+
+
+@dataclass
+class AccuracyTestbed:
+    """A trained LM plus held-out tokens, shared by the accuracy experiments."""
+
+    model: TransformerLM
+    valid_tokens: np.ndarray
+    tokenizer: WordTokenizer
+    train_tokens: np.ndarray | None = None
+    seq_len: int = 32
+    batch_size: int = 8
+    max_batches: int | None = 4
+    _calibration: dict | None = None
+
+    def fp_perplexity(self) -> float:
+        return evaluate_perplexity(self.model, self.valid_tokens, self.seq_len,
+                                   self.batch_size, label="fp16",
+                                   max_batches=self.max_batches).perplexity
+
+    def calibration_activations(self, num_tokens: int = 256) -> dict[str, np.ndarray]:
+        """Per-layer calibration activations captured from the training stream."""
+        if self._calibration is None:
+            source = self.train_tokens if self.train_tokens is not None else self.valid_tokens
+            span = min(len(source) - 1, num_tokens)
+            seq = min(self.seq_len, span)
+            batch = max(span // seq, 1)
+            tokens = np.asarray(source[: batch * seq], dtype=np.int64).reshape(batch, seq)
+            self._calibration = capture_calibration_activations(self.model, tokens)
+        return self._calibration
+
+    def quantized_perplexity(self, recipe: QuantizationRecipe,
+                             engine: str | None = None,
+                             use_calibration: bool | None = None,
+                             **engine_kwargs) -> float:
+        """Perplexity of the model quantized with ``recipe``.
+
+        ``engine=None`` evaluates the dequantized weights with exact float64
+        GEMMs (isolating the quantization error, as in Table VI / Fig. 17);
+        otherwise the named functional engine provides the GEMM numerics
+        (Table IV).
+        """
+        if use_calibration is None:
+            use_calibration = recipe.method in ("optq", "shiftadd")
+        calibration = self.calibration_activations() if use_calibration else None
+        if engine is None:
+            quantized = QuantizedLM.build(self.model, recipe, engine="figlut-f",
+                                          calibration=calibration)
+            loss_total, tokens_total = 0.0, 0
+            from repro.models.dataset import batchify
+            batches = batchify(self.valid_tokens, self.batch_size, self.seq_len)
+            if self.max_batches is not None:
+                batches = batches[: self.max_batches]
+            for inputs, targets in batches:
+                loss_total += quantized.dequantized_loss(inputs, targets) * targets.size
+                tokens_total += targets.size
+            return float(np.exp(loss_total / tokens_total))
+        quantized = QuantizedLM.build(self.model, recipe, engine=engine,
+                                      calibration=calibration, **engine_kwargs)
+        return evaluate_perplexity(quantized, self.valid_tokens, self.seq_len,
+                                   self.batch_size, max_batches=self.max_batches).perplexity
+
+
+def build_testbed(d_model: int = 48, n_layers: int = 2, n_heads: int = 4, d_ff: int = 128,
+                  epochs: int = 4, num_paragraphs: int = 160, seed: int = 0,
+                  max_batches: int | None = 4) -> AccuracyTestbed:
+    """Train the small LM on the synthetic corpus and return the shared testbed."""
+    corpus = generate_corpus(SyntheticCorpusConfig(num_paragraphs=num_paragraphs, seed=seed))
+    tokenizer = WordTokenizer(max_vocab=256).fit(corpus)
+    ids = tokenizer.encode(corpus)
+    train_tokens, valid_tokens = split_corpus(ids, train_fraction=0.9)
+    config = TransformerConfig(vocab_size=tokenizer.vocab_size, max_seq_len=32,
+                               d_model=d_model, n_heads=n_heads, n_layers=n_layers,
+                               d_ff=d_ff, seed=seed)
+    model = TransformerLM(config)
+    train_language_model(model, train_tokens,
+                         TrainingConfig(epochs=epochs, batch_size=16, seq_len=32,
+                                        learning_rate=3e-3, seed=seed))
+    return AccuracyTestbed(model=model, valid_tokens=valid_tokens, tokenizer=tokenizer,
+                           train_tokens=train_tokens, max_batches=max_batches)
+
+
+def engine_perplexity_table(testbed: AccuracyTestbed, bits: int = 4) -> dict[str, float]:
+    """Table IV: perplexity of the same RTN-quantized model on each engine.
+
+    The "gpu" row is the FP-reference GEMM on the *dequantized* weights (the
+    paper's NVIDIA GPU run); FIGLUT-F and FIGLUT-I use their respective
+    numerics with FP32 accumulation.
+    """
+    recipe = QuantizationRecipe(method="rtn", bits=bits)
+    return {
+        "fp16 (unquantized)": testbed.fp_perplexity(),
+        "gpu": testbed.quantized_perplexity(recipe, engine=None),
+        "figlut-f": testbed.quantized_perplexity(recipe, engine="figlut-f", accumulator="fp32"),
+        "figlut-i": testbed.quantized_perplexity(recipe, engine="figlut-i", accumulator="fp32"),
+    }
+
+
+def bcq_perplexity_table(testbed: AccuracyTestbed,
+                         bit_widths: tuple[int, ...] = (4, 3)) -> dict[str, float]:
+    """Table VI: FP16 baseline versus BCQ at the given bit widths."""
+    rows = {"fp16": testbed.fp_perplexity()}
+    for bits in bit_widths:
+        recipe = QuantizationRecipe(method="bcq", bits=bits)
+        rows[f"bcq{bits}"] = testbed.quantized_perplexity(recipe, engine=None)
+    return rows

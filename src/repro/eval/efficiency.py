@@ -1,0 +1,123 @@
+"""Hardware efficiency drivers (Fig. 13, 14, 15, 16, Table V).
+
+Each function assembles the engine / memory / GPU models into the exact
+series the corresponding paper figure plots, normalised the same way.
+"""
+
+from __future__ import annotations
+
+from repro.hw.engines import all_engine_models, engine_model
+from repro.hw.gpu import A100, H100, gpu_fp16_gemm, gpu_lutgemm_q4
+from repro.hw.memory import MemorySystemModel
+from repro.hw.performance import compare_engines, evaluate_workload
+from repro.models.opt import decoder_gemm_shapes
+
+__all__ = [
+    "area_breakdown_by_format",
+    "area_efficiency_by_model",
+    "energy_breakdown_by_precision",
+    "tops_per_watt_by_model",
+    "accelerator_comparison_table",
+]
+
+_DEFAULT_MODELS = ("opt-125m", "opt-350m", "opt-1.3b", "opt-2.7b", "opt-6.7b", "opt-13b", "opt-30b")
+_ENGINE_ORDER = ("fpe", "ifpu", "figna", "figlut-f", "figlut-i")
+
+
+def area_breakdown_by_format(weight_bits: int = 4,
+                             formats: tuple[str, ...] = ("fp16", "bf16", "fp32")
+                             ) -> dict[str, dict[str, dict[str, float]]]:
+    """Fig. 14: MPU area breakdown per engine, normalised to FPE, per input format."""
+    result: dict[str, dict[str, dict[str, float]]] = {}
+    for fmt in formats:
+        engines = all_engine_models(fmt, weight_bits)
+        fpe_area = engines["fpe"].area_breakdown()
+        result[fmt] = {name: engines[name].area_breakdown().normalized_to(fpe_area)
+                       for name in _ENGINE_ORDER}
+    return result
+
+
+def area_efficiency_by_model(weight_bits: int = 4, activation_format: str = "fp16",
+                             batch: int = 32,
+                             models: tuple[str, ...] = _DEFAULT_MODELS,
+                             memory: MemorySystemModel | None = None
+                             ) -> dict[str, dict[str, float]]:
+    """Fig. 13: TOPS/mm² per engine (normalised to FPE) for each OPT model."""
+    memory = memory or MemorySystemModel()
+    result: dict[str, dict[str, float]] = {}
+    for model_name in models:
+        shapes = decoder_gemm_shapes(model_name, batch=batch)
+        engines = all_engine_models(activation_format, weight_bits)
+        comparison = compare_engines(engines, shapes, weight_bits, memory)
+        result[model_name] = comparison.normalized_tops_per_mm2()
+    return result
+
+
+def energy_breakdown_by_precision(model_name: str = "opt-6.7b", batch: int = 32,
+                                  activation_format: str = "fp16",
+                                  precisions: tuple[int, ...] = (1, 2, 3, 4, 8),
+                                  memory: MemorySystemModel | None = None
+                                  ) -> dict[str, dict[str, dict[str, float]]]:
+    """Fig. 15: energy breakdown per engine and weight precision, normalised to FPE.
+
+    Fixed-precision engines (FPE, FIGNA) are built at 4 bits for Q1–Q4 (sub-
+    4-bit weights are padded) and rebuilt at 8 bits for Q8, exactly as in the
+    paper's configuration.
+    """
+    memory = memory or MemorySystemModel()
+    shapes = decoder_gemm_shapes(model_name, batch=batch)
+    result: dict[str, dict[str, dict[str, float]]] = {}
+    for bits in precisions:
+        hardware_bits = 8 if bits > 4 else 4
+        engines = all_engine_models(activation_format, hardware_bits)
+        comparison = compare_engines(engines, shapes, bits, memory)
+        result[f"q{bits}"] = comparison.normalized_energy_breakdown()
+    return result
+
+
+def tops_per_watt_by_model(precisions: tuple[int, ...] = (2, 3, 4), batch: int = 32,
+                           activation_format: str = "fp16",
+                           models: tuple[str, ...] = _DEFAULT_MODELS,
+                           memory: MemorySystemModel | None = None
+                           ) -> dict[str, dict[str, dict[str, float]]]:
+    """Fig. 16: TOPS/W (normalised to FPE) per engine, precision, and OPT model."""
+    memory = memory or MemorySystemModel()
+    result: dict[str, dict[str, dict[str, float]]] = {}
+    for model_name in models:
+        shapes = decoder_gemm_shapes(model_name, batch=batch)
+        per_precision: dict[str, dict[str, float]] = {}
+        for bits in precisions:
+            engines = all_engine_models(activation_format, 4)
+            comparison = compare_engines(engines, shapes, bits, memory)
+            per_precision[f"q{bits}"] = comparison.normalized_tops_per_watt()
+        result[model_name] = per_precision
+    return result
+
+
+def accelerator_comparison_table(model_name: str = "opt-6.7b", batch: int = 32,
+                                 memory: MemorySystemModel | None = None
+                                 ) -> list[dict[str, object]]:
+    """Table V: throughput, power and TOPS/W of GPUs and the FP-Q4 accelerators."""
+    memory = memory or MemorySystemModel()
+    shapes = decoder_gemm_shapes(model_name, batch=batch)
+    rows: list[dict[str, object]] = []
+
+    for spec in (A100, H100):
+        gpu = gpu_fp16_gemm(spec, shapes)
+        rows.append({"hardware": spec.name, "format": "FP16-FP16",
+                     "throughput_tops": gpu.throughput_tops, "power_w": gpu.power_w,
+                     "tops_per_watt": gpu.tops_per_watt})
+    lut_gemm = gpu_lutgemm_q4(A100, shapes)
+    rows.append({"hardware": "A100", "format": "FP16-Q4 (LUT-GEMM)",
+                 "throughput_tops": lut_gemm.throughput_tops, "power_w": lut_gemm.power_w,
+                 "tops_per_watt": lut_gemm.tops_per_watt})
+
+    for name in ("ifpu", "figna", "figlut-i"):
+        engine = engine_model(name, "fp16", 4)
+        result = evaluate_workload(engine, shapes, 4, memory)
+        label = {"ifpu": "iFPU", "figna": "FIGNA", "figlut-i": "FIGLUT"}[name]
+        rows.append({"hardware": label, "format": "FP16-Q4",
+                     "throughput_tops": result.achieved_tops,
+                     "power_w": result.average_power_w,
+                     "tops_per_watt": result.tops_per_watt})
+    return rows

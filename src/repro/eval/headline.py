@@ -1,0 +1,51 @@
+"""Headline-claim checks.
+
+The abstract states three quantitative claims:
+
+* at the same 3-bit weight precision FIGLUT reaches **59% higher TOPS/W**
+  than the state-of-the-art accelerator (FIGNA) with lower perplexity;
+* at matched perplexity, **FIGLUT-Q2.4 reaches 98% higher TOPS/W** than
+  FIGNA-Q3;
+* Section IV adds: 1.2× at Q4, up to 2.4× at Q2.
+
+This driver extracts exactly those ratios from the analytical models so the
+benchmark can report "paper vs reproduced" side by side.
+"""
+
+from __future__ import annotations
+
+from repro.hw.engines import engine_model
+from repro.hw.memory import MemorySystemModel
+from repro.hw.performance import evaluate_workload
+from repro.models.opt import decoder_gemm_shapes
+
+__all__ = ["headline_efficiency_ratios", "PAPER_HEADLINE_RATIOS"]
+
+PAPER_HEADLINE_RATIOS = {
+    "q4_vs_figna_q4": 1.2,
+    "q3_vs_figna_q3": 1.59,
+    "q2.4_vs_figna_q3": 1.98,
+    "q2_vs_figna_q2": 2.4,
+}
+
+
+def headline_efficiency_ratios(model_name: str = "opt-6.7b", batch: int = 32,
+                               memory: MemorySystemModel | None = None) -> dict[str, float]:
+    """FIGLUT-I / FIGNA TOPS/W ratios at the paper's headline operating points."""
+    memory = memory or MemorySystemModel()
+    shapes = decoder_gemm_shapes(model_name, batch=batch)
+    figna = engine_model("figna", "fp16", 4)
+    figlut = engine_model("figlut-i", "fp16", 4)
+
+    def tops_per_watt(engine, bits: float) -> float:
+        return evaluate_workload(engine, shapes, bits, memory).tops_per_watt
+
+    figna_q4 = tops_per_watt(figna, 4)
+    figna_q3 = tops_per_watt(figna, 3)
+    figna_q2 = tops_per_watt(figna, 2)
+    return {
+        "q4_vs_figna_q4": tops_per_watt(figlut, 4) / figna_q4,
+        "q3_vs_figna_q3": tops_per_watt(figlut, 3) / figna_q3,
+        "q2.4_vs_figna_q3": tops_per_watt(figlut, 2.4) / figna_q3,
+        "q2_vs_figna_q2": tops_per_watt(figlut, 2) / figna_q2,
+    }

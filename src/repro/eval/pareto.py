@@ -1,0 +1,92 @@
+"""Fig. 17 driver: TOPS/W versus perplexity for mixed-precision configurations.
+
+The figure plots one point per configuration:
+
+* FIGNA with OPTQ-style uniform quantization at 2, 3 and 4 bits (fixed-
+  precision hardware → the TOPS/W of Q4 hardware regardless of the stored
+  bits),
+* FIGLUT with ShiftAddLLM-style BCQ at 2, 3, 4 bits and mixed-precision
+  averages in between (bit-serial hardware → TOPS/W improves as the average
+  bit width shrinks).
+
+Efficiency comes from the analytical hardware models on the OPT-6.7B
+workload; accuracy comes from the small trained LM quantized with the
+corresponding method at the same (average) bit width.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.eval.accuracy import AccuracyTestbed
+from repro.hw.engines import engine_model
+from repro.hw.memory import MemorySystemModel
+from repro.hw.performance import evaluate_workload
+from repro.models.opt import decoder_gemm_shapes
+from repro.models.quantized_model import QuantizationRecipe
+from repro.quant.mixed_precision import allocate_mixed_precision, measure_layer_sensitivity
+
+__all__ = ["ParetoPoint", "mixed_precision_pareto"]
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One configuration of Fig. 17."""
+
+    engine: str
+    method: str
+    average_bits: float
+    tops_per_watt: float
+    perplexity: float
+
+
+def _mixed_precision_recipe(testbed: AccuracyTestbed, target_bits: float,
+                            min_bits: int = 2, max_bits: int = 4) -> QuantizationRecipe:
+    """Allocate per-layer BCQ bit widths hitting the target average."""
+    model = testbed.model
+    sensitivities = [
+        measure_layer_sensitivity(name, model.params[name],
+                                  candidate_bits=tuple(range(min_bits, max_bits + 1)),
+                                  bcq_iterations=2)
+        for name in model.weight_matrix_names()
+    ]
+    plan = allocate_mixed_precision(sensitivities, target_bits,
+                                    min_bits=min_bits, max_bits=max_bits)
+    return QuantizationRecipe(method="bcq", bits=min_bits,
+                              bits_per_layer=plan.bits_per_layer)
+
+
+def mixed_precision_pareto(testbed: AccuracyTestbed,
+                           figlut_bits: tuple[float, ...] = (2.0, 2.4, 3.0, 4.0),
+                           figna_bits: tuple[int, ...] = (2, 3, 4),
+                           workload_model: str = "opt-6.7b", batch: int = 32,
+                           memory: MemorySystemModel | None = None) -> list[ParetoPoint]:
+    """Compute the Fig. 17 point cloud (FIGNA/OPTQ versus FIGLUT/BCQ)."""
+    memory = memory or MemorySystemModel()
+    shapes = decoder_gemm_shapes(workload_model, batch=batch)
+    points: list[ParetoPoint] = []
+
+    # FIGNA: fixed-precision hardware, OPTQ uniform quantization.
+    figna = engine_model("figna", "fp16", 4)
+    for bits in figna_bits:
+        efficiency = evaluate_workload(figna, shapes, bits, memory).tops_per_watt
+        recipe = QuantizationRecipe(method="optq", bits=bits)
+        ppl = testbed.quantized_perplexity(recipe, engine=None)
+        points.append(ParetoPoint("figna", f"optq-q{bits}", float(bits), efficiency, ppl))
+
+    # FIGLUT: bit-serial BCQ hardware, ShiftAddLLM-style quantization
+    # (with mixed-precision allocation for fractional average bit widths).
+    figlut = engine_model("figlut-i", "fp16", 4)
+    for bits in figlut_bits:
+        efficiency = evaluate_workload(figlut, shapes, float(bits), memory).tops_per_watt
+        if float(bits).is_integer():
+            recipe = QuantizationRecipe(method="shiftadd", bits=int(bits))
+            label = f"bcq-q{int(bits)}"
+        else:
+            recipe = _mixed_precision_recipe(testbed, float(bits))
+            label = f"bcq-q{bits}"
+        ppl = testbed.quantized_perplexity(recipe, engine=None)
+        points.append(ParetoPoint("figlut", label, float(bits), efficiency, ppl))
+    return points

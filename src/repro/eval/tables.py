@@ -1,0 +1,34 @@
+"""Plain-text table rendering for the evaluation drivers and benchmarks."""
+
+from __future__ import annotations
+
+__all__ = ["format_table", "format_mapping"]
+
+
+def format_table(headers: list[str], rows: list[list[object]],
+                 float_format: str = "{:.3f}") -> str:
+    """Render a list of rows as an aligned plain-text table."""
+    def render(value: object) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    rendered = [[render(v) for v in row] for row in rows]
+    widths = [max(len(headers[i]), *(len(r[i]) for r in rendered)) if rendered else len(headers[i])
+              for i in range(len(headers))]
+    lines = []
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in rendered:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)
+
+
+def format_mapping(title: str, mapping: dict, float_format: str = "{:.3f}") -> str:
+    """Render a flat mapping as 'key: value' lines under a title."""
+    lines = [title]
+    for key, value in mapping.items():
+        if isinstance(value, float):
+            value = float_format.format(value)
+        lines.append(f"  {key}: {value}")
+    return "\n".join(lines)

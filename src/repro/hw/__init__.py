@@ -1,0 +1,90 @@
+"""Hardware cost models for the FIGLUT evaluation.
+
+* :mod:`repro.hw.tech` — 28nm component library (energy/area coefficients).
+* :mod:`repro.hw.components` — composite datapath component models.
+* :mod:`repro.hw.lut_power` — RFLUT/FFLUT/hFFLUT power analyses (Fig. 6, 8, 9,
+  Table III).
+* :mod:`repro.hw.engines` — analytical area/energy/throughput models of FPE,
+  iFPU, FIGNA and FIGLUT-F/I (Fig. 13–16, Table I).
+* :mod:`repro.hw.memory` — SRAM/DRAM traffic and energy model.
+* :mod:`repro.hw.performance` — workload-level TOPS, TOPS/W, TOPS/mm².
+* :mod:`repro.hw.bank_conflict` — GPU shared-memory bank-conflict simulator
+  (Fig. 2).
+* :mod:`repro.hw.gpu` — A100/H100 roofline models and the LUT-GEMM kernel
+  model (Table V).
+"""
+
+from repro.hw.tech import TechnologyLibrary, CMOS28, scaled_library
+from repro.hw.components import ComponentCost
+from repro.hw.lut_power import (
+    LUTPowerModel,
+    lut_read_power_comparison,
+    pe_power_vs_fanout,
+    prac_ppe_vs_fanout,
+    optimal_fanout,
+    hfflut_component_power,
+)
+from repro.hw.engines import (
+    AreaBreakdown,
+    HardwareEngineModel,
+    FPEModel,
+    FIGNAModel,
+    IFPUModel,
+    FIGLUTModel,
+    engine_model,
+    all_engine_models,
+    complexity_table,
+)
+from repro.hw.memory import GEMMWorkloadShape, MemoryTraffic, MemorySystemModel
+from repro.hw.performance import (
+    WorkloadResult,
+    evaluate_workload,
+    EngineComparison,
+    compare_engines,
+)
+from repro.hw.bank_conflict import (
+    BankConflictConfig,
+    BankConflictResult,
+    simulate_lut_reads,
+    expected_conflict_factor,
+)
+from repro.hw.gpu import GPUSpec, A100, H100, GPUResult, gpu_fp16_gemm, gpu_lutgemm_q4
+
+__all__ = [
+    "TechnologyLibrary",
+    "CMOS28",
+    "scaled_library",
+    "ComponentCost",
+    "LUTPowerModel",
+    "lut_read_power_comparison",
+    "pe_power_vs_fanout",
+    "prac_ppe_vs_fanout",
+    "optimal_fanout",
+    "hfflut_component_power",
+    "AreaBreakdown",
+    "HardwareEngineModel",
+    "FPEModel",
+    "FIGNAModel",
+    "IFPUModel",
+    "FIGLUTModel",
+    "engine_model",
+    "all_engine_models",
+    "complexity_table",
+    "GEMMWorkloadShape",
+    "MemoryTraffic",
+    "MemorySystemModel",
+    "WorkloadResult",
+    "evaluate_workload",
+    "EngineComparison",
+    "compare_engines",
+    "BankConflictConfig",
+    "BankConflictResult",
+    "simulate_lut_reads",
+    "expected_conflict_factor",
+    "GPUSpec",
+    "A100",
+    "H100",
+    "GPUResult",
+    "gpu_fp16_gemm",
+    "gpu_lutgemm_q4",
+]

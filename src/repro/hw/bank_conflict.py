@@ -1,0 +1,139 @@
+"""GPU shared-memory bank-conflict simulator (Section II-C, Fig. 2).
+
+LUT-GEMM keeps its LUTs in GPU shared memory.  Shared memory is divided into
+banks (32 on NVIDIA GPUs); in one cycle each bank can serve one address, so
+when several threads of a warp read different addresses that map to the same
+bank, the accesses serialise.  During the LUT *read* phase of LUT-GEMM the
+addresses are the weight patterns, which are effectively random, so conflicts
+are frequent — one of the motivations for FIGLUT's conflict-free FFLUT.
+
+This module simulates the warp-level access pattern and reports the average
+serialisation factor (1.0 = conflict-free, 32.0 = fully serialised), which
+feeds the LUT-GEMM GPU model in :mod:`repro.hw.gpu`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["BankConflictConfig", "BankConflictResult", "simulate_lut_reads",
+           "expected_conflict_factor"]
+
+
+@dataclass(frozen=True)
+class BankConflictConfig:
+    """Shared-memory organisation and access pattern parameters.
+
+    Attributes
+    ----------
+    num_banks:
+        Number of shared-memory banks (32 on NVIDIA architectures).
+    threads_per_warp:
+        Threads issuing LUT reads together (32).
+    word_bytes:
+        Bank word size (4 bytes).
+    entry_bytes:
+        Size of one LUT entry (2 bytes for FP16 entries).
+    mu:
+        LUT key width — the LUT has ``2**mu`` entries per sub-table.
+    """
+
+    num_banks: int = 32
+    threads_per_warp: int = 32
+    word_bytes: int = 4
+    entry_bytes: int = 2
+    mu: int = 8
+
+    def __post_init__(self) -> None:
+        if self.num_banks < 1 or self.threads_per_warp < 1:
+            raise ValueError("num_banks and threads_per_warp must be >= 1")
+        if self.word_bytes < 1 or self.entry_bytes < 1:
+            raise ValueError("word_bytes and entry_bytes must be >= 1")
+        if self.mu < 1:
+            raise ValueError("mu must be >= 1")
+
+
+@dataclass
+class BankConflictResult:
+    """Serialisation statistics over the simulated warp accesses."""
+
+    cycles: int
+    accesses: int
+    conflict_factor: float
+    worst_case_factor: float
+    conflict_free_fraction: float
+
+
+def _words_and_banks(keys: np.ndarray, thread_ids: np.ndarray, config: BankConflictConfig,
+                     per_thread_tables: bool) -> tuple[np.ndarray, np.ndarray]:
+    """Map each thread's LUT key to a (shared-memory word, bank) pair.
+
+    With ``per_thread_tables`` the sub-tables are interleaved across banks
+    (entry ``k`` of thread ``t`` lives at element ``k·threads + t``), which is
+    the conflict-free construction-phase layout LUT-GEMM uses; otherwise all
+    threads index one shared table.
+    """
+    if per_thread_tables:
+        addresses = keys * config.threads_per_warp + thread_ids
+    else:
+        addresses = keys
+    byte_addresses = addresses * config.entry_bytes
+    words = byte_addresses // config.word_bytes
+    return words, words % config.num_banks
+
+
+def simulate_lut_reads(weight_keys: np.ndarray, config: BankConflictConfig | None = None,
+                       per_thread_tables: bool = False) -> BankConflictResult:
+    """Simulate warp LUT reads and measure bank-conflict serialisation.
+
+    Parameters
+    ----------
+    weight_keys:
+        Integer array of shape ``(cycles, threads_per_warp)``: the LUT key
+        each thread reads in each cycle.
+    per_thread_tables:
+        If True, threads read from private sub-tables laid out contiguously
+        (the conflict-free construction-phase layout); if False, all threads
+        index one shared table (the read phase, where conflicts occur).
+    """
+    config = config or BankConflictConfig()
+    keys = np.asarray(weight_keys, dtype=np.int64)
+    if keys.ndim != 2 or keys.shape[1] != config.threads_per_warp:
+        raise ValueError(f"weight_keys must have shape (cycles, {config.threads_per_warp})")
+    if keys.size and (keys.min() < 0 or keys.max() >= (1 << config.mu)):
+        raise ValueError("keys out of range for the configured mu")
+
+    thread_ids = np.arange(config.threads_per_warp, dtype=np.int64)
+    serialisations = np.empty(keys.shape[0], dtype=np.float64)
+    for cycle in range(keys.shape[0]):
+        words, banks = _words_and_banks(keys[cycle], thread_ids, config, per_thread_tables)
+        # Accesses to the same bank AND same word are broadcast (1 cycle);
+        # distinct words in the same bank serialise.
+        serial = 1
+        for bank in np.unique(banks):
+            distinct = np.unique(words[banks == bank]).size
+            serial = max(serial, distinct)
+        serialisations[cycle] = serial
+
+    return BankConflictResult(
+        cycles=int(keys.shape[0]),
+        accesses=int(keys.size),
+        conflict_factor=float(np.mean(serialisations)) if keys.shape[0] else 1.0,
+        worst_case_factor=float(np.max(serialisations)) if keys.shape[0] else 1.0,
+        conflict_free_fraction=float(np.mean(serialisations == 1)) if keys.shape[0] else 1.0,
+    )
+
+
+def expected_conflict_factor(config: BankConflictConfig | None = None,
+                             cycles: int = 2048, seed: int = 0) -> float:
+    """Average serialisation factor for uniformly random weight keys.
+
+    This is the slowdown the LUT-GEMM GPU kernel model applies to its
+    shared-memory-bound phase.
+    """
+    config = config or BankConflictConfig()
+    rng = np.random.default_rng(seed)
+    keys = rng.integers(0, 1 << config.mu, size=(cycles, config.threads_per_warp))
+    return simulate_lut_reads(keys, config).conflict_factor

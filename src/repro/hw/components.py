@@ -1,0 +1,156 @@
+"""Composite component models built from the technology library.
+
+These helpers turn :class:`~repro.hw.tech.TechnologyLibrary` coefficients
+into the energy/area of the datapath building blocks the engine models use:
+FP and integer arithmetic units, flip-flop arrays, multiplexer trees,
+decoders, register-file macros, and alignment shifters.
+
+The width conventions follow the paper's engines:
+
+* activations carry ``1 + exponent + mantissa`` bits (FP16/BF16/FP32);
+* the pre-aligned integer mantissa datapath of iFPU/FIGNA/FIGLUT-I is
+  ``mantissa + 2`` bits wide (hidden one + sign);
+* accumulators are FP32 (or a 2×-wide integer for the integer engines).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hw.tech import CMOS28, TechnologyLibrary
+from repro.numerics.floats import get_format
+
+__all__ = [
+    "ComponentCost",
+    "fp_adder",
+    "fp_multiplier",
+    "int_adder",
+    "int_multiplier",
+    "int_to_fp_converter",
+    "alignment_shifter",
+    "flip_flop_array",
+    "mux_tree",
+    "sign_flip_decoder",
+    "register_file_read",
+    "register_file_area",
+    "aligned_mantissa_bits",
+    "accumulator_bits",
+]
+
+
+@dataclass(frozen=True)
+class ComponentCost:
+    """Energy per operation (pJ) and silicon area (µm²) of one component."""
+
+    energy_pj: float
+    area_um2: float
+
+    def __add__(self, other: "ComponentCost") -> "ComponentCost":
+        return ComponentCost(self.energy_pj + other.energy_pj, self.area_um2 + other.area_um2)
+
+    def scaled(self, factor: float) -> "ComponentCost":
+        return ComponentCost(self.energy_pj * factor, self.area_um2 * factor)
+
+
+def fp_adder(fmt: str, tech: TechnologyLibrary = CMOS28) -> ComponentCost:
+    """A floating-point adder for the given activation format."""
+    return ComponentCost(tech.fp_add_energy(fmt), tech.fp_add_area(fmt))
+
+
+def fp_multiplier(fmt: str, tech: TechnologyLibrary = CMOS28) -> ComponentCost:
+    """A floating-point multiplier for the given activation format."""
+    return ComponentCost(tech.fp_mul_energy(fmt), tech.fp_mul_area(fmt))
+
+
+def int_adder(bits: int, tech: TechnologyLibrary = CMOS28) -> ComponentCost:
+    """An integer adder with ``bits``-wide operands."""
+    if bits < 1:
+        raise ValueError("bits must be >= 1")
+    return ComponentCost(tech.int_add_energy_pj_per_bit * bits,
+                         tech.int_add_area_um2_per_bit * bits)
+
+
+def int_multiplier(bits_a: int, bits_b: int, tech: TechnologyLibrary = CMOS28) -> ComponentCost:
+    """An integer multiplier with operand widths ``bits_a`` × ``bits_b``."""
+    if bits_a < 1 or bits_b < 1:
+        raise ValueError("operand widths must be >= 1")
+    product = bits_a * bits_b
+    return ComponentCost(tech.int_mul_energy_pj_per_bit2 * product,
+                         tech.int_mul_area_um2_per_bit2 * product)
+
+
+def int_to_fp_converter(tech: TechnologyLibrary = CMOS28) -> ComponentCost:
+    """The dequantization (INT weight → FP) converter used by the FPE baseline."""
+    return ComponentCost(tech.int_to_fp_convert_energy_pj, tech.int_to_fp_convert_area_um2)
+
+
+def alignment_shifter(bits: int, tech: TechnologyLibrary = CMOS28) -> ComponentCost:
+    """The barrel shifter used by the pre-alignment units."""
+    return ComponentCost(tech.shifter_energy_pj_per_bit * bits,
+                         tech.shifter_area_um2_per_bit * bits)
+
+
+def flip_flop_array(num_bits: int, tech: TechnologyLibrary = CMOS28) -> ComponentCost:
+    """An array of ``num_bits`` flip-flops (energy is per clock cycle)."""
+    if num_bits < 0:
+        raise ValueError("num_bits must be >= 0")
+    return ComponentCost(tech.flip_flop_energy_pj_per_bit * num_bits,
+                         tech.flip_flop_area_um2_per_bit * num_bits)
+
+
+def mux_tree(num_inputs: int, width_bits: int, tech: TechnologyLibrary = CMOS28) -> ComponentCost:
+    """A ``num_inputs``:1 multiplexer for ``width_bits``-wide words.
+
+    Modelled as the (num_inputs - 1) two-input muxes of a binary tree; this is
+    the per-reader selection network of the FFLUT.
+    """
+    if num_inputs < 1:
+        raise ValueError("num_inputs must be >= 1")
+    n_mux2 = max(num_inputs - 1, 0)
+    return ComponentCost(tech.mux2_energy_pj_per_bit * width_bits * n_mux2,
+                         tech.mux2_area_um2_per_bit * width_bits * n_mux2)
+
+
+def sign_flip_decoder(width_bits: int, tech: TechnologyLibrary = CMOS28) -> ComponentCost:
+    """The hFFLUT decoder: key-MSB controlled two's-complement sign flip."""
+    return ComponentCost(tech.decoder_energy_pj_per_bit * width_bits,
+                         tech.decoder_area_um2_per_bit * width_bits)
+
+
+def register_file_read(num_entries: int, width_bits: int,
+                       tech: TechnologyLibrary = CMOS28) -> float:
+    """Energy (pJ) of one read from a memory-compiler register-file macro.
+
+    The RF macro energy is dominated by the fixed decoder/bitline cost with a
+    weak (logarithmic) dependence on depth, which is what makes RFLUT reads
+    more expensive than FP additions in Fig. 6.
+    """
+    if num_entries < 1 or width_bits < 1:
+        raise ValueError("num_entries and width_bits must be >= 1")
+    depth_term = tech.register_file_read_pj_per_log2_entry * float(np.log2(num_entries))
+    width_scale = width_bits / 16.0
+    return (tech.register_file_read_base_pj + depth_term) * width_scale
+
+
+def register_file_area(num_entries: int, width_bits: int,
+                       tech: TechnologyLibrary = CMOS28) -> float:
+    """Area (µm²) of a register-file macro."""
+    return tech.register_file_area_um2_per_bit * num_entries * width_bits
+
+
+def aligned_mantissa_bits(fmt: str) -> int:
+    """Width of the pre-aligned integer mantissa datapath for a FP format.
+
+    Mantissa bits + hidden one + sign, as used by iFPU / FIGNA / FIGLUT-I.
+    """
+    f = get_format(fmt)
+    return f.mantissa_bits + 2
+
+
+def accumulator_bits(fmt: str, reduction_length: int = 4096) -> int:
+    """Integer accumulator width needed to sum ``reduction_length`` products."""
+    f = get_format(fmt)
+    growth = int(np.ceil(np.log2(max(reduction_length, 2))))
+    return f.mantissa_bits + 2 + growth

@@ -1,0 +1,480 @@
+"""Analytical hardware models of the five engines (FPE, iFPU, FIGNA, FIGLUT-F/I).
+
+These models reproduce the paper's hardware evaluation (Section IV-B): MPU
+area and its arithmetic/flip-flop breakdown (Fig. 14), compute energy per
+operation across weight precisions (Fig. 15), effective throughput of fixed-
+precision versus bit-serial engines (Fig. 13, 16), and the computational-
+complexity comparison of Table I.
+
+All engines are configured for the *same nominal Q4 throughput* (Section
+IV-B-a):
+
+* FPE / FIGNA: a 64×64 PE array, one (multi-bit) MAC per PE per cycle;
+* iFPU: a 64×64×4 array of 1-bit-weight lanes;
+* FIGLUT: a 2×16×4 PE arrangement with µ=4 and k=32 RACs per PE, i.e. 4096
+  RACs each covering µ=4 binary weights per read — the same 16384 binary
+  weight-operations per cycle as iFPU.
+
+Fixed-precision engines widen their datapath for Q8 (and pad sub-4-bit
+weights to 4 bits); bit-serial engines keep the same hardware and change the
+number of passes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.lut_generator import generator_addition_count
+from repro.hw.components import (
+    accumulator_bits,
+    aligned_mantissa_bits,
+    alignment_shifter,
+    flip_flop_array,
+    fp_adder,
+    fp_multiplier,
+    int_adder,
+    int_multiplier,
+    int_to_fp_converter,
+    mux_tree,
+    sign_flip_decoder,
+)
+from repro.hw.tech import CMOS28, TechnologyLibrary
+from repro.numerics.floats import get_format
+
+__all__ = [
+    "AreaBreakdown",
+    "ComputeEnergyBreakdown",
+    "HardwareEngineModel",
+    "FPEModel",
+    "FIGNAModel",
+    "IFPUModel",
+    "FIGLUTModel",
+    "engine_model",
+    "all_engine_models",
+    "complexity_table",
+]
+
+# Nominal reduction length used to size integer accumulators.
+_ACCUM_REDUCTION = 4096
+
+
+@dataclass
+class AreaBreakdown:
+    """MPU area split the way Fig. 14 reports it."""
+
+    arithmetic_um2: float = 0.0
+    flip_flop_um2: float = 0.0
+
+    @property
+    def total_um2(self) -> float:
+        return self.arithmetic_um2 + self.flip_flop_um2
+
+    @property
+    def total_mm2(self) -> float:
+        return self.total_um2 / 1e6
+
+    def normalized_to(self, reference: "AreaBreakdown") -> dict[str, float]:
+        ref = reference.total_um2
+        return {
+            "arithmetic": self.arithmetic_um2 / ref,
+            "flip_flop": self.flip_flop_um2 / ref,
+            "total": self.total_um2 / ref,
+        }
+
+
+@dataclass
+class ComputeEnergyBreakdown:
+    """Compute (MPU + VPU) energy of a workload, in pJ."""
+
+    mpu_pj: float = 0.0
+    vpu_pj: float = 0.0
+
+    @property
+    def total_pj(self) -> float:
+        return self.mpu_pj + self.vpu_pj
+
+
+class HardwareEngineModel:
+    """Base class: iso-throughput engine with area / energy / cycle models.
+
+    Parameters
+    ----------
+    activation_format:
+        ``"fp16"``, ``"bf16"`` or ``"fp32"``.
+    weight_bits:
+        The *hardware* weight precision.  Fixed-precision engines (FPE,
+        FIGNA) must be built for a specific width (4 or 8 in the paper);
+        bit-serial engines ignore this at build time.
+    tech:
+        Technology library.
+    """
+
+    name = "base"
+    is_bit_serial = False
+    supports_bcq = False
+    supports_mixed_precision = False
+
+    def __init__(self, activation_format: str = "fp16", weight_bits: int = 4,
+                 tech: TechnologyLibrary = CMOS28) -> None:
+        self.activation_format = activation_format.lower()
+        get_format(self.activation_format)  # validate
+        if weight_bits < 1:
+            raise ValueError("weight_bits must be >= 1")
+        self.weight_bits = int(weight_bits)
+        self.tech = tech
+
+    # ------------------------------------------------------------ geometry --
+    @property
+    def frequency_hz(self) -> float:
+        return self.tech.frequency_hz
+
+    def binary_weight_lanes(self) -> int:
+        """Binary (1-bit) weight operations per cycle: 16384 for every engine."""
+        return 16384
+
+    def effective_weight_bits(self, requested_bits: float) -> float:
+        """Weight bits the hardware actually processes for a requested precision.
+
+        Fixed-precision engines pad sub-width weights to their datapath width
+        and cannot exceed it; bit-serial engines process exactly the
+        requested number of planes (fractional values model mixed precision).
+        """
+        if self.is_bit_serial:
+            return float(requested_bits)
+        if requested_bits > self.weight_bits:
+            raise ValueError(
+                f"{self.name} built for {self.weight_bits}-bit weights cannot run "
+                f"{requested_bits}-bit weights")
+        return float(self.weight_bits)
+
+    def macs_per_cycle(self, requested_bits: float) -> float:
+        """Effective multi-bit MACs per cycle at the requested weight precision."""
+        if self.is_bit_serial:
+            return self.binary_weight_lanes() / float(requested_bits)
+        return self.binary_weight_lanes() / float(self.weight_bits)
+
+    def cycles_for_macs(self, macs: float, requested_bits: float) -> float:
+        """Cycles to execute ``macs`` effective MACs at full utilisation."""
+        return macs / self.macs_per_cycle(requested_bits)
+
+    def peak_tops(self, requested_bits: float) -> float:
+        """Peak throughput in TOPS (2 ops per MAC)."""
+        return 2.0 * self.macs_per_cycle(requested_bits) * self.frequency_hz / 1e12
+
+    # ------------------------------------------------------------ costs -----
+    def area_breakdown(self) -> AreaBreakdown:
+        raise NotImplementedError
+
+    def compute_energy_per_binary_op(self, requested_bits: float) -> float:
+        """Dynamic MPU energy (pJ) per binary weight operation."""
+        raise NotImplementedError
+
+    def compute_energy_per_mac(self, requested_bits: float) -> float:
+        """Dynamic MPU energy (pJ) per effective MAC at the requested precision."""
+        bits = self.effective_weight_bits(requested_bits)
+        return self.compute_energy_per_binary_op(requested_bits) * bits
+
+    def vpu_energy_per_output(self) -> float:
+        """Energy of the vector unit's post-processing per output element."""
+        return fp_adder(self.activation_format, self.tech).energy_pj * 2.0
+
+    # ------------------------------------------------------------ misc ------
+    def complexity(self) -> str:
+        """Computational complexity string, as in Table I."""
+        return "O(mnk)"
+
+    def describe(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "activation_format": self.activation_format,
+            "weight_bits": self.weight_bits,
+            "bit_serial": self.is_bit_serial,
+            "bcq_support": self.supports_bcq,
+            "mixed_precision": self.supports_mixed_precision,
+            "complexity": self.complexity(),
+        }
+
+
+class FPEModel(HardwareEngineModel):
+    """Baseline FPE: dequantize + FP multiply + FP accumulate, 64×64 PEs."""
+
+    name = "fpe"
+
+    def __init__(self, activation_format: str = "fp16", weight_bits: int = 4,
+                 tech: TechnologyLibrary = CMOS28) -> None:
+        super().__init__(activation_format, weight_bits, tech)
+        self.pe_count = 64 * 64
+
+    def binary_weight_lanes(self) -> int:
+        return self.pe_count * self.weight_bits
+
+    def _per_pe_costs(self):
+        act = self.activation_format
+        converter = int_to_fp_converter(self.tech).scaled(self.weight_bits / 4.0)
+        arith = converter + fp_multiplier(act, self.tech) + fp_adder("fp32", self.tech)
+        act_bits = get_format(act).total_bits
+        ff_bits = self.weight_bits + act_bits + 32 + act_bits  # weight, input, psum, pipeline
+        ff = flip_flop_array(ff_bits, self.tech)
+        return arith, ff
+
+    def area_breakdown(self) -> AreaBreakdown:
+        arith, ff = self._per_pe_costs()
+        return AreaBreakdown(arithmetic_um2=arith.area_um2 * self.pe_count,
+                             flip_flop_um2=ff.area_um2 * self.pe_count)
+
+    def compute_energy_per_binary_op(self, requested_bits: float) -> float:
+        arith, ff = self._per_pe_costs()
+        per_mac = arith.energy_pj + ff.energy_pj
+        return per_mac / self.weight_bits
+
+    def complexity(self) -> str:
+        return "O(mnk)"
+
+
+class FIGNAModel(HardwareEngineModel):
+    """FIGNA: pre-aligned integer multiply-accumulate, 64×64 PEs."""
+
+    name = "figna"
+
+    def __init__(self, activation_format: str = "fp16", weight_bits: int = 4,
+                 tech: TechnologyLibrary = CMOS28) -> None:
+        super().__init__(activation_format, weight_bits, tech)
+        self.pe_count = 64 * 64
+        self.array_columns = 64
+
+    def binary_weight_lanes(self) -> int:
+        return self.pe_count * self.weight_bits
+
+    def _per_pe_costs(self):
+        mant = aligned_mantissa_bits(self.activation_format)
+        acc = accumulator_bits(self.activation_format, _ACCUM_REDUCTION)
+        arith = int_multiplier(mant, self.weight_bits, self.tech) + int_adder(acc, self.tech)
+        # Per-column pre-alignment shifter and FP32 re-scale, amortised per PE.
+        shared = (alignment_shifter(mant, self.tech)
+                  + fp_multiplier("fp32", self.tech) + fp_adder("fp32", self.tech))
+        arith = arith + shared.scaled(1.0 / self.array_columns)
+        ff_bits = self.weight_bits + mant + acc
+        ff = flip_flop_array(ff_bits, self.tech)
+        return arith, ff
+
+    def area_breakdown(self) -> AreaBreakdown:
+        arith, ff = self._per_pe_costs()
+        return AreaBreakdown(arithmetic_um2=arith.area_um2 * self.pe_count,
+                             flip_flop_um2=ff.area_um2 * self.pe_count)
+
+    def compute_energy_per_binary_op(self, requested_bits: float) -> float:
+        arith, ff = self._per_pe_costs()
+        per_mac = arith.energy_pj + ff.energy_pj
+        return per_mac / self.weight_bits
+
+    def complexity(self) -> str:
+        return "O(mnk)"
+
+
+class IFPUModel(HardwareEngineModel):
+    """iFPU: bit-serial BCQ lanes with pre-aligned integer add/subtract."""
+
+    name = "ifpu"
+    is_bit_serial = True
+    supports_bcq = True
+    supports_mixed_precision = True
+
+    def __init__(self, activation_format: str = "fp16", weight_bits: int = 4,
+                 tech: TechnologyLibrary = CMOS28) -> None:
+        super().__init__(activation_format, weight_bits, tech)
+        self.lane_count = 64 * 64 * 4
+        self.array_columns = 64
+
+    def binary_weight_lanes(self) -> int:
+        return self.lane_count
+
+    def _per_lane_costs(self):
+        mant = aligned_mantissa_bits(self.activation_format)
+        acc = accumulator_bits(self.activation_format, _ACCUM_REDUCTION)
+        arith = int_adder(acc, self.tech)
+        shared = (alignment_shifter(mant, self.tech)
+                  + fp_multiplier("fp32", self.tech) + fp_adder("fp32", self.tech))
+        arith = arith + shared.scaled(1.0 / (self.array_columns * 4))
+        # Bit-serial lanes keep the aligned activation, the binary weight and a
+        # wide partial sum per lane — the flip-flop-heavy design the paper notes.
+        ff_bits = 1 + mant + acc
+        ff = flip_flop_array(ff_bits, self.tech)
+        return arith, ff
+
+    def area_breakdown(self) -> AreaBreakdown:
+        arith, ff = self._per_lane_costs()
+        return AreaBreakdown(arithmetic_um2=arith.area_um2 * self.lane_count,
+                             flip_flop_um2=ff.area_um2 * self.lane_count)
+
+    def compute_energy_per_binary_op(self, requested_bits: float) -> float:
+        arith, ff = self._per_lane_costs()
+        return arith.energy_pj + ff.energy_pj
+
+    def complexity(self) -> str:
+        return "O(mnkq)"
+
+
+class FIGLUTModel(HardwareEngineModel):
+    """FIGLUT: shared (h)FFLUT + k RACs per PE, bit-serial over BCQ planes.
+
+    ``variant="f"`` keeps the LUT and accumulators in floating point
+    (FIGLUT-F); ``variant="i"`` uses pre-aligned integer LUT entries and
+    integer accumulation (FIGLUT-I).
+    """
+
+    is_bit_serial = True
+    supports_bcq = True
+    supports_mixed_precision = True
+
+    def __init__(self, activation_format: str = "fp16", weight_bits: int = 4,
+                 tech: TechnologyLibrary = CMOS28, variant: str = "i",
+                 mu: int = 4, k: int = 32, use_half_lut: bool = True) -> None:
+        super().__init__(activation_format, weight_bits, tech)
+        if variant not in ("f", "i"):
+            raise ValueError("variant must be 'f' or 'i'")
+        if mu < 1 or k < 1:
+            raise ValueError("mu and k must be >= 1")
+        self.variant = variant
+        self.mu = mu
+        self.k = k
+        self.use_half_lut = use_half_lut
+        # 2 × 16 × 4 PEs, each with one LUT and k RACs (Section IV-B-a).
+        self.pe_count = 2 * 16 * 4
+        self.array_columns = 2 * 4
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"figlut-{self.variant}"
+
+    def binary_weight_lanes(self) -> int:
+        return self.pe_count * self.k * self.mu
+
+    # -- per-structure widths ------------------------------------------------
+    def _lut_entry_bits(self) -> int:
+        fmt = get_format(self.activation_format)
+        if self.variant == "f":
+            return fmt.total_bits
+        # Pre-aligned integer partial sums of up to µ mantissas.
+        return aligned_mantissa_bits(self.activation_format) + int(np.ceil(np.log2(self.mu))) + 1
+
+    def _lut_entries(self) -> int:
+        return 1 << (self.mu - 1 if self.use_half_lut and self.mu > 1 else self.mu)
+
+    def _accumulator_bits(self) -> int:
+        if self.variant == "f":
+            return 32
+        return accumulator_bits(self.activation_format, _ACCUM_REDUCTION)
+
+    def _per_pe_costs(self):
+        entry_bits = self._lut_entry_bits()
+        entries = self._lut_entries()
+        acc_bits = self._accumulator_bits()
+
+        # LUT generator: shared-partial-sum adder tree, one per PE.
+        gen_adders = generator_addition_count(self.mu)
+        if self.variant == "f":
+            generator = fp_adder(self.activation_format, self.tech).scaled(gen_adders)
+            rac_acc = fp_adder("fp32", self.tech)
+        else:
+            generator = int_adder(entry_bits, self.tech).scaled(gen_adders)
+            rac_acc = int_adder(acc_bits, self.tech)
+            generator = generator + alignment_shifter(entry_bits, self.tech).scaled(self.mu)
+
+        # Per-RAC read network: mux tree over the stored entries plus, for the
+        # hFFLUT, the sign-flip decoder.
+        read_net = mux_tree(entries, entry_bits, self.tech)
+        if self.use_half_lut:
+            read_net = read_net + sign_flip_decoder(entry_bits, self.tech)
+
+        # Per-column FP32 re-scale of the bit-plane partial sums.
+        shared = fp_multiplier("fp32", self.tech) + fp_adder("fp32", self.tech)
+
+        arith = (generator
+                 + (rac_acc + read_net).scaled(self.k)
+                 + shared.scaled(1.0 / max(self.array_columns, 1)))
+
+        # Flip-flops: the LUT itself, plus per-RAC key and partial-sum registers.
+        lut_ff_bits = entries * entry_bits
+        rac_ff_bits = self.k * (self.mu + acc_bits)
+        ff = flip_flop_array(lut_ff_bits + rac_ff_bits, self.tech)
+        return arith, ff
+
+    def area_breakdown(self) -> AreaBreakdown:
+        arith, ff = self._per_pe_costs()
+        return AreaBreakdown(arithmetic_um2=arith.area_um2 * self.pe_count,
+                             flip_flop_um2=ff.area_um2 * self.pe_count)
+
+    def compute_energy_per_binary_op(self, requested_bits: float) -> float:
+        entry_bits = self._lut_entry_bits()
+        entries = self._lut_entries()
+        acc_bits = self._accumulator_bits()
+
+        hold = flip_flop_array(entries * entry_bits, self.tech).energy_pj
+        gen_adders = generator_addition_count(self.mu)
+        if self.variant == "f":
+            gen = fp_adder(self.activation_format, self.tech).energy_pj * gen_adders
+            acc = fp_adder("fp32", self.tech).energy_pj
+        else:
+            gen = int_adder(entry_bits, self.tech).energy_pj * gen_adders
+            gen += alignment_shifter(entry_bits, self.tech).energy_pj * self.mu
+            acc = int_adder(acc_bits, self.tech).energy_pj
+        read = mux_tree(entries, entry_bits, self.tech).energy_pj
+        if self.use_half_lut:
+            read += sign_flip_decoder(entry_bits, self.tech).energy_pj
+        read += self.tech.fanout_energy_pj_per_bit_per_load * entry_bits * self.k
+
+        rac_regs = flip_flop_array(self.mu + acc_bits, self.tech).energy_pj
+
+        per_pe_per_cycle = gen + hold + self.k * (read + acc + rac_regs)
+        binary_ops_per_pe_per_cycle = self.k * self.mu
+        return per_pe_per_cycle / binary_ops_per_pe_per_cycle
+
+    def complexity(self) -> str:
+        return "O(mnkq/μ)"
+
+
+_MODEL_CLASSES = {
+    "fpe": FPEModel,
+    "figna": FIGNAModel,
+    "ifpu": IFPUModel,
+    "figlut-f": lambda **kw: FIGLUTModel(variant="f", **kw),
+    "figlut-i": lambda **kw: FIGLUTModel(variant="i", **kw),
+}
+
+
+def engine_model(name: str, activation_format: str = "fp16", weight_bits: int = 4,
+                 tech: TechnologyLibrary = CMOS28, **kwargs) -> HardwareEngineModel:
+    """Build a hardware engine model by name.
+
+    ``name`` is one of ``fpe``, ``figna``, ``ifpu``, ``figlut-f``, ``figlut-i``.
+    """
+    key = name.lower()
+    if key not in _MODEL_CLASSES:
+        raise ValueError(f"unknown engine {name!r}; available: {sorted(_MODEL_CLASSES)}")
+    factory = _MODEL_CLASSES[key]
+    return factory(activation_format=activation_format, weight_bits=weight_bits,
+                   tech=tech, **kwargs)
+
+
+def all_engine_models(activation_format: str = "fp16", weight_bits: int = 4,
+                      tech: TechnologyLibrary = CMOS28) -> dict[str, HardwareEngineModel]:
+    """All five engine models with a shared configuration."""
+    return {name: engine_model(name, activation_format, weight_bits, tech)
+            for name in _MODEL_CLASSES}
+
+
+def complexity_table() -> list[dict[str, object]]:
+    """Table I: features and computational complexity of each accelerator."""
+    rows = [
+        {"hardware": "GPU", "fp_int_operation": False, "mixed_precision": False,
+         "bcq_support": False, "complexity": "O(mnk)"},
+        {"hardware": "iFPU", "fp_int_operation": True, "mixed_precision": True,
+         "bcq_support": True, "complexity": "O(mnkq)"},
+        {"hardware": "FIGNA", "fp_int_operation": True, "mixed_precision": False,
+         "bcq_support": False, "complexity": "O(mnk)"},
+        {"hardware": "FIGLUT (proposed)", "fp_int_operation": True, "mixed_precision": True,
+         "bcq_support": True, "complexity": "O(mnkq/μ)"},
+    ]
+    return rows

@@ -1,0 +1,139 @@
+"""Analytical GPU models for the Table V comparison (A100, H100, LUT-GEMM).
+
+The paper measures commercial GPUs empirically (latency + ``nvidia-smi``
+power) on OPT-6.7B with batch 32.  Without the hardware, we reproduce the
+comparison with a roofline-style model:
+
+* FP16-FP16 GEMM on Tensor Cores: achieved throughput is the roofline
+  ``min(peak, bandwidth × arithmetic intensity)`` times an empirical
+  efficiency factor (small-batch generation kernels reach well under peak),
+  and power is the measured-under-load board power the paper reports rather
+  than the TDP.
+* FP16-Q4 via the LUT-GEMM kernel: runs on CUDA cores at batch 1 only, and
+  its shared-memory LUT reads are slowed by the bank-conflict factor from
+  :mod:`repro.hw.bank_conflict`.
+
+The spec-sheet numbers (peak TFLOPS, bandwidth) are public; the efficiency
+factors are calibrated once so the FP16-FP16 rows land near the paper's
+measurements, and the *same* factors are then used for every workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.bank_conflict import BankConflictConfig, expected_conflict_factor
+from repro.hw.memory import GEMMWorkloadShape
+
+__all__ = ["GPUSpec", "A100", "H100", "GPUResult", "gpu_fp16_gemm", "gpu_lutgemm_q4"]
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Public specifications plus measured-load power of a GPU.
+
+    Attributes
+    ----------
+    name:
+        Device name.
+    peak_fp16_tflops:
+        Dense FP16 Tensor Core peak.
+    peak_fp32_tflops:
+        CUDA-core FP32 peak (the LUT-GEMM kernel path).
+    memory_bandwidth_bytes_per_s:
+        HBM bandwidth.
+    measured_power_w:
+        Board power under the paper's GEMM workload (nvidia-smi), not TDP.
+    tensor_core_efficiency:
+        Fraction of the roofline bound achieved by generation-phase GEMMs at
+        batch 32 (empirical).
+    """
+
+    name: str
+    peak_fp16_tflops: float
+    peak_fp32_tflops: float
+    memory_bandwidth_bytes_per_s: float
+    measured_power_w: float
+    tensor_core_efficiency: float = 0.63
+    cuda_core_efficiency: float = 0.30
+
+
+A100 = GPUSpec(
+    name="A100",
+    peak_fp16_tflops=312.0,
+    peak_fp32_tflops=19.5,
+    memory_bandwidth_bytes_per_s=2.0e12,
+    measured_power_w=192.0,
+    tensor_core_efficiency=0.63,
+    cuda_core_efficiency=0.30,
+)
+
+H100 = GPUSpec(
+    name="H100",
+    peak_fp16_tflops=989.0,
+    peak_fp32_tflops=67.0,
+    memory_bandwidth_bytes_per_s=3.35e12,
+    measured_power_w=279.0,
+    tensor_core_efficiency=0.60,
+    cuda_core_efficiency=0.30,
+)
+
+
+@dataclass
+class GPUResult:
+    """Throughput / power / efficiency of one GPU configuration."""
+
+    name: str
+    data_format: str
+    throughput_tops: float
+    power_w: float
+
+    @property
+    def tops_per_watt(self) -> float:
+        return self.throughput_tops / self.power_w
+
+
+def _workload_totals(shapes: list[GEMMWorkloadShape], weight_bytes_per_element: float,
+                     act_bytes_per_element: float = 2.0) -> tuple[float, float]:
+    """Total FLOPs and bytes moved (weights + activations + outputs)."""
+    flops = sum(2.0 * s.macs for s in shapes)
+    traffic = sum(s.m * s.n * weight_bytes_per_element
+                  + (s.n + s.m) * s.batch * act_bytes_per_element
+                  for s in shapes)
+    return float(flops), float(traffic)
+
+
+def gpu_fp16_gemm(spec: GPUSpec, shapes: list[GEMMWorkloadShape]) -> GPUResult:
+    """FP16-FP16 GEMM on Tensor Cores (the A100/H100 rows of Table V)."""
+    if not shapes:
+        raise ValueError("workload must contain at least one GEMM")
+    flops, traffic_bytes = _workload_totals(shapes, weight_bytes_per_element=2.0)
+    intensity = flops / traffic_bytes
+    roofline_tflops = min(spec.peak_fp16_tflops,
+                          spec.memory_bandwidth_bytes_per_s * intensity / 1e12)
+    achieved = roofline_tflops * spec.tensor_core_efficiency
+    return GPUResult(spec.name, "FP16-FP16", achieved, spec.measured_power_w)
+
+
+def gpu_lutgemm_q4(spec: GPUSpec, shapes: list[GEMMWorkloadShape],
+                   mu: int = 8, measured_power_w: float | None = None) -> GPUResult:
+    """FP16-Q4 GEMM via the LUT-GEMM kernel (shared-memory LUTs, batch 1).
+
+    The kernel only supports batch 1, runs on CUDA cores, and its LUT-read
+    inner loop is serialised by shared-memory bank conflicts; the model
+    applies the measured conflict factor to the compute bound and a batch-1
+    roofline to the memory bound.
+    """
+    if not shapes:
+        raise ValueError("workload must contain at least one GEMM")
+    batch1 = [GEMMWorkloadShape(s.m, s.n, 1) for s in shapes]
+    flops, traffic_bytes = _workload_totals(batch1, weight_bytes_per_element=0.5)
+    intensity = flops / traffic_bytes
+    memory_bound_tflops = spec.memory_bandwidth_bytes_per_s * intensity / 1e12
+
+    conflict = expected_conflict_factor(BankConflictConfig(mu=mu))
+    compute_bound_tflops = spec.peak_fp32_tflops * spec.cuda_core_efficiency / conflict
+
+    achieved = min(memory_bound_tflops, compute_bound_tflops)
+    power = measured_power_w if measured_power_w is not None else spec.measured_power_w
+    return GPUResult(spec.name, "FP16-Q4 (LUT-GEMM)", achieved, power)

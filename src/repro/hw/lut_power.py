@@ -1,0 +1,231 @@
+"""Power models of the LUT structures (Fig. 6, Fig. 8, Fig. 9, Table III).
+
+Three comparisons from Section III-C / III-D are reproduced here:
+
+* **Fig. 6** — power of reading precomputed partial sums from a register-file
+  LUT (RFLUT) or a flip-flop LUT (FFLUT) versus simply adding activations
+  with FP adders, at equal throughput, for µ ∈ {2, 4, 8}.
+* **Fig. 8 / Fig. 9** — power of a processing element (one shared LUT + k
+  RACs) as the LUT fan-out ``k`` grows: total PE power ``P_PE`` rises with
+  ``k`` while per-RAC power ``P_RAC = P_PE / k`` first falls (the LUT hold
+  power is amortised) and then rises again (fan-out wiring), giving the
+  optimum at k = 32 used by the paper.
+* **Table III** — the hFFLUT stores half the flip-flops at the cost of a
+  small sign-flip decoder; both overheads are tiny next to the LUT itself.
+
+All functions return *relative* power versus the FP-adder baseline, which is
+how the paper reports them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hw.components import (
+    flip_flop_array,
+    fp_adder,
+    int_adder,
+    mux_tree,
+    register_file_read,
+    sign_flip_decoder,
+)
+from repro.hw.tech import CMOS28, TechnologyLibrary
+from repro.numerics.floats import get_format
+
+__all__ = [
+    "LUTPowerModel",
+    "lut_read_power_comparison",
+    "pe_power_vs_fanout",
+    "prac_ppe_vs_fanout",
+    "optimal_fanout",
+    "hfflut_component_power",
+]
+
+
+@dataclass(frozen=True)
+class LUTPowerModel:
+    """Shared parameters of the LUT power analyses.
+
+    Attributes
+    ----------
+    activation_format:
+        Format of the LUT entries (``fp16`` in the paper's Fig. 6/8/9 setup).
+    tech:
+        Technology library supplying the primitive energies.
+    accumulate_in_fp:
+        If True the RAC accumulator is an FP adder in the activation format
+        (FIGLUT-F); otherwise an integer adder on pre-aligned mantissas
+        (FIGLUT-I).
+    """
+
+    activation_format: str = "fp16"
+    tech: TechnologyLibrary = CMOS28
+    accumulate_in_fp: bool = True
+
+    @property
+    def entry_bits(self) -> int:
+        return get_format(self.activation_format).total_bits
+
+    def fp_adder_energy(self) -> float:
+        """Baseline energy of one FP addition (pJ)."""
+        return fp_adder(self.activation_format, self.tech).energy_pj
+
+    def rac_accumulate_energy(self) -> float:
+        """Energy of one RAC accumulation (pJ)."""
+        if self.accumulate_in_fp:
+            return fp_adder(self.activation_format, self.tech).energy_pj
+        fmt = get_format(self.activation_format)
+        return int_adder(fmt.mantissa_bits + 8, self.tech).energy_pj
+
+    # ------------------------------------------------------------------ LUTs
+    def fflut_hold_energy(self, mu: int, half: bool = False) -> float:
+        """Per-cycle energy of holding/clocking the (h)FFLUT flip-flop array."""
+        entries = 1 << (mu - 1 if half and mu > 1 else mu)
+        return flip_flop_array(entries * self.entry_bits, self.tech).energy_pj
+
+    def fflut_read_energy(self, mu: int, fanout: int = 1, half: bool = False) -> float:
+        """Energy of one LUT read: mux tree (+ decoder for hFFLUT) + fan-out wiring."""
+        entries = 1 << (mu - 1 if half and mu > 1 else mu)
+        energy = mux_tree(entries, self.entry_bits, self.tech).energy_pj
+        if half:
+            energy += sign_flip_decoder(self.entry_bits, self.tech).energy_pj
+        # Wiring/driver energy of distributing the flip-flop outputs to
+        # `fanout` readers; grows linearly with the number of loads.
+        energy += (self.tech.fanout_energy_pj_per_bit_per_load
+                   * self.entry_bits * max(fanout, 1))
+        return energy
+
+    def rflut_read_energy(self, mu: int) -> float:
+        """Energy of one register-file LUT read (memory-compiler macro)."""
+        return register_file_read(1 << mu, self.entry_bits, self.tech)
+
+
+def lut_read_power_comparison(mu_values: tuple[int, ...] = (2, 4, 8),
+                              model: LUTPowerModel | None = None) -> dict[str, dict[int, float]]:
+    """Fig. 6: relative power of RFLUT and FFLUT reads versus FP adders.
+
+    At equal throughput, one LUT read covers µ weights that would otherwise
+    each need one FP addition; so the per-weight power of the LUT approach is
+    ``(hold + read) / µ`` and the baseline is one FP addition.
+
+    Returns ``{"rflut": {µ: rel}, "fflut": {µ: rel}}``.  The RFLUT for µ=2 is
+    reported as ``nan`` because the paper's memory compiler cannot generate a
+    macro that small.
+    """
+    model = model or LUTPowerModel()
+    baseline = model.fp_adder_energy()
+    rflut: dict[int, float] = {}
+    fflut: dict[int, float] = {}
+    for mu in mu_values:
+        if mu < 1:
+            raise ValueError("mu must be >= 1")
+        if mu < 3:
+            rflut[mu] = float("nan")
+        else:
+            rflut[mu] = (model.rflut_read_energy(mu) / mu) / baseline
+        per_weight = (model.fflut_hold_energy(mu) + model.fflut_read_energy(mu)) / mu
+        fflut[mu] = per_weight / baseline
+    return {"rflut": rflut, "fflut": fflut}
+
+
+def pe_power_vs_fanout(k_values: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64),
+                       mu_values: tuple[int, ...] = (2, 4),
+                       model: LUTPowerModel | None = None,
+                       use_half_lut: bool = False) -> dict[int, dict[int, float]]:
+    """Fig. 8: relative system power versus the FP-adder baseline for each (µ, k).
+
+    The comparison is at equal throughput of ``N`` weights per cycle, so the
+    system needs ``N/µ`` RACs and ``N/(µ·k)`` LUTs.  Relative power is
+
+        [ #LUT·P_hold·  +  #RAC·(P_read(k) + P_acc) ]  /  [ N · P_fp_add ]
+
+    Returns ``{µ: {k: relative_power}}``.
+    """
+    model = model or LUTPowerModel()
+    baseline = model.fp_adder_energy()
+    result: dict[int, dict[int, float]] = {}
+    for mu in mu_values:
+        per_mu: dict[int, float] = {}
+        hold = model.fflut_hold_energy(mu, half=use_half_lut)
+        for k in k_values:
+            if k < 1:
+                raise ValueError("k must be >= 1")
+            read = model.fflut_read_energy(mu, fanout=k, half=use_half_lut)
+            acc = model.rac_accumulate_energy()
+            lut_share = hold / k            # one LUT shared by k RACs
+            per_rac = lut_share + read + acc
+            per_weight = per_rac / mu
+            per_mu[k] = per_weight / baseline
+        result[mu] = per_mu
+    return result
+
+
+def prac_ppe_vs_fanout(k_values: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 128),
+                       mu: int = 4, model: LUTPowerModel | None = None,
+                       use_half_lut: bool = False) -> dict[str, dict[int, float]]:
+    """Fig. 9: P_PE and P_RAC versus k, normalized to their k=1 values."""
+    model = model or LUTPowerModel()
+    hold = model.fflut_hold_energy(mu, half=use_half_lut)
+    acc = model.rac_accumulate_energy()
+
+    ppe: dict[int, float] = {}
+    prac: dict[int, float] = {}
+    for k in k_values:
+        read = model.fflut_read_energy(mu, fanout=k, half=use_half_lut)
+        p_pe = hold + k * (read + acc)
+        ppe[k] = p_pe
+        prac[k] = p_pe / k
+    ppe_ref = ppe[k_values[0]]
+    prac_ref = prac[k_values[0]]
+    return {
+        "p_pe": {k: v / ppe_ref for k, v in ppe.items()},
+        "p_rac": {k: v / prac_ref for k, v in prac.items()},
+    }
+
+
+def optimal_fanout(mu: int = 4, model: LUTPowerModel | None = None,
+                   k_max: int = 256, use_half_lut: bool = False) -> int:
+    """The k minimising per-RAC power P_RAC(k); the paper's optimum is 32."""
+    model = model or LUTPowerModel()
+    hold = model.fflut_hold_energy(mu, half=use_half_lut)
+    acc = model.rac_accumulate_energy()
+    best_k, best_p = 1, float("inf")
+    for k in range(1, k_max + 1):
+        read = model.fflut_read_energy(mu, fanout=k, half=use_half_lut)
+        p_rac = hold / k + read + acc
+        if p_rac < best_p:
+            best_p, best_k = p_rac, k
+    return best_k
+
+
+def hfflut_component_power(mu: int = 4, model: LUTPowerModel | None = None) -> dict[str, dict[str, float]]:
+    """Table III: per-component power of FFLUT vs hFFLUT, relative to the full LUT.
+
+    Returns ``{"fflut": {...}, "hfflut": {...}}`` with keys ``lut``, ``mux``,
+    ``decoder`` and ``mux+decoder``, all normalised by the FFLUT's flip-flop
+    array power.
+    """
+    model = model or LUTPowerModel()
+    w = model.entry_bits
+    full_hold = model.fflut_hold_energy(mu, half=False)
+    half_hold = model.fflut_hold_energy(mu, half=True)
+    full_mux = mux_tree(1 << mu, w, model.tech).energy_pj
+    half_mux = mux_tree(1 << (mu - 1), w, model.tech).energy_pj
+    decoder = sign_flip_decoder(w, model.tech).energy_pj
+
+    return {
+        "fflut": {
+            "lut": 1.0,
+            "mux": full_mux / full_hold,
+            "decoder": 0.0,
+            "mux+decoder": full_mux / full_hold,
+        },
+        "hfflut": {
+            "lut": half_hold / full_hold,
+            "mux": half_mux / full_hold,
+            "decoder": decoder / full_hold,
+            "mux+decoder": (half_mux + decoder) / full_hold,
+        },
+    }

@@ -1,0 +1,147 @@
+"""Memory hierarchy model: on-chip SRAM buffers and off-chip DRAM.
+
+The paper's evaluation includes the energy and latency of moving data between
+DRAM and the accelerator's SRAM buffers (CACTI numbers for DRAM, 28nm SRAM
+macros for the buffers), with tile-based double buffering so that transfers
+overlap compute (Section III-F).  This module reproduces that at the level
+the figures need:
+
+* traffic accounting for a weight-stationary, output-tile-major GEMM
+  schedule (weights fetched once, activations re-fetched once per output row
+  tile, outputs written once),
+* energy = traffic × per-bit access energy (SRAM and DRAM),
+* DRAM-side latency = traffic / bandwidth, which the performance model
+  overlaps with compute (double buffering) by taking the max.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.tech import CMOS28, TechnologyLibrary
+from repro.numerics.floats import get_format
+
+__all__ = ["GEMMWorkloadShape", "MemoryTraffic", "MemorySystemModel"]
+
+
+@dataclass(frozen=True)
+class GEMMWorkloadShape:
+    """One GEMM of the workload: ``Y[m, batch] = W[m, n] @ X[n, batch]``."""
+
+    m: int
+    n: int
+    batch: int = 1
+
+    def __post_init__(self) -> None:
+        if self.m < 1 or self.n < 1 or self.batch < 1:
+            raise ValueError("GEMM dimensions must be >= 1")
+
+    @property
+    def macs(self) -> int:
+        return self.m * self.n * self.batch
+
+    @property
+    def ops(self) -> int:
+        """Counted operations (multiply + add per MAC), the unit behind TOPS."""
+        return 2 * self.macs
+
+
+@dataclass
+class MemoryTraffic:
+    """Bit counts moved at each level for a workload."""
+
+    dram_weight_bits: float = 0.0
+    dram_activation_bits: float = 0.0
+    dram_output_bits: float = 0.0
+    sram_weight_bits: float = 0.0
+    sram_activation_bits: float = 0.0
+    sram_output_bits: float = 0.0
+
+    @property
+    def dram_bits(self) -> float:
+        return self.dram_weight_bits + self.dram_activation_bits + self.dram_output_bits
+
+    @property
+    def sram_bits(self) -> float:
+        return self.sram_weight_bits + self.sram_activation_bits + self.sram_output_bits
+
+    def merge(self, other: "MemoryTraffic") -> "MemoryTraffic":
+        return MemoryTraffic(
+            self.dram_weight_bits + other.dram_weight_bits,
+            self.dram_activation_bits + other.dram_activation_bits,
+            self.dram_output_bits + other.dram_output_bits,
+            self.sram_weight_bits + other.sram_weight_bits,
+            self.sram_activation_bits + other.sram_activation_bits,
+            self.sram_output_bits + other.sram_output_bits,
+        )
+
+
+@dataclass(frozen=True)
+class MemorySystemModel:
+    """SRAM + DRAM cost model shared by all accelerator engines.
+
+    Attributes
+    ----------
+    tech:
+        Technology library providing the per-bit access energies.
+    dram_bandwidth_bytes_per_s:
+        Sustained off-chip bandwidth available to the accelerator.
+    scale_bits:
+        Storage width of each quantization scale / offset (FP16).
+    group_size:
+        Input-channel group size used for the scale-overhead estimate.
+    output_tile_rows:
+        Output rows produced per weight-stationary pass; activations are
+        re-read from SRAM once per pass.
+    """
+
+    tech: TechnologyLibrary = CMOS28
+    dram_bandwidth_bytes_per_s: float = 32e9
+    scale_bits: int = 16
+    group_size: int = 128
+    output_tile_rows: int = 64
+
+    def traffic_for_gemm(self, shape: GEMMWorkloadShape, weight_bits: float,
+                         activation_format: str = "fp16",
+                         bcq: bool = True) -> MemoryTraffic:
+        """Traffic of one GEMM under the weight-stationary tiled schedule."""
+        if weight_bits <= 0:
+            raise ValueError("weight_bits must be positive")
+        act_bits = get_format(activation_format).total_bits
+
+        n_groups = max(shape.n // self.group_size, 1)
+        scale_overhead = shape.m * n_groups * self.scale_bits * (weight_bits if bcq else 1.0)
+        offset_overhead = shape.m * n_groups * self.scale_bits if bcq else 0.0
+
+        weight_bits_total = shape.m * shape.n * weight_bits + scale_overhead + offset_overhead
+        activation_bits_total = shape.n * shape.batch * act_bits
+        output_bits_total = shape.m * shape.batch * act_bits
+
+        row_tiles = max((shape.m + self.output_tile_rows - 1) // self.output_tile_rows, 1)
+
+        return MemoryTraffic(
+            dram_weight_bits=weight_bits_total,
+            dram_activation_bits=activation_bits_total,
+            dram_output_bits=output_bits_total,
+            sram_weight_bits=weight_bits_total,
+            sram_activation_bits=activation_bits_total * row_tiles,
+            sram_output_bits=output_bits_total,
+        )
+
+    def traffic_for_workload(self, shapes: list[GEMMWorkloadShape], weight_bits: float,
+                             activation_format: str = "fp16", bcq: bool = True) -> MemoryTraffic:
+        """Aggregate traffic over a list of GEMMs."""
+        total = MemoryTraffic()
+        for shape in shapes:
+            total = total.merge(self.traffic_for_gemm(shape, weight_bits,
+                                                      activation_format, bcq))
+        return total
+
+    def dram_energy_pj(self, traffic: MemoryTraffic) -> float:
+        return traffic.dram_bits * self.tech.dram_energy_pj_per_bit
+
+    def sram_energy_pj(self, traffic: MemoryTraffic) -> float:
+        return traffic.sram_bits * self.tech.sram_energy_pj_per_bit
+
+    def dram_time_s(self, traffic: MemoryTraffic) -> float:
+        return (traffic.dram_bits / 8.0) / self.dram_bandwidth_bytes_per_s

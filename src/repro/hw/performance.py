@@ -1,0 +1,180 @@
+"""Workload-level performance and energy evaluation (Fig. 13, 15, 16, Table V).
+
+This module combines an engine model (:mod:`repro.hw.engines`) with the
+memory-system model (:mod:`repro.hw.memory`) to evaluate a *workload* — a
+list of GEMM shapes, typically one transformer decoding step of an OPT model
+— and report the quantities the paper's figures plot:
+
+* latency (compute overlapped with DRAM transfers via double buffering),
+* achieved TOPS,
+* energy broken down into compute (MPU + VPU), SRAM and DRAM,
+* TOPS/W and TOPS/mm².
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hw.engines import HardwareEngineModel
+from repro.hw.memory import GEMMWorkloadShape, MemorySystemModel, MemoryTraffic
+
+__all__ = ["WorkloadResult", "evaluate_workload", "EngineComparison", "compare_engines"]
+
+
+@dataclass
+class WorkloadResult:
+    """All derived metrics of running one workload on one engine."""
+
+    engine: str
+    activation_format: str
+    weight_bits: float
+    total_macs: float
+    compute_cycles: float
+    compute_time_s: float
+    dram_time_s: float
+    latency_s: float
+    compute_energy_pj: float
+    vpu_energy_pj: float
+    sram_energy_pj: float
+    dram_energy_pj: float
+    mpu_area_mm2: float
+
+    @property
+    def total_energy_pj(self) -> float:
+        return (self.compute_energy_pj + self.vpu_energy_pj
+                + self.sram_energy_pj + self.dram_energy_pj)
+
+    @property
+    def total_ops(self) -> float:
+        return 2.0 * self.total_macs
+
+    @property
+    def achieved_tops(self) -> float:
+        return self.total_ops / self.latency_s / 1e12
+
+    @property
+    def average_power_w(self) -> float:
+        return (self.total_energy_pj * 1e-12) / self.latency_s
+
+    @property
+    def tops_per_watt(self) -> float:
+        return self.achieved_tops / self.average_power_w
+
+    @property
+    def tops_per_mm2(self) -> float:
+        return self.achieved_tops / self.mpu_area_mm2
+
+    def energy_breakdown(self) -> dict[str, float]:
+        """Energy by component (pJ), the stacking of Fig. 15."""
+        return {
+            "mpu": self.compute_energy_pj,
+            "vpu": self.vpu_energy_pj,
+            "sram": self.sram_energy_pj,
+            "dram": self.dram_energy_pj,
+        }
+
+
+def evaluate_workload(engine: HardwareEngineModel,
+                      shapes: list[GEMMWorkloadShape],
+                      weight_bits: float,
+                      memory: MemorySystemModel | None = None,
+                      utilization: float = 1.0) -> WorkloadResult:
+    """Run the analytical model of one engine over a GEMM workload.
+
+    Parameters
+    ----------
+    engine:
+        A hardware engine model (FPE, iFPU, FIGNA, FIGLUT-F/I).
+    shapes:
+        The workload's GEMMs.
+    weight_bits:
+        Requested weight precision (may be fractional for mixed-precision
+        BCQ on bit-serial engines).
+    memory:
+        Memory-system model; a default 32 GB/s DRAM + 28nm SRAM if omitted.
+    utilization:
+        Fraction of peak MAC throughput sustained by the MPU (models tiling
+        edge effects); 1.0 reproduces the paper's iso-peak comparison.
+    """
+    if not shapes:
+        raise ValueError("workload must contain at least one GEMM")
+    if not 0.0 < utilization <= 1.0:
+        raise ValueError("utilization must be in (0, 1]")
+    memory = memory or MemorySystemModel(tech=engine.tech)
+
+    total_macs = float(sum(s.macs for s in shapes))
+    total_outputs = float(sum(s.m * s.batch for s in shapes))
+
+    hardware_bits = engine.effective_weight_bits(weight_bits)
+    cycles = engine.cycles_for_macs(total_macs, hardware_bits) / utilization
+    compute_time = cycles / engine.frequency_hz
+
+    # Bit-serial engines fetch exactly the stored bit-planes; fixed-precision
+    # engines consume (and therefore fetch) weights padded to their datapath
+    # width, so sub-4-bit models do not reduce their memory traffic.
+    stored_bits = hardware_bits if not engine.is_bit_serial else float(weight_bits)
+    traffic: MemoryTraffic = memory.traffic_for_workload(
+        shapes, stored_bits, engine.activation_format, bcq=engine.supports_bcq)
+
+    dram_time = memory.dram_time_s(traffic)
+    latency = max(compute_time, dram_time)
+
+    compute_energy = engine.compute_energy_per_mac(hardware_bits) * total_macs
+    vpu_energy = engine.vpu_energy_per_output() * total_outputs
+    sram_energy = memory.sram_energy_pj(traffic)
+    dram_energy = memory.dram_energy_pj(traffic)
+
+    return WorkloadResult(
+        engine=engine.name,
+        activation_format=engine.activation_format,
+        weight_bits=float(weight_bits),
+        total_macs=total_macs,
+        compute_cycles=cycles,
+        compute_time_s=compute_time,
+        dram_time_s=dram_time,
+        latency_s=latency,
+        compute_energy_pj=compute_energy,
+        vpu_energy_pj=vpu_energy,
+        sram_energy_pj=sram_energy,
+        dram_energy_pj=dram_energy,
+        mpu_area_mm2=engine.area_breakdown().total_mm2,
+    )
+
+
+@dataclass
+class EngineComparison:
+    """Results of several engines on the same workload, with FPE-normalised views."""
+
+    results: dict[str, WorkloadResult] = field(default_factory=dict)
+    baseline: str = "fpe"
+
+    def normalized_tops_per_watt(self) -> dict[str, float]:
+        base = self.results[self.baseline].tops_per_watt
+        return {name: r.tops_per_watt / base for name, r in self.results.items()}
+
+    def normalized_tops_per_mm2(self) -> dict[str, float]:
+        base = self.results[self.baseline].tops_per_mm2
+        return {name: r.tops_per_mm2 / base for name, r in self.results.items()}
+
+    def normalized_energy_breakdown(self) -> dict[str, dict[str, float]]:
+        base = self.results[self.baseline].total_energy_pj
+        return {name: {k: v / base for k, v in r.energy_breakdown().items()}
+                for name, r in self.results.items()}
+
+
+def compare_engines(engines: dict[str, HardwareEngineModel],
+                    shapes: list[GEMMWorkloadShape],
+                    weight_bits: float,
+                    memory: MemorySystemModel | None = None,
+                    baseline: str = "fpe") -> EngineComparison:
+    """Evaluate several engines on one workload and bundle the results."""
+    comparison = EngineComparison(baseline=baseline)
+    for name, engine in engines.items():
+        bits = weight_bits
+        if not engine.is_bit_serial and weight_bits > engine.weight_bits:
+            # A fixed-precision engine cannot run a wider precision; skip it.
+            continue
+        comparison.results[name] = evaluate_workload(engine, shapes, bits, memory)
+    if baseline not in comparison.results:
+        raise ValueError(f"baseline engine {baseline!r} missing from comparison")
+    return comparison

@@ -1,0 +1,144 @@
+"""28nm technology library: per-primitive energy and area coefficients.
+
+The paper obtains its power/area numbers from a 28nm CMOS flow (Design
+Compiler synthesis, ICC2 P&R, a memory compiler for register files, CACTI
+for DRAM).  That flow is not available here, so this module provides a
+*parametric component library*: energy per operation (pJ) and area (µm²) for
+the primitives every engine model is built from.
+
+Default values are drawn from published per-operation energy surveys
+(Horowitz, ISSCC'14, scaled from 45nm to 28nm) and typical 28nm standard-cell
+/ SRAM figures, then lightly calibrated so that the *relative* results the
+paper reports (Fig. 6, 8, 9, 13–16, Table III and V) come out with the same
+ordering and similar ratios.  Every number is a dataclass field, so
+sensitivity studies can sweep them.
+
+All energies are dynamic energy per operation at nominal voltage; static
+leakage is folded into the per-cycle flip-flop/SRAM hold terms, which is the
+granularity the paper's figures work at.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = ["TechnologyLibrary", "CMOS28", "scaled_library"]
+
+
+@dataclass(frozen=True)
+class TechnologyLibrary:
+    """Energy (pJ) and area (µm²) coefficients for datapath primitives.
+
+    Floating-point units are keyed by format name; integer units are
+    parameterised by operand width via the ``int_*`` coefficients.
+    """
+
+    name: str = "cmos28"
+    frequency_hz: float = 100e6  # the paper synthesises for 100 MHz
+
+    # --- floating-point arithmetic energy (pJ per operation) ---------------
+    fp_add_energy_pj: dict = field(default_factory=lambda: {
+        "fp16": 0.40, "bf16": 0.35, "fp32": 0.90})
+    fp_mul_energy_pj: dict = field(default_factory=lambda: {
+        "fp16": 1.10, "bf16": 0.90, "fp32": 3.70})
+
+    # --- integer arithmetic energy coefficients ----------------------------
+    int_add_energy_pj_per_bit: float = 0.0030      # ripple/prefix adder, per operand bit
+    int_mul_energy_pj_per_bit2: float = 0.0020     # array multiplier, per bit-product
+    int_to_fp_convert_energy_pj: float = 0.25      # dequantization converter (per weight)
+    shifter_energy_pj_per_bit: float = 0.0012      # alignment barrel shifter
+
+    # --- storage / interconnect energy --------------------------------------
+    flip_flop_energy_pj_per_bit: float = 0.0040    # clock + data toggle, per bit per cycle
+    mux2_energy_pj_per_bit: float = 0.00002        # 2:1 mux, per data bit (select is static
+    #                                                under the weight-stationary dataflow)
+    decoder_energy_pj_per_bit: float = 0.0002      # hFFLUT sign-flip decode, per data bit
+    fanout_energy_pj_per_bit_per_load: float = 0.0000625  # LUT output wiring per extra reader
+    register_file_read_base_pj: float = 2.2        # memory-compiler RF macro: fixed cost
+    register_file_read_pj_per_log2_entry: float = 0.30
+    sram_energy_pj_per_bit: float = 0.050          # on-chip buffer access
+    dram_energy_pj_per_bit: float = 3.90           # CACTI-style off-chip access
+
+    # --- floating-point arithmetic area (µm²) -------------------------------
+    fp_add_area_um2: dict = field(default_factory=lambda: {
+        "fp16": 620.0, "bf16": 520.0, "fp32": 1250.0})
+    fp_mul_area_um2: dict = field(default_factory=lambda: {
+        "fp16": 1150.0, "bf16": 930.0, "fp32": 4100.0})
+
+    # --- integer arithmetic area coefficients --------------------------------
+    int_add_area_um2_per_bit: float = 9.0
+    int_mul_area_um2_per_bit2: float = 1.3
+    int_to_fp_convert_area_um2: float = 300.0
+    shifter_area_um2_per_bit: float = 4.0
+
+    # --- storage / interconnect area -----------------------------------------
+    flip_flop_area_um2_per_bit: float = 5.2
+    mux2_area_um2_per_bit: float = 0.9
+    decoder_area_um2_per_bit: float = 1.1
+    register_file_area_um2_per_bit: float = 1.6
+    sram_area_um2_per_bit: float = 0.35
+
+    def fp_add_energy(self, fmt: str) -> float:
+        """Energy of one FP addition in the given format (pJ)."""
+        return self._lookup(self.fp_add_energy_pj, fmt)
+
+    def fp_mul_energy(self, fmt: str) -> float:
+        """Energy of one FP multiplication in the given format (pJ)."""
+        return self._lookup(self.fp_mul_energy_pj, fmt)
+
+    def fp_add_area(self, fmt: str) -> float:
+        return self._lookup(self.fp_add_area_um2, fmt)
+
+    def fp_mul_area(self, fmt: str) -> float:
+        return self._lookup(self.fp_mul_area_um2, fmt)
+
+    @staticmethod
+    def _lookup(table: dict, fmt: str) -> float:
+        key = fmt.lower()
+        if key not in table:
+            raise ValueError(f"unknown float format {fmt!r}; expected one of {sorted(table)}")
+        return float(table[key])
+
+
+CMOS28 = TechnologyLibrary()
+
+
+def scaled_library(base: TechnologyLibrary = CMOS28, energy_scale: float = 1.0,
+                   area_scale: float = 1.0, name: str | None = None) -> TechnologyLibrary:
+    """Return a copy of ``base`` with all energies/areas scaled.
+
+    Useful for quick what-if studies (e.g. approximating a 7nm node by
+    ``energy_scale≈0.25, area_scale≈0.12``).
+    """
+    def scale_dict(d: dict, s: float) -> dict:
+        return {k: v * s for k, v in d.items()}
+
+    return replace(
+        base,
+        name=name or f"{base.name}-scaled",
+        fp_add_energy_pj=scale_dict(base.fp_add_energy_pj, energy_scale),
+        fp_mul_energy_pj=scale_dict(base.fp_mul_energy_pj, energy_scale),
+        int_add_energy_pj_per_bit=base.int_add_energy_pj_per_bit * energy_scale,
+        int_mul_energy_pj_per_bit2=base.int_mul_energy_pj_per_bit2 * energy_scale,
+        int_to_fp_convert_energy_pj=base.int_to_fp_convert_energy_pj * energy_scale,
+        shifter_energy_pj_per_bit=base.shifter_energy_pj_per_bit * energy_scale,
+        flip_flop_energy_pj_per_bit=base.flip_flop_energy_pj_per_bit * energy_scale,
+        mux2_energy_pj_per_bit=base.mux2_energy_pj_per_bit * energy_scale,
+        decoder_energy_pj_per_bit=base.decoder_energy_pj_per_bit * energy_scale,
+        fanout_energy_pj_per_bit_per_load=base.fanout_energy_pj_per_bit_per_load * energy_scale,
+        register_file_read_base_pj=base.register_file_read_base_pj * energy_scale,
+        register_file_read_pj_per_log2_entry=base.register_file_read_pj_per_log2_entry * energy_scale,
+        sram_energy_pj_per_bit=base.sram_energy_pj_per_bit * energy_scale,
+        dram_energy_pj_per_bit=base.dram_energy_pj_per_bit * energy_scale,
+        fp_add_area_um2=scale_dict(base.fp_add_area_um2, area_scale),
+        fp_mul_area_um2=scale_dict(base.fp_mul_area_um2, area_scale),
+        int_add_area_um2_per_bit=base.int_add_area_um2_per_bit * area_scale,
+        int_mul_area_um2_per_bit2=base.int_mul_area_um2_per_bit2 * area_scale,
+        int_to_fp_convert_area_um2=base.int_to_fp_convert_area_um2 * area_scale,
+        shifter_area_um2_per_bit=base.shifter_area_um2_per_bit * area_scale,
+        flip_flop_area_um2_per_bit=base.flip_flop_area_um2_per_bit * area_scale,
+        mux2_area_um2_per_bit=base.mux2_area_um2_per_bit * area_scale,
+        decoder_area_um2_per_bit=base.decoder_area_um2_per_bit * area_scale,
+        register_file_area_um2_per_bit=base.register_file_area_um2_per_bit * area_scale,
+        sram_area_um2_per_bit=base.sram_area_um2_per_bit * area_scale,
+    )

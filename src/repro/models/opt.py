@@ -1,0 +1,91 @@
+"""OPT model family configurations and their GEMM workloads.
+
+The paper evaluates hardware efficiency on the OPT family (125M–30B).  For
+the performance/energy models only the *layer shapes* matter, so this module
+records the published architecture parameters and expands them into the list
+of GEMMs executed per generated token (the generation phase dominates LLM
+serving and is the regime the paper targets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.memory import GEMMWorkloadShape
+
+__all__ = ["OPTConfig", "OPT_CONFIGS", "opt_config", "decoder_gemm_shapes", "total_weight_count"]
+
+
+@dataclass(frozen=True)
+class OPTConfig:
+    """Architecture parameters of one OPT model."""
+
+    name: str
+    num_layers: int
+    hidden_size: int
+    ffn_size: int
+    num_heads: int
+    vocab_size: int = 50272
+    max_positions: int = 2048
+
+    @property
+    def parameters(self) -> int:
+        """Approximate number of weight parameters in the decoder layers."""
+        per_layer = 4 * self.hidden_size * self.hidden_size + 2 * self.hidden_size * self.ffn_size
+        embeddings = self.vocab_size * self.hidden_size + self.max_positions * self.hidden_size
+        return self.num_layers * per_layer + embeddings
+
+
+OPT_CONFIGS: dict[str, OPTConfig] = {
+    "opt-125m": OPTConfig("opt-125m", num_layers=12, hidden_size=768, ffn_size=3072, num_heads=12),
+    "opt-350m": OPTConfig("opt-350m", num_layers=24, hidden_size=1024, ffn_size=4096, num_heads=16),
+    "opt-1.3b": OPTConfig("opt-1.3b", num_layers=24, hidden_size=2048, ffn_size=8192, num_heads=32),
+    "opt-2.7b": OPTConfig("opt-2.7b", num_layers=32, hidden_size=2560, ffn_size=10240, num_heads=32),
+    "opt-6.7b": OPTConfig("opt-6.7b", num_layers=32, hidden_size=4096, ffn_size=16384, num_heads=32),
+    "opt-13b": OPTConfig("opt-13b", num_layers=40, hidden_size=5120, ffn_size=20480, num_heads=40),
+    "opt-30b": OPTConfig("opt-30b", num_layers=48, hidden_size=7168, ffn_size=28672, num_heads=56),
+}
+
+
+def opt_config(name: str) -> OPTConfig:
+    """Look up an OPT configuration by name (case-insensitive, 'OPT-6.7B' ok)."""
+    key = name.lower()
+    if not key.startswith("opt-"):
+        key = f"opt-{key}"
+    if key not in OPT_CONFIGS:
+        raise ValueError(f"unknown OPT model {name!r}; available: {sorted(OPT_CONFIGS)}")
+    return OPT_CONFIGS[key]
+
+
+def decoder_gemm_shapes(config: "OPTConfig | str", batch: int = 1,
+                        include_lm_head: bool = False) -> list[GEMMWorkloadShape]:
+    """The weight GEMMs executed per generated token (one decoding step).
+
+    Per decoder layer: Q, K, V and output projections (d×d) and the two FFN
+    projections (4d×d and d×4d).  Attention score/context matmuls involve no
+    weights and are handled by the VPU, so they are excluded here — matching
+    the paper's focus on weight GEMMs.
+    """
+    if isinstance(config, str):
+        config = opt_config(config)
+    if batch < 1:
+        raise ValueError("batch must be >= 1")
+    d, f = config.hidden_size, config.ffn_size
+    per_layer = [
+        GEMMWorkloadShape(m=d, n=d, batch=batch),   # Q projection
+        GEMMWorkloadShape(m=d, n=d, batch=batch),   # K projection
+        GEMMWorkloadShape(m=d, n=d, batch=batch),   # V projection
+        GEMMWorkloadShape(m=d, n=d, batch=batch),   # attention output projection
+        GEMMWorkloadShape(m=f, n=d, batch=batch),   # FFN up projection
+        GEMMWorkloadShape(m=d, n=f, batch=batch),   # FFN down projection
+    ]
+    shapes = per_layer * config.num_layers
+    if include_lm_head:
+        shapes.append(GEMMWorkloadShape(m=config.vocab_size, n=d, batch=batch))
+    return shapes
+
+
+def total_weight_count(config: "OPTConfig | str", include_lm_head: bool = False) -> int:
+    """Number of weight elements in the GEMM workload of one decoding step."""
+    shapes = decoder_gemm_shapes(config, batch=1, include_lm_head=include_lm_head)
+    return sum(s.m * s.n for s in shapes)

@@ -1,0 +1,73 @@
+"""Perplexity evaluation of (quantized) language models.
+
+Perplexity is ``exp(mean cross-entropy)`` over a held-out token stream — the
+metric of Table IV, Table VI, and the accuracy axis of Fig. 17.  The
+evaluator accepts either a plain :class:`~repro.models.transformer.TransformerLM`
+(FP baseline) or a :class:`~repro.models.quantized_model.QuantizedLM`
+(engine-backed quantized inference).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.models.dataset import batchify
+from repro.models.quantized_model import QuantizedLM
+from repro.models.transformer import TransformerLM
+
+__all__ = ["PerplexityResult", "evaluate_perplexity"]
+
+
+@dataclass(frozen=True)
+class PerplexityResult:
+    """Perplexity of one model/engine configuration on one token stream."""
+
+    label: str
+    mean_loss: float
+    num_tokens: int
+
+    @property
+    def perplexity(self) -> float:
+        return float(np.exp(self.mean_loss))
+
+
+def evaluate_perplexity(model: "TransformerLM | QuantizedLM", tokens: np.ndarray,
+                        seq_len: int = 32, batch_size: int = 8,
+                        label: str | None = None,
+                        max_batches: int | None = None) -> PerplexityResult:
+    """Compute perplexity of ``model`` on a held-out token stream.
+
+    Parameters
+    ----------
+    model:
+        Either a plain transformer (FP weights) or a quantized, engine-backed
+        wrapper.
+    tokens:
+        1-D array of token ids.
+    seq_len, batch_size:
+        Evaluation window size and batching (windows are non-overlapping).
+    max_batches:
+        Optionally cap the number of batches (keeps engine-backed evaluation
+        affordable); the same cap must be used when comparing configurations.
+    """
+    stream = np.asarray(tokens, dtype=np.int64)
+    batches = batchify(stream, batch_size, seq_len)
+    if max_batches is not None:
+        batches = batches[:max_batches]
+    if not batches:
+        raise ValueError("token stream too short for the requested evaluation windows")
+
+    total_loss = 0.0
+    total_tokens = 0
+    for inputs, targets in batches:
+        loss = model.evaluate_loss(inputs, targets)
+        n = targets.size
+        total_loss += loss * n
+        total_tokens += n
+
+    if label is None:
+        label = model.engine.name if isinstance(model, QuantizedLM) else "fp"
+    return PerplexityResult(label=label, mean_loss=total_loss / total_tokens,
+                            num_tokens=total_tokens)

@@ -1,0 +1,187 @@
+"""Quantized inference: route the LM's weight GEMMs through functional engines.
+
+This is the glue between the accuracy substrate and the datapath models: a
+:class:`QuantizedLM` holds, for every weight matrix of a trained
+:class:`~repro.models.transformer.TransformerLM`, a quantized representation
+(uniform or BCQ, possibly with per-layer mixed precision) and a functional
+GEMM engine, and exposes a ``matmul`` hook that the transformer's forward
+pass calls instead of ``x @ W.T``.
+
+Running the model through different engines with the same quantized weights
+reproduces Table IV (engine numerics); running it with different quantizers /
+bit widths reproduces Table VI and the accuracy axis of Fig. 17.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.engines import GEMMEngine, make_engine
+from repro.quant.bcq import BCQConfig, BCQTensor, quantize_bcq, uniform_to_bcq
+from repro.quant.optq import OPTQConfig, quantize_optq
+from repro.quant.rtn import RTNConfig, UniformQuantizedTensor, quantize_rtn
+from repro.quant.shiftadd import ShiftAddConfig, quantize_shiftadd
+from repro.models.transformer import TransformerLM
+
+__all__ = ["QuantizationRecipe", "QuantizedLM", "quantize_model_weights",
+           "capture_calibration_activations"]
+
+
+@dataclass(frozen=True)
+class QuantizationRecipe:
+    """How to quantize the LM's weight matrices.
+
+    Attributes
+    ----------
+    method:
+        ``"rtn"`` (uniform round-to-nearest), ``"optq"`` (uniform with
+        OPTQ second-order error compensation, needs calibration),
+        ``"bcq"`` (alternating-optimization BCQ with offset) or
+        ``"shiftadd"`` (BCQ with activation-aware error compensation when
+        calibration data is given).
+    bits:
+        Default bit width for every layer.
+    bits_per_layer:
+        Optional per-layer override (mixed precision); keys are weight names.
+    group_size:
+        Scale group size (``None`` = per output channel).
+    """
+
+    method: str = "rtn"
+    bits: int = 4
+    bits_per_layer: dict[str, int] | None = None
+    group_size: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.method not in ("rtn", "optq", "bcq", "shiftadd"):
+            raise ValueError("method must be 'rtn', 'optq', 'bcq' or 'shiftadd'")
+        if self.bits < 1:
+            raise ValueError("bits must be >= 1")
+
+    def bits_for(self, name: str) -> int:
+        if self.bits_per_layer and name in self.bits_per_layer:
+            return self.bits_per_layer[name]
+        return self.bits
+
+
+def quantize_model_weights(model: TransformerLM, recipe: QuantizationRecipe,
+                           calibration: dict[str, np.ndarray] | None = None
+                           ) -> dict[str, "UniformQuantizedTensor | BCQTensor"]:
+    """Quantize every weight GEMM matrix of the model according to the recipe."""
+    quantized: dict[str, UniformQuantizedTensor | BCQTensor] = {}
+    for name in model.weight_matrix_names():
+        weight = model.params[name]
+        bits = recipe.bits_for(name)
+        calib = calibration.get(name) if calibration else None
+        if recipe.method == "rtn":
+            granularity = "group" if recipe.group_size else "channel"
+            quantized[name] = quantize_rtn(weight, RTNConfig(
+                bits=bits, granularity=granularity,
+                group_size=recipe.group_size or 128))
+        elif recipe.method == "optq":
+            if calib is None:
+                raise ValueError(f"OPTQ requires calibration activations for {name!r}")
+            quantized[name] = quantize_optq(weight, calib, OPTQConfig(bits=bits))
+        elif recipe.method == "bcq":
+            quantized[name] = quantize_bcq(weight, BCQConfig(
+                bits=bits, group_size=recipe.group_size, iterations=5))
+        else:  # shiftadd
+            quantized[name] = quantize_shiftadd(weight, calib, ShiftAddConfig(
+                bits=bits, group_size=recipe.group_size))
+    return quantized
+
+
+def capture_calibration_activations(model: TransformerLM, tokens: np.ndarray,
+                                    max_samples: int = 512,
+                                    seed: int = 0) -> dict[str, np.ndarray]:
+    """Record the inputs feeding every weight GEMM during one forward pass.
+
+    The returned mapping (weight name → activations of shape
+    ``(n_samples, in_features)``) is the calibration set used by OPTQ and
+    ShiftAddLLM-style quantization.
+    """
+    captured: dict[str, list[np.ndarray]] = {}
+
+    def hook(name, x, w):
+        flat = x.reshape(-1, x.shape[-1])
+        captured.setdefault(name, []).append(flat)
+        return x @ w.T
+
+    model.forward(np.asarray(tokens, dtype=np.int64), matmul=hook)
+    rng = np.random.default_rng(seed)
+    result: dict[str, np.ndarray] = {}
+    for name in model.weight_matrix_names():
+        if name not in captured:
+            continue
+        stacked = np.concatenate(captured[name], axis=0)
+        if stacked.shape[0] > max_samples:
+            idx = rng.choice(stacked.shape[0], size=max_samples, replace=False)
+            stacked = stacked[idx]
+        result[name] = stacked
+    return result
+
+
+@dataclass
+class QuantizedLM:
+    """A trained LM whose weight GEMMs run on a functional engine.
+
+    Use :meth:`matmul` as the transformer's ``matmul`` hook, or call
+    :meth:`evaluate_loss` directly.
+    """
+
+    model: TransformerLM
+    quantized_weights: dict[str, "UniformQuantizedTensor | BCQTensor"]
+    engine: GEMMEngine
+    _converted: dict[str, object] = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, model: TransformerLM, recipe: QuantizationRecipe,
+              engine: "GEMMEngine | str" = "figlut-f",
+              calibration: dict[str, np.ndarray] | None = None,
+              **engine_kwargs) -> "QuantizedLM":
+        """Quantize the model and attach an engine (by instance or name)."""
+        quantized = quantize_model_weights(model, recipe, calibration)
+        if isinstance(engine, str):
+            engine = make_engine(engine, **engine_kwargs)
+        return cls(model=model, quantized_weights=quantized, engine=engine)
+
+    def _weights_for_engine(self, name: str):
+        """Convert the stored tensor to the format the engine consumes, cached."""
+        if name in self._converted:
+            return self._converted[name]
+        tensor = self.quantized_weights[name]
+        if self.engine.supports_bcq and isinstance(tensor, UniformQuantizedTensor):
+            tensor = uniform_to_bcq(tensor)
+        if not self.engine.supports_bcq and isinstance(tensor, BCQTensor):
+            raise TypeError(
+                f"engine {self.engine.name!r} cannot consume BCQ weights for {name!r}")
+        self._converted[name] = tensor
+        return tensor
+
+    def matmul(self, name: str, x: np.ndarray, weight: np.ndarray) -> np.ndarray:
+        """The transformer forward hook: ``x @ W.T`` through the engine.
+
+        Falls back to the dense weight for matrices that were not quantized
+        (embeddings are never quantized in weight-only quantization).
+        """
+        if name not in self.quantized_weights:
+            return x @ weight.T
+        tensor = self._weights_for_engine(name)
+        lead_shape = x.shape[:-1]
+        flat = x.reshape(-1, x.shape[-1]).T  # (in_features, batch*seq)
+        out = self.engine.gemm(tensor, flat)  # (out_features, batch*seq)
+        return out.T.reshape(*lead_shape, -1)
+
+    def evaluate_loss(self, tokens: np.ndarray, targets: np.ndarray) -> float:
+        """Mean cross-entropy of the quantized model on one batch."""
+        return self.model.evaluate_loss(tokens, targets, matmul=self.matmul)
+
+    def dequantized_loss(self, tokens: np.ndarray, targets: np.ndarray) -> float:
+        """Loss using dequantized weights with exact float64 GEMMs (no engine)."""
+        def mm(name, x, w):
+            if name not in self.quantized_weights:
+                return x @ w.T
+            return x @ self.quantized_weights[name].dequantize().T
+        return self.model.evaluate_loss(tokens, targets, matmul=mm)

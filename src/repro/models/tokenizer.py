@@ -1,0 +1,70 @@
+"""A small word-level tokenizer for the synthetic language-modelling corpus."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["WordTokenizer"]
+
+
+@dataclass
+class WordTokenizer:
+    """Whitespace word tokenizer with a fixed vocabulary.
+
+    Unknown words map to ``<unk>``; the vocabulary is built from a training
+    corpus with :meth:`fit` keeping the most frequent ``max_vocab`` words.
+    """
+
+    max_vocab: int = 512
+    word_to_id: dict[str, int] = field(default_factory=dict)
+    id_to_word: list[str] = field(default_factory=list)
+
+    UNK = "<unk>"
+    EOS = "<eos>"
+
+    def fit(self, text: str) -> "WordTokenizer":
+        """Build the vocabulary from a corpus (most frequent words first)."""
+        counts: dict[str, int] = {}
+        for word in text.split():
+            counts[word] = counts.get(word, 0) + 1
+        vocab = [self.UNK, self.EOS]
+        for word, _ in sorted(counts.items(), key=lambda kv: (-kv[1], kv[0])):
+            if len(vocab) >= self.max_vocab:
+                break
+            if word not in (self.UNK, self.EOS):
+                vocab.append(word)
+        self.id_to_word = vocab
+        self.word_to_id = {w: i for i, w in enumerate(vocab)}
+        return self
+
+    @property
+    def vocab_size(self) -> int:
+        return len(self.id_to_word)
+
+    @property
+    def unk_id(self) -> int:
+        return self.word_to_id[self.UNK]
+
+    @property
+    def eos_id(self) -> int:
+        return self.word_to_id[self.EOS]
+
+    def encode(self, text: str, add_eos: bool = False) -> list[int]:
+        """Convert text to token ids (line breaks are plain whitespace)."""
+        if not self.word_to_id:
+            raise RuntimeError("tokenizer has not been fitted")
+        ids = [self.word_to_id.get(word, self.unk_id) for word in text.split()]
+        if add_eos:
+            ids.append(self.eos_id)
+        return ids
+
+    def decode(self, ids: list[int]) -> str:
+        """Convert token ids back to a space-joined string."""
+        if not self.id_to_word:
+            raise RuntimeError("tokenizer has not been fitted")
+        words = []
+        for i in ids:
+            if not 0 <= i < len(self.id_to_word):
+                raise ValueError(f"token id {i} out of range")
+            words.append(self.id_to_word[i])
+        return " ".join(words)

@@ -1,0 +1,94 @@
+"""Training utilities for the small NumPy transformer (Adam + LM training loop)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.models.dataset import batchify
+from repro.models.transformer import TransformerLM
+
+__all__ = ["AdamOptimizer", "TrainingConfig", "train_language_model"]
+
+
+@dataclass
+class AdamOptimizer:
+    """Plain Adam for a name → array parameter dict."""
+
+    learning_rate: float = 1e-3
+    beta1: float = 0.9
+    beta2: float = 0.999
+    eps: float = 1e-8
+    weight_decay: float = 0.0
+    _m: dict = field(default_factory=dict)
+    _v: dict = field(default_factory=dict)
+    _step: int = 0
+
+    def update(self, params: dict[str, np.ndarray], grads: dict[str, np.ndarray]) -> None:
+        """Apply one Adam step in place."""
+        self._step += 1
+        t = self._step
+        for name, g in grads.items():
+            if name not in params:
+                raise KeyError(f"gradient for unknown parameter {name!r}")
+            if self.weight_decay:
+                g = g + self.weight_decay * params[name]
+            m = self._m.setdefault(name, np.zeros_like(g))
+            v = self._v.setdefault(name, np.zeros_like(g))
+            m[:] = self.beta1 * m + (1 - self.beta1) * g
+            v[:] = self.beta2 * v + (1 - self.beta2) * (g * g)
+            m_hat = m / (1 - self.beta1 ** t)
+            v_hat = v / (1 - self.beta2 ** t)
+            params[name] -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+@dataclass(frozen=True)
+class TrainingConfig:
+    """Hyperparameters of the LM training loop."""
+
+    epochs: int = 5
+    batch_size: int = 16
+    seq_len: int = 32
+    learning_rate: float = 3e-3
+    grad_clip: float = 1.0
+    seed: int = 0
+    log_every: int = 0  # 0 disables progress printing
+
+
+def _clip_gradients(grads: dict[str, np.ndarray], max_norm: float) -> None:
+    total = np.sqrt(sum(float(np.sum(g * g)) for g in grads.values()))
+    if total > max_norm > 0:
+        scale = max_norm / (total + 1e-12)
+        for g in grads.values():
+            g *= scale
+
+
+def train_language_model(model: TransformerLM, train_tokens: np.ndarray,
+                         config: TrainingConfig | None = None,
+                         valid_tokens: np.ndarray | None = None) -> dict[str, list[float]]:
+    """Train the LM on a token stream; returns per-epoch loss history."""
+    config = config or TrainingConfig()
+    rng = np.random.default_rng(config.seed)
+    optimizer = AdamOptimizer(learning_rate=config.learning_rate)
+    history: dict[str, list[float]] = {"train_loss": [], "valid_loss": []}
+
+    for epoch in range(config.epochs):
+        batches = batchify(train_tokens, config.batch_size, config.seq_len, rng=rng)
+        if not batches:
+            raise ValueError("training stream too short for the requested batch/seq sizes")
+        epoch_losses = []
+        for step, (inputs, targets) in enumerate(batches):
+            loss, grads = model.loss(inputs, targets)
+            _clip_gradients(grads, config.grad_clip)
+            optimizer.update(model.params, grads)
+            epoch_losses.append(loss)
+            if config.log_every and (step + 1) % config.log_every == 0:
+                print(f"epoch {epoch} step {step + 1}/{len(batches)} loss {loss:.3f}")
+        history["train_loss"].append(float(np.mean(epoch_losses)))
+
+        if valid_tokens is not None:
+            valid_batches = batchify(valid_tokens, config.batch_size, config.seq_len)
+            losses = [model.evaluate_loss(x, y) for x, y in valid_batches] or [float("nan")]
+            history["valid_loss"].append(float(np.mean(losses)))
+    return history

@@ -1,0 +1,331 @@
+"""A small decoder-only transformer language model in NumPy.
+
+This is the accuracy-evaluation substrate: a GPT/OPT-style decoder (token +
+learned positional embeddings, pre-LayerNorm blocks with multi-head causal
+self-attention and a ReLU MLP, a final LayerNorm and an LM head) implemented
+with explicit forward *and* backward passes so it can be trained from scratch
+on the synthetic corpus without any deep-learning framework.
+
+The weight matrices of the four attention projections, the two MLP
+projections and the LM head are exactly the GEMMs that weight-only
+quantization targets; :mod:`repro.models.quantized_model` swaps their
+``x @ W.T`` products for quantized functional-engine GEMMs at inference time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["TransformerConfig", "TransformerLM", "cross_entropy", "softmax"]
+
+
+@dataclass(frozen=True)
+class TransformerConfig:
+    """Architecture hyperparameters of the small LM."""
+
+    vocab_size: int
+    max_seq_len: int = 64
+    d_model: int = 64
+    n_heads: int = 4
+    n_layers: int = 2
+    d_ff: int = 256
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.d_model % self.n_heads != 0:
+            raise ValueError("d_model must be divisible by n_heads")
+        for name in ("vocab_size", "max_seq_len", "d_model", "n_heads", "n_layers", "d_ff"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1")
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    return e / np.sum(e, axis=axis, keepdims=True)
+
+
+def cross_entropy(logits: np.ndarray, targets: np.ndarray) -> tuple[float, np.ndarray]:
+    """Mean next-token cross entropy and its gradient w.r.t. the logits.
+
+    ``logits`` has shape (batch, seq, vocab); ``targets`` (batch, seq).
+    """
+    b, t, v = logits.shape
+    probs = softmax(logits, axis=-1)
+    flat_probs = probs.reshape(b * t, v)
+    flat_targets = targets.reshape(b * t)
+    picked = flat_probs[np.arange(b * t), flat_targets]
+    loss = float(np.mean(-np.log(np.maximum(picked, 1e-12))))
+    grad = flat_probs.copy()
+    grad[np.arange(b * t), flat_targets] -= 1.0
+    grad /= b * t
+    return loss, grad.reshape(b, t, v)
+
+
+def _layer_norm_forward(x: np.ndarray, gamma: np.ndarray, beta: np.ndarray,
+                        eps: float = 1e-5):
+    mean = x.mean(axis=-1, keepdims=True)
+    var = x.var(axis=-1, keepdims=True)
+    inv_std = 1.0 / np.sqrt(var + eps)
+    x_hat = (x - mean) * inv_std
+    out = gamma * x_hat + beta
+    cache = (x_hat, inv_std, gamma)
+    return out, cache
+
+
+def _layer_norm_backward(dout: np.ndarray, cache):
+    x_hat, inv_std, gamma = cache
+    d = x_hat.shape[-1]
+    dgamma = np.sum(dout * x_hat, axis=tuple(range(dout.ndim - 1)))
+    dbeta = np.sum(dout, axis=tuple(range(dout.ndim - 1)))
+    dx_hat = dout * gamma
+    dx = (inv_std / d) * (d * dx_hat
+                          - np.sum(dx_hat, axis=-1, keepdims=True)
+                          - x_hat * np.sum(dx_hat * x_hat, axis=-1, keepdims=True))
+    return dx, dgamma, dbeta
+
+
+def _linear_forward(x: np.ndarray, weight: np.ndarray, bias: np.ndarray | None):
+    out = x @ weight.T
+    if bias is not None:
+        out = out + bias
+    return out, (x, weight)
+
+
+def _linear_backward(dout: np.ndarray, cache):
+    x, weight = cache
+    dw = dout.reshape(-1, dout.shape[-1]).T @ x.reshape(-1, x.shape[-1])
+    db = dout.reshape(-1, dout.shape[-1]).sum(axis=0)
+    dx = dout @ weight
+    return dx, dw, db
+
+
+class TransformerLM:
+    """Decoder-only transformer language model with manual backprop.
+
+    Parameters are stored in ``self.params`` (a flat name → array dict) so an
+    optimiser can update them generically and the quantized inference wrapper
+    can locate every weight matrix by name.
+    """
+
+    def __init__(self, config: TransformerConfig) -> None:
+        self.config = config
+        rng = np.random.default_rng(config.seed)
+        d, v, f = config.d_model, config.vocab_size, config.d_ff
+        scale = 0.02
+
+        def init(shape):
+            return (rng.standard_normal(shape) * scale).astype(np.float64)
+
+        params: dict[str, np.ndarray] = {
+            "tok_emb": init((v, d)),
+            "pos_emb": init((config.max_seq_len, d)),
+            "ln_f.gamma": np.ones(d),
+            "ln_f.beta": np.zeros(d),
+            "lm_head.weight": init((v, d)),
+        }
+        for layer in range(config.n_layers):
+            p = f"layer{layer}."
+            params[p + "ln1.gamma"] = np.ones(d)
+            params[p + "ln1.beta"] = np.zeros(d)
+            params[p + "attn.wq"] = init((d, d))
+            params[p + "attn.wk"] = init((d, d))
+            params[p + "attn.wv"] = init((d, d))
+            params[p + "attn.wo"] = init((d, d))
+            params[p + "ln2.gamma"] = np.ones(d)
+            params[p + "ln2.beta"] = np.zeros(d)
+            params[p + "mlp.w1"] = init((f, d))
+            params[p + "mlp.b1"] = np.zeros(f)
+            params[p + "mlp.w2"] = init((d, f))
+            params[p + "mlp.b2"] = np.zeros(d)
+        self.params = params
+
+    # ------------------------------------------------------------------ util
+    def weight_matrix_names(self) -> list[str]:
+        """Names of the GEMM weight matrices targeted by weight-only quantization."""
+        names = []
+        for layer in range(self.config.n_layers):
+            p = f"layer{layer}."
+            names.extend([p + "attn.wq", p + "attn.wk", p + "attn.wv", p + "attn.wo",
+                          p + "mlp.w1", p + "mlp.w2"])
+        names.append("lm_head.weight")
+        return names
+
+    def num_parameters(self) -> int:
+        return int(sum(p.size for p in self.params.values()))
+
+    # --------------------------------------------------------------- forward
+    def _attention_forward(self, x: np.ndarray, layer: int, matmul=None):
+        cfg = self.config
+        p = self.params
+        prefix = f"layer{layer}.attn."
+        b, t, d = x.shape
+        h, dh = cfg.n_heads, d // cfg.n_heads
+        mm = matmul or (lambda name, inp, w: inp @ w.T)
+
+        q = mm(prefix + "wq", x, p[prefix + "wq"])
+        k = mm(prefix + "wk", x, p[prefix + "wk"])
+        v = mm(prefix + "wv", x, p[prefix + "wv"])
+
+        def split(z):
+            return z.reshape(b, t, h, dh).transpose(0, 2, 1, 3)  # (b, h, t, dh)
+
+        qh, kh, vh = split(q), split(k), split(v)
+        scores = qh @ kh.transpose(0, 1, 3, 2) / np.sqrt(dh)
+        mask = np.triu(np.ones((t, t), dtype=bool), k=1)
+        scores = np.where(mask, -1e30, scores)
+        attn = softmax(scores, axis=-1)
+        ctx = attn @ vh  # (b, h, t, dh)
+        ctx_merged = ctx.transpose(0, 2, 1, 3).reshape(b, t, d)
+        out = mm(prefix + "wo", ctx_merged, p[prefix + "wo"])
+        cache = (x, qh, kh, vh, attn, ctx_merged, mask)
+        return out, cache
+
+    def _attention_backward(self, dout: np.ndarray, layer: int, cache):
+        cfg = self.config
+        p = self.params
+        prefix = f"layer{layer}.attn."
+        x, qh, kh, vh, attn, ctx_merged, mask = cache
+        b, t, d = x.shape
+        h, dh = cfg.n_heads, d // cfg.n_heads
+        grads: dict[str, np.ndarray] = {}
+
+        # output projection
+        dctx_merged, dwo, _ = _linear_backward(dout, (ctx_merged, p[prefix + "wo"]))
+        grads[prefix + "wo"] = dwo
+
+        dctx = dctx_merged.reshape(b, t, h, dh).transpose(0, 2, 1, 3)
+        dattn = dctx @ vh.transpose(0, 1, 3, 2)
+        dvh = attn.transpose(0, 1, 3, 2) @ dctx
+
+        # softmax backward
+        dscores = attn * (dattn - np.sum(dattn * attn, axis=-1, keepdims=True))
+        dscores = np.where(mask, 0.0, dscores) / np.sqrt(dh)
+
+        dqh = dscores @ kh
+        dkh = dscores.transpose(0, 1, 3, 2) @ qh
+
+        def merge(z):
+            return z.transpose(0, 2, 1, 3).reshape(b, t, d)
+
+        dq, dk, dv = merge(dqh), merge(dkh), merge(dvh)
+        dx = np.zeros_like(x)
+        for name, dz in (("wq", dq), ("wk", dk), ("wv", dv)):
+            dxi, dw, _ = _linear_backward(dz, (x, p[prefix + name]))
+            grads[prefix + name] = dw
+            dx += dxi
+        return dx, grads
+
+    def forward(self, tokens: np.ndarray, matmul=None):
+        """Run the model; returns (logits, cache) with cache for backward().
+
+        ``matmul`` optionally overrides every weight GEMM with a callable
+        ``matmul(name, x, w) -> x @ w.T`` — the hook the quantized inference
+        wrapper uses to route GEMMs through a functional engine.
+        """
+        cfg = self.config
+        p = self.params
+        tokens = np.asarray(tokens, dtype=np.int64)
+        if tokens.ndim != 2:
+            raise ValueError("tokens must have shape (batch, seq)")
+        b, t = tokens.shape
+        if t > cfg.max_seq_len:
+            raise ValueError(f"sequence length {t} exceeds max_seq_len {cfg.max_seq_len}")
+        mm = matmul or (lambda name, inp, w: inp @ w.T)
+
+        x = p["tok_emb"][tokens] + p["pos_emb"][:t][None, :, :]
+        caches = {"tokens": tokens, "layers": []}
+        for layer in range(cfg.n_layers):
+            prefix = f"layer{layer}."
+            ln1_out, ln1_cache = _layer_norm_forward(x, p[prefix + "ln1.gamma"], p[prefix + "ln1.beta"])
+            attn_out, attn_cache = self._attention_forward(ln1_out, layer, matmul=mm)
+            x1 = x + attn_out
+            ln2_out, ln2_cache = _layer_norm_forward(x1, p[prefix + "ln2.gamma"], p[prefix + "ln2.beta"])
+            h_pre, lin1_cache = _linear_forward(ln2_out, p[prefix + "mlp.w1"], p[prefix + "mlp.b1"])
+            h_pre = mm(prefix + "mlp.w1", ln2_out, p[prefix + "mlp.w1"]) + p[prefix + "mlp.b1"] \
+                if matmul is not None else h_pre
+            h_act = np.maximum(h_pre, 0.0)
+            mlp_out, lin2_cache = _linear_forward(h_act, p[prefix + "mlp.w2"], p[prefix + "mlp.b2"])
+            mlp_out = mm(prefix + "mlp.w2", h_act, p[prefix + "mlp.w2"]) + p[prefix + "mlp.b2"] \
+                if matmul is not None else mlp_out
+            x2 = x1 + mlp_out
+            caches["layers"].append({
+                "x_in": x, "ln1": ln1_cache, "attn": attn_cache, "x1": x1,
+                "ln2": ln2_cache, "lin1": lin1_cache, "h_pre": h_pre, "h_act": h_act,
+                "lin2": lin2_cache,
+            })
+            x = x2
+
+        lnf_out, lnf_cache = _layer_norm_forward(x, p["ln_f.gamma"], p["ln_f.beta"])
+        logits = mm("lm_head.weight", lnf_out, p["lm_head.weight"])
+        caches["ln_f"] = lnf_cache
+        caches["lnf_out"] = lnf_out
+        return logits, caches
+
+    # -------------------------------------------------------------- backward
+    def backward(self, dlogits: np.ndarray, caches) -> dict[str, np.ndarray]:
+        """Backprop from the logits gradient; returns gradients for all params."""
+        cfg = self.config
+        p = self.params
+        grads: dict[str, np.ndarray] = {name: np.zeros_like(value)
+                                        for name, value in p.items()}
+
+        # LM head
+        dlnf_out, dw_head, _ = _linear_backward(dlogits, (caches["lnf_out"], p["lm_head.weight"]))
+        grads["lm_head.weight"] += dw_head
+        dx, dgamma, dbeta = _layer_norm_backward(dlnf_out, caches["ln_f"])
+        grads["ln_f.gamma"] += dgamma
+        grads["ln_f.beta"] += dbeta
+
+        for layer in reversed(range(cfg.n_layers)):
+            prefix = f"layer{layer}."
+            c = caches["layers"][layer]
+
+            # MLP branch
+            dmlp_out = dx
+            dh_act, dw2, db2 = _linear_backward(dmlp_out, c["lin2"])
+            grads[prefix + "mlp.w2"] += dw2
+            grads[prefix + "mlp.b2"] += db2
+            dh_pre = dh_act * (c["h_pre"] > 0.0)
+            dln2_out, dw1, db1 = _linear_backward(dh_pre, c["lin1"])
+            grads[prefix + "mlp.w1"] += dw1
+            grads[prefix + "mlp.b1"] += db1
+            dx1, dgamma2, dbeta2 = _layer_norm_backward(dln2_out, c["ln2"])
+            grads[prefix + "ln2.gamma"] += dgamma2
+            grads[prefix + "ln2.beta"] += dbeta2
+            dx1 = dx1 + dx  # residual around the MLP
+
+            # attention branch
+            dattn_out = dx1
+            dln1_out, attn_grads = self._attention_backward(dattn_out, layer, c["attn"])
+            for name, g in attn_grads.items():
+                grads[name] += g
+            dx_in, dgamma1, dbeta1 = _layer_norm_backward(dln1_out, c["ln1"])
+            grads[prefix + "ln1.gamma"] += dgamma1
+            grads[prefix + "ln1.beta"] += dbeta1
+            dx = dx_in + dx1  # residual around the attention
+
+        # embeddings
+        tokens = caches["tokens"]
+        b, t = tokens.shape
+        np.add.at(grads["tok_emb"], tokens.reshape(-1), dx.reshape(b * t, -1))
+        grads["pos_emb"][:t] += dx.sum(axis=0)
+        return grads
+
+    # -------------------------------------------------------------- loss API
+    def loss(self, tokens: np.ndarray, targets: np.ndarray,
+             matmul=None) -> tuple[float, dict[str, np.ndarray]]:
+        """Compute the mean cross-entropy loss and parameter gradients."""
+        logits, caches = self.forward(tokens, matmul=matmul)
+        loss_value, dlogits = cross_entropy(logits, np.asarray(targets, dtype=np.int64))
+        grads = self.backward(dlogits, caches)
+        return loss_value, grads
+
+    def evaluate_loss(self, tokens: np.ndarray, targets: np.ndarray, matmul=None) -> float:
+        """Forward-only mean cross-entropy (used by the perplexity evaluation)."""
+        logits, _ = self.forward(tokens, matmul=matmul)
+        loss_value, _ = cross_entropy(logits, np.asarray(targets, dtype=np.int64))
+        return loss_value

@@ -1,0 +1,71 @@
+"""Numerics substrate for the FIGLUT reproduction.
+
+This package provides the floating-point and fixed-point machinery that the
+accelerator datapath models are built on:
+
+* :mod:`repro.numerics.floats` — software models of the IEEE-754 half
+  (FP16), bfloat16 (BF16) and single (FP32) formats, including field
+  decomposition, rounding, and casting helpers.
+* :mod:`repro.numerics.prealign` — the mantissa *pre-alignment* technique
+  used by iFPU, FIGNA, and FIGLUT-I: activations are converted to integer
+  mantissas aligned to a shared (block-maximum) exponent so that FP-INT
+  arithmetic collapses to pure integer arithmetic.
+* :mod:`repro.numerics.fixed` — fixed-point / integer helpers (saturation,
+  two's complement widths, shifting).
+* :mod:`repro.numerics.errors` — error metrics used throughout the accuracy
+  experiments (max abs error, relative error, SQNR).
+"""
+
+from repro.numerics.floats import (
+    FloatFormat,
+    FP16,
+    BF16,
+    FP32,
+    cast_to_format,
+    decompose,
+    compose,
+    ulp,
+)
+from repro.numerics.prealign import (
+    PreAlignedBlock,
+    prealign,
+    prealign_matrix,
+    reconstruct,
+    aligned_dot,
+)
+from repro.numerics.fixed import (
+    int_bits_required,
+    clamp_to_bits,
+    to_twos_complement,
+    from_twos_complement,
+)
+from repro.numerics.errors import (
+    max_abs_error,
+    mean_abs_error,
+    relative_error,
+    sqnr_db,
+)
+
+__all__ = [
+    "FloatFormat",
+    "FP16",
+    "BF16",
+    "FP32",
+    "cast_to_format",
+    "decompose",
+    "compose",
+    "ulp",
+    "PreAlignedBlock",
+    "prealign",
+    "prealign_matrix",
+    "reconstruct",
+    "aligned_dot",
+    "int_bits_required",
+    "clamp_to_bits",
+    "to_twos_complement",
+    "from_twos_complement",
+    "max_abs_error",
+    "mean_abs_error",
+    "relative_error",
+    "sqnr_db",
+]

@@ -1,0 +1,54 @@
+"""Error metrics used by the accuracy experiments."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "max_abs_error",
+    "mean_abs_error",
+    "relative_error",
+    "sqnr_db",
+]
+
+
+def max_abs_error(reference: np.ndarray, measured: np.ndarray) -> float:
+    """Maximum absolute elementwise difference."""
+    reference = np.asarray(reference, dtype=np.float64)
+    measured = np.asarray(measured, dtype=np.float64)
+    if reference.shape != measured.shape:
+        raise ValueError("shape mismatch between reference and measured arrays")
+    if reference.size == 0:
+        return 0.0
+    return float(np.max(np.abs(reference - measured)))
+
+
+def mean_abs_error(reference: np.ndarray, measured: np.ndarray) -> float:
+    """Mean absolute elementwise difference."""
+    reference = np.asarray(reference, dtype=np.float64)
+    measured = np.asarray(measured, dtype=np.float64)
+    if reference.shape != measured.shape:
+        raise ValueError("shape mismatch between reference and measured arrays")
+    if reference.size == 0:
+        return 0.0
+    return float(np.mean(np.abs(reference - measured)))
+
+
+def relative_error(reference: np.ndarray, measured: np.ndarray, eps: float = 1e-12) -> float:
+    """Frobenius-norm relative error ||ref - meas|| / (||ref|| + eps)."""
+    reference = np.asarray(reference, dtype=np.float64)
+    measured = np.asarray(measured, dtype=np.float64)
+    if reference.shape != measured.shape:
+        raise ValueError("shape mismatch between reference and measured arrays")
+    return float(np.linalg.norm(reference - measured) / (np.linalg.norm(reference) + eps))
+
+
+def sqnr_db(reference: np.ndarray, measured: np.ndarray, eps: float = 1e-30) -> float:
+    """Signal-to-quantization-noise ratio in dB (higher is better)."""
+    reference = np.asarray(reference, dtype=np.float64)
+    measured = np.asarray(measured, dtype=np.float64)
+    if reference.shape != measured.shape:
+        raise ValueError("shape mismatch between reference and measured arrays")
+    signal = float(np.sum(reference ** 2))
+    noise = float(np.sum((reference - measured) ** 2))
+    return 10.0 * np.log10((signal + eps) / (noise + eps))

@@ -1,0 +1,71 @@
+"""Fixed-point / integer helpers shared by the datapath models."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "int_bits_required",
+    "clamp_to_bits",
+    "to_twos_complement",
+    "from_twos_complement",
+    "saturating_add",
+]
+
+
+def int_bits_required(value: int, signed: bool = True) -> int:
+    """Number of bits needed to represent ``value`` exactly.
+
+    For signed representations the result is the minimal two's-complement
+    width; for unsigned it is the minimal binary width (negative values are
+    rejected).
+    """
+    value = int(value)
+    if signed:
+        if value >= 0:
+            return value.bit_length() + 1
+        return (-value - 1).bit_length() + 1
+    if value < 0:
+        raise ValueError("unsigned representation cannot hold a negative value")
+    return max(value.bit_length(), 1)
+
+
+def clamp_to_bits(values: np.ndarray, bits: int, signed: bool = True) -> np.ndarray:
+    """Saturate values to the range of a ``bits``-wide integer."""
+    if bits <= 0:
+        raise ValueError("bits must be positive")
+    arr = np.asarray(values)
+    if signed:
+        lo = -(1 << (bits - 1))
+        hi = (1 << (bits - 1)) - 1
+    else:
+        lo = 0
+        hi = (1 << bits) - 1
+    return np.clip(arr, lo, hi)
+
+
+def to_twos_complement(values: np.ndarray, bits: int) -> np.ndarray:
+    """Encode signed integers as unsigned two's-complement words."""
+    arr = np.asarray(values, dtype=np.int64)
+    lo = -(1 << (bits - 1))
+    hi = (1 << (bits - 1)) - 1
+    if np.any(arr < lo) or np.any(arr > hi):
+        raise ValueError(f"values do not fit in {bits}-bit two's complement")
+    mask = (1 << bits) - 1
+    return (arr & mask).astype(np.int64)
+
+
+def from_twos_complement(words: np.ndarray, bits: int) -> np.ndarray:
+    """Decode unsigned two's-complement words back to signed integers."""
+    arr = np.asarray(words, dtype=np.int64)
+    if np.any(arr < 0) or np.any(arr >= (1 << bits)):
+        raise ValueError(f"words are not valid {bits}-bit patterns")
+    sign_bit = 1 << (bits - 1)
+    return ((arr ^ sign_bit) - sign_bit).astype(np.int64)
+
+
+def saturating_add(a: int, b: int, bits: int) -> int:
+    """Add two integers with saturation at the two's-complement range."""
+    lo = -(1 << (bits - 1))
+    hi = (1 << (bits - 1)) - 1
+    return int(min(max(int(a) + int(b), lo), hi))

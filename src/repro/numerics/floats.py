@@ -1,0 +1,188 @@
+"""Software models of the floating-point formats used by the accelerators.
+
+The hardware engines studied in the FIGLUT paper operate on FP16, BF16, and
+FP32 activations.  For the functional simulation we model each format as a
+:class:`FloatFormat` describing its exponent and mantissa widths, and we
+provide helpers to
+
+* cast NumPy arrays to a format (round-to-nearest-even, the behaviour of the
+  paper's Synopsys DesignWare components),
+* decompose values into sign / exponent / mantissa integer fields the way the
+  pre-alignment hardware sees them, and
+* recompose fields back into real values.
+
+FP16 and FP32 casts use the native NumPy dtypes (they are exact models of the
+IEEE formats); BF16 is emulated by truncating/rounding an FP32 value's
+mantissa to 7 bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "FloatFormat",
+    "FP16",
+    "BF16",
+    "FP32",
+    "cast_to_format",
+    "decompose",
+    "compose",
+    "ulp",
+]
+
+
+@dataclass(frozen=True)
+class FloatFormat:
+    """Description of a binary floating-point format.
+
+    Attributes
+    ----------
+    name:
+        Human readable name, e.g. ``"fp16"``.
+    exponent_bits:
+        Width of the exponent field.
+    mantissa_bits:
+        Width of the stored mantissa (fraction) field, excluding the hidden
+        leading one.
+    """
+
+    name: str
+    exponent_bits: int
+    mantissa_bits: int
+
+    @property
+    def bias(self) -> int:
+        """Exponent bias (2^(e-1) - 1)."""
+        return (1 << (self.exponent_bits - 1)) - 1
+
+    @property
+    def total_bits(self) -> int:
+        """Total storage width including the sign bit."""
+        return 1 + self.exponent_bits + self.mantissa_bits
+
+    @property
+    def max_exponent(self) -> int:
+        """Largest unbiased exponent of a normal number."""
+        return (1 << self.exponent_bits) - 2 - self.bias
+
+    @property
+    def min_exponent(self) -> int:
+        """Smallest unbiased exponent of a normal number."""
+        return 1 - self.bias
+
+    @property
+    def max_value(self) -> float:
+        """Largest representable finite value."""
+        frac = 2.0 - 2.0 ** (-self.mantissa_bits)
+        return frac * 2.0 ** self.max_exponent
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+FP16 = FloatFormat("fp16", exponent_bits=5, mantissa_bits=10)
+BF16 = FloatFormat("bf16", exponent_bits=8, mantissa_bits=7)
+FP32 = FloatFormat("fp32", exponent_bits=8, mantissa_bits=23)
+
+_FORMATS = {"fp16": FP16, "bf16": BF16, "fp32": FP32}
+
+
+def get_format(fmt: "FloatFormat | str") -> FloatFormat:
+    """Resolve a format given either a :class:`FloatFormat` or its name."""
+    if isinstance(fmt, FloatFormat):
+        return fmt
+    try:
+        return _FORMATS[fmt.lower()]
+    except KeyError as exc:
+        raise ValueError(f"unknown float format {fmt!r}; expected one of {sorted(_FORMATS)}") from exc
+
+
+def _round_to_bf16(values: np.ndarray) -> np.ndarray:
+    """Round FP32 values to bfloat16 using round-to-nearest-even on the raw bits."""
+    as_f32 = np.asarray(values, dtype=np.float32)
+    bits = as_f32.view(np.uint32)
+    # Round-to-nearest-even on the low 16 bits that get truncated.
+    rounding_bias = ((bits >> 16) & np.uint32(1)) + np.uint32(0x7FFF)
+    rounded = (bits + rounding_bias) & np.uint32(0xFFFF0000)
+    return rounded.view(np.float32)
+
+
+def cast_to_format(values: np.ndarray, fmt: "FloatFormat | str") -> np.ndarray:
+    """Cast ``values`` to ``fmt`` and back to float64.
+
+    The returned array holds the exact values representable in the target
+    format (round-to-nearest-even), which is how the functional engine models
+    quantize their activation inputs.
+    """
+    fmt = get_format(fmt)
+    arr = np.asarray(values, dtype=np.float64)
+    if fmt is FP16:
+        return arr.astype(np.float16).astype(np.float64)
+    if fmt is FP32:
+        return arr.astype(np.float32).astype(np.float64)
+    if fmt is BF16:
+        return _round_to_bf16(arr.astype(np.float32)).astype(np.float64)
+    raise ValueError(f"unsupported format {fmt}")
+
+
+def decompose(values: np.ndarray, fmt: "FloatFormat | str") -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Decompose values into (sign, unbiased exponent, integer mantissa).
+
+    The mantissa is returned as an integer including the hidden leading one
+    for normal numbers, i.e. a value ``v`` satisfies::
+
+        v == sign * mantissa * 2**(exponent - mantissa_bits)
+
+    Zeros are returned with exponent equal to the format's minimum exponent
+    and mantissa 0.  Subnormals are decomposed exactly (without the hidden
+    bit).  Infinities and NaNs are rejected because the accelerator datapath
+    models do not handle them.
+    """
+    fmt = get_format(fmt)
+    arr = cast_to_format(values, fmt)
+    if not np.all(np.isfinite(arr)):
+        raise ValueError("decompose() requires finite inputs")
+
+    sign = np.where(np.signbit(arr), -1, 1).astype(np.int64)
+    absval = np.abs(arr)
+
+    mantissa = np.zeros(arr.shape, dtype=np.int64)
+    exponent = np.full(arr.shape, fmt.min_exponent, dtype=np.int64)
+
+    nonzero = absval > 0.0
+    if np.any(nonzero):
+        # frexp gives absval = m * 2**e with m in [0.5, 1)
+        frac, exp = np.frexp(absval[nonzero])
+        unbiased = exp - 1  # value = (2*frac) * 2**unbiased, 2*frac in [1, 2)
+        # Clamp subnormals to the minimum exponent of the format.
+        unbiased = np.maximum(unbiased, fmt.min_exponent)
+        scaled = absval[nonzero] * np.exp2(fmt.mantissa_bits - unbiased)
+        man = np.rint(scaled).astype(np.int64)
+        mantissa[nonzero] = man
+        exponent[nonzero] = unbiased
+
+    return sign, exponent, mantissa
+
+
+def compose(sign: np.ndarray, exponent: np.ndarray, mantissa: np.ndarray,
+            fmt: "FloatFormat | str") -> np.ndarray:
+    """Inverse of :func:`decompose`; rebuild real values from the fields."""
+    fmt = get_format(fmt)
+    sign = np.asarray(sign, dtype=np.float64)
+    exponent = np.asarray(exponent, dtype=np.float64)
+    mantissa = np.asarray(mantissa, dtype=np.float64)
+    return sign * mantissa * np.exp2(exponent - fmt.mantissa_bits)
+
+
+def ulp(value: float, fmt: "FloatFormat | str") -> float:
+    """Unit in the last place of ``value`` in the given format."""
+    fmt = get_format(fmt)
+    value = float(value)
+    if value == 0.0:
+        return 2.0 ** (fmt.min_exponent - fmt.mantissa_bits)
+    exponent = int(np.floor(np.log2(abs(value))))
+    exponent = max(exponent, fmt.min_exponent)
+    return 2.0 ** (exponent - fmt.mantissa_bits)

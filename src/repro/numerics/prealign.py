@@ -1,0 +1,155 @@
+"""Mantissa pre-alignment, the FP→INT conversion trick used by iFPU/FIGNA/FIGLUT-I.
+
+The idea (iFPU [22], FIGNA [16], and FIGLUT-I in the paper): given a block of
+floating-point activations, find the maximum exponent of the block and shift
+every mantissa right so that all values share that exponent.  Each activation
+then becomes a signed integer mantissa, and the FP-INT inner product with
+quantized weights reduces to *integer* multiply/add (FIGNA) or integer
+add/subtract (iFPU, FIGLUT) followed by a single scale by ``2**(max_exp -
+frac_bits)`` at the end.
+
+Pre-alignment loses the mantissa bits that get shifted out for small-magnitude
+values; the paper shows (Table IV) that with enough integer accumulation width
+this has no visible effect on perplexity.  The :class:`PreAlignedBlock` here
+captures both the aligned integers and the shared exponent so downstream
+engine models can do bit-exact integer arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.numerics.floats import FloatFormat, get_format, decompose
+
+__all__ = [
+    "PreAlignedBlock",
+    "prealign",
+    "prealign_matrix",
+    "reconstruct",
+    "aligned_dot",
+]
+
+
+@dataclass(frozen=True)
+class PreAlignedBlock:
+    """A block of activations converted to integers sharing one exponent.
+
+    Attributes
+    ----------
+    mantissas:
+        Signed integer mantissas (int64 array), one per activation.
+    shared_exponent:
+        The unbiased exponent shared by all mantissas.
+    frac_bits:
+        Number of fractional bits retained; a mantissa ``m`` represents the
+        real value ``m * 2**(shared_exponent - frac_bits)``.
+    fmt:
+        The floating-point format the activations were interpreted in.
+    """
+
+    mantissas: np.ndarray
+    shared_exponent: int
+    frac_bits: int
+    fmt: FloatFormat
+
+    @property
+    def scale(self) -> float:
+        """Multiplicative factor mapping integer mantissas back to reals."""
+        return float(np.exp2(self.shared_exponent - self.frac_bits))
+
+    def to_real(self) -> np.ndarray:
+        """Reconstruct the (lossy) real values represented by this block."""
+        return self.mantissas.astype(np.float64) * self.scale
+
+
+def prealign(values: np.ndarray, fmt: "FloatFormat | str" = "fp16",
+             extra_bits: int = 0) -> PreAlignedBlock:
+    """Pre-align a 1-D block of activations to their maximum exponent.
+
+    Parameters
+    ----------
+    values:
+        Activation values (any shape; flattened view is aligned jointly).
+    fmt:
+        Floating-point format whose mantissa width determines the number of
+        retained fraction bits.
+    extra_bits:
+        Additional guard bits kept below the mantissa LSB.  ``extra_bits=0``
+        models the paper's configuration where the aligned mantissa width
+        equals the input mantissa width plus the hidden bit.
+
+    Returns
+    -------
+    PreAlignedBlock
+        Integer mantissas sharing the block's maximum exponent.
+    """
+    fmt = get_format(fmt)
+    arr = np.asarray(values, dtype=np.float64)
+    sign, exponent, mantissa = decompose(arr, fmt)
+
+    if arr.size == 0:
+        return PreAlignedBlock(np.zeros(arr.shape, dtype=np.int64), 0,
+                               fmt.mantissa_bits + extra_bits, fmt)
+
+    frac_bits = fmt.mantissa_bits + extra_bits
+    max_exp = int(np.max(exponent[mantissa != 0], initial=fmt.min_exponent))
+
+    # Shift each mantissa so it is expressed relative to max_exp.
+    shift = (max_exp - exponent).astype(np.int64)
+    # extra_bits shifts left first (adds guard bits), then align right.
+    scaled = mantissa << extra_bits if extra_bits else mantissa.copy()
+    # Right-shift with rounding-to-nearest (ties away from zero) to mimic a
+    # rounding alignment shifter; values shifted out entirely become 0.
+    aligned = np.zeros_like(scaled)
+    in_range = shift < 63
+    half = np.zeros_like(scaled)
+    half[in_range] = np.where(shift[in_range] > 0, 1 << np.maximum(shift[in_range] - 1, 0), 0)
+    aligned[in_range] = (scaled[in_range] + half[in_range]) >> shift[in_range]
+
+    mantissas = sign * aligned
+    return PreAlignedBlock(mantissas.reshape(arr.shape), max_exp, frac_bits, fmt)
+
+
+def prealign_matrix(matrix: np.ndarray, fmt: "FloatFormat | str" = "fp16",
+                    axis: int = -1, extra_bits: int = 0) -> list[PreAlignedBlock]:
+    """Pre-align each row (or column) of a matrix independently.
+
+    The engines align activations per reduction block; for a GEMM
+    ``y = W @ x`` the natural unit is one activation vector (one batch
+    element / token), which corresponds to one block per row when
+    ``axis=-1``.
+
+    Returns a list of :class:`PreAlignedBlock`, one per slice along ``axis``.
+    """
+    arr = np.asarray(matrix, dtype=np.float64)
+    if arr.ndim != 2:
+        raise ValueError("prealign_matrix expects a 2-D array")
+    if axis not in (-1, 1, 0):
+        raise ValueError("axis must be 0 or 1")
+    if axis == 0:
+        arr = arr.T
+    return [prealign(row, fmt=fmt, extra_bits=extra_bits) for row in arr]
+
+
+def reconstruct(block: PreAlignedBlock) -> np.ndarray:
+    """Convenience wrapper for :meth:`PreAlignedBlock.to_real`."""
+    return block.to_real()
+
+
+def aligned_dot(block: PreAlignedBlock, weights: np.ndarray) -> float:
+    """Integer inner product between an aligned block and integer weights.
+
+    ``weights`` may be any integer-valued array broadcastable against the
+    block's mantissas (e.g. INT4 weights for FIGNA, or ±1 binary weights for
+    iFPU / FIGLUT-I).  The accumulation happens in int64 (modelling a wide
+    integer accumulator) and the result is scaled back to a real number.
+    """
+    weights = np.asarray(weights)
+    if not np.issubdtype(weights.dtype, np.integer):
+        if not np.allclose(weights, np.rint(weights)):
+            raise ValueError("aligned_dot expects integer-valued weights")
+        weights = np.rint(weights).astype(np.int64)
+    acc = int(np.sum(block.mantissas.astype(np.int64) * weights.astype(np.int64)))
+    return acc * block.scale

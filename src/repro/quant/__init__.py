@@ -1,0 +1,72 @@
+"""Weight-only quantization substrate.
+
+The FIGLUT paper evaluates models quantized with several weight-only methods:
+
+* simple round-to-nearest (RTN) uniform quantization (Table IV),
+* OPTQ-style second-order uniform quantization (Fig. 17 baseline),
+* binary-coding quantization (BCQ) via alternating optimization, optionally
+  with an offset term so that uniform grids are exactly representable
+  (Section II-B, Eq. 1–3, Fig. 1),
+* ShiftAddLLM-style BCQ with column-wise scaling and mixed-precision bit
+  allocation (Table VI, Fig. 17).
+
+All quantizers in this package are *functional*: they return both the packed
+representation the hardware would store (binary bit-planes, scales, offsets)
+and a dequantized FP matrix so accuracy experiments can run the quantized
+model with ordinary NumPy GEMMs or with the functional engine models in
+:mod:`repro.core.engines`.
+"""
+
+from repro.quant.rtn import (
+    RTNConfig,
+    UniformQuantizedTensor,
+    quantize_rtn,
+    dequantize_uniform,
+)
+from repro.quant.bcq import (
+    BCQConfig,
+    BCQTensor,
+    quantize_bcq,
+    dequantize_bcq,
+    uniform_to_bcq,
+)
+from repro.quant.optq import OPTQConfig, quantize_optq
+from repro.quant.shiftadd import ShiftAddConfig, quantize_shiftadd
+from repro.quant.mixed_precision import (
+    LayerSensitivity,
+    measure_layer_sensitivity,
+    allocate_mixed_precision,
+    MixedPrecisionPlan,
+)
+from repro.quant.packing import (
+    pack_bitplanes,
+    unpack_bitplanes,
+    pack_uniform_to_bitplanes,
+    bitplane_storage_bits,
+)
+from repro.quant.calibration import gather_calibration_hessian
+
+__all__ = [
+    "RTNConfig",
+    "UniformQuantizedTensor",
+    "quantize_rtn",
+    "dequantize_uniform",
+    "BCQConfig",
+    "BCQTensor",
+    "quantize_bcq",
+    "dequantize_bcq",
+    "uniform_to_bcq",
+    "OPTQConfig",
+    "quantize_optq",
+    "ShiftAddConfig",
+    "quantize_shiftadd",
+    "LayerSensitivity",
+    "measure_layer_sensitivity",
+    "allocate_mixed_precision",
+    "MixedPrecisionPlan",
+    "pack_bitplanes",
+    "unpack_bitplanes",
+    "pack_uniform_to_bitplanes",
+    "bitplane_storage_bits",
+    "gather_calibration_hessian",
+]

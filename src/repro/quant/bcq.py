@@ -1,0 +1,277 @@
+"""Binary-coding quantization (BCQ), Section II-B of the paper.
+
+A real weight ``w`` is represented as a linear combination of ``q`` binary
+values ``b_i ∈ {-1, +1}`` with scaling factors ``alpha_i`` and an optional
+offset ``z`` (Eq. 3)::
+
+    w ≈ sum_i alpha_i * b_i + z
+
+BCQ has no closed-form optimum, so we use the standard alternating
+optimization (greedy residual initialisation followed by refitting the
+scales by least squares, as in Xu et al. [33] / LUT-GEMM [28]):
+
+1. greedy: ``alpha_i = mean(|residual|)``, ``b_i = sign(residual)``;
+2. alternate: with ``B`` fixed, the optimal alphas solve the least-squares
+   system ``(BᵀB) alpha = Bᵀ w`` per row; with alphas fixed, re-pick each
+   ``b_i`` greedily.
+
+Scales are per output row (channel) or per group of input columns, matching
+the granularity used by LUT-GEMM / ShiftAddLLM.  With ``use_offset=True``
+the offset term makes the representation a superset of uniform quantization
+(Fig. 1); :func:`uniform_to_bcq` converts an RTN-quantized tensor exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.quant.rtn import UniformQuantizedTensor
+
+__all__ = [
+    "BCQConfig",
+    "BCQTensor",
+    "quantize_bcq",
+    "dequantize_bcq",
+    "uniform_to_bcq",
+]
+
+
+@dataclass(frozen=True)
+class BCQConfig:
+    """Configuration for BCQ quantization.
+
+    Attributes
+    ----------
+    bits:
+        Number of binary bit-planes ``q``.
+    use_offset:
+        Include the offset term ``z`` (Eq. 3); required to represent uniform
+        grids exactly and generally lowers error.
+    group_size:
+        Number of input columns sharing one set of scaling factors.  ``None``
+        means one set of scales per full output row.
+    iterations:
+        Alternating-optimization refinement iterations after the greedy
+        initialisation.
+    """
+
+    bits: int = 4
+    use_offset: bool = True
+    group_size: int | None = None
+    iterations: int = 5
+
+    def __post_init__(self) -> None:
+        if self.bits < 1:
+            raise ValueError("bits must be >= 1")
+        if self.group_size is not None and self.group_size < 1:
+            raise ValueError("group_size must be >= 1 or None")
+        if self.iterations < 0:
+            raise ValueError("iterations must be >= 0")
+
+
+@dataclass
+class BCQTensor:
+    """A BCQ-quantized weight matrix.
+
+    Attributes
+    ----------
+    bitplanes:
+        int8 array of shape ``(bits, rows, cols)`` with entries in {-1, +1}.
+    scales:
+        float array of shape ``(bits, rows, n_groups)``; ``scales[i, r, g]``
+        multiplies bit-plane ``i`` for row ``r`` within column group ``g``.
+    offsets:
+        float array of shape ``(rows, n_groups)`` (zeros when the offset term
+        is disabled).
+    group_size:
+        Number of columns per group (the last group may be smaller).
+    shape:
+        Original (rows, cols) of the weight matrix.
+    """
+
+    bitplanes: np.ndarray
+    scales: np.ndarray
+    offsets: np.ndarray
+    group_size: int
+    shape: tuple[int, int]
+    per_row_bits: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    @property
+    def bits(self) -> int:
+        return int(self.bitplanes.shape[0])
+
+    @property
+    def n_groups(self) -> int:
+        return int(self.scales.shape[2])
+
+    def dequantize(self) -> np.ndarray:
+        """Reconstruct the FP weight matrix."""
+        return dequantize_bcq(self)
+
+    def storage_bits(self) -> int:
+        """Bits to store bit-planes (1 bit each) plus FP16 scales/offsets."""
+        plane_bits = self.bitplanes.size
+        meta_bits = (self.scales.size + self.offsets.size) * 16
+        return int(plane_bits + meta_bits)
+
+    def column_groups(self) -> list[slice]:
+        """Column slices corresponding to each scale group."""
+        cols = self.shape[1]
+        return [slice(g * self.group_size, min((g + 1) * self.group_size, cols))
+                for g in range(self.n_groups)]
+
+
+def _greedy_bcq(block: np.ndarray, bits: int) -> tuple[np.ndarray, np.ndarray]:
+    """Greedy residual BCQ for a 1-D block: returns (B, alpha).
+
+    ``B`` has shape (bits, n) with entries ±1, ``alpha`` has shape (bits,).
+    """
+    residual = block.astype(np.float64).copy()
+    n = residual.size
+    planes = np.empty((bits, n), dtype=np.int8)
+    alphas = np.empty(bits, dtype=np.float64)
+    for i in range(bits):
+        b = np.where(residual >= 0, 1, -1).astype(np.int8)
+        alpha = float(np.mean(np.abs(residual))) if n else 0.0
+        planes[i] = b
+        alphas[i] = alpha
+        residual = residual - alpha * b
+    return planes, alphas
+
+
+def _refine_alternating(block: np.ndarray, planes: np.ndarray, alphas: np.ndarray,
+                        iterations: int, use_offset: bool) -> tuple[np.ndarray, np.ndarray, float]:
+    """Alternating refinement of (planes, alphas, offset) for a 1-D block."""
+    bits, n = planes.shape
+    offset = float(np.mean(block)) if use_offset else 0.0
+    target = block - offset
+    for _ in range(iterations):
+        # Solve least squares for alphas with B fixed: minimise ||Bᵀ·alpha - target||.
+        basis = planes.astype(np.float64)  # (bits, n)
+        gram = basis @ basis.T  # (bits, bits)
+        rhs = basis @ target
+        try:
+            alphas = np.linalg.solve(gram + 1e-9 * np.eye(bits), rhs)
+        except np.linalg.LinAlgError:  # pragma: no cover - defensive
+            alphas, *_ = np.linalg.lstsq(basis.T, target, rcond=None)
+        # Keep scales non-negative and ordered for a canonical representation.
+        negative = alphas < 0
+        alphas = np.abs(alphas)
+        planes[negative] *= -1
+        # Re-pick each bit-plane greedily against the residual of the others.
+        for i in range(bits):
+            others = (alphas[:, None] * planes)[np.arange(bits) != i].sum(axis=0)
+            residual = target - others
+            if alphas[i] > 0:
+                planes[i] = np.where(residual >= 0, 1, -1).astype(np.int8)
+        if use_offset:
+            approx = (alphas[:, None] * planes).sum(axis=0)
+            offset = float(np.mean(block - approx))
+            target = block - offset
+    return planes, alphas, offset
+
+
+def quantize_bcq(weight: np.ndarray, config: BCQConfig | None = None) -> BCQTensor:
+    """Quantize a 2-D weight matrix into BCQ bit-planes, scales, and offsets."""
+    config = config or BCQConfig()
+    w = np.asarray(weight, dtype=np.float64)
+    if w.ndim != 2:
+        raise ValueError("quantize_bcq expects a 2-D weight matrix")
+
+    rows, cols = w.shape
+    group_size = config.group_size or cols
+    group_size = min(group_size, cols) if cols else 1
+    n_groups = max((cols + group_size - 1) // group_size, 1)
+
+    bitplanes = np.zeros((config.bits, rows, cols), dtype=np.int8)
+    scales = np.zeros((config.bits, rows, n_groups), dtype=np.float64)
+    offsets = np.zeros((rows, n_groups), dtype=np.float64)
+
+    for r in range(rows):
+        for g in range(n_groups):
+            csl = slice(g * group_size, min((g + 1) * group_size, cols))
+            block = w[r, csl]
+            if block.size == 0:
+                continue
+            planes, alphas = _greedy_bcq(block, config.bits)
+            planes, alphas, offset = _refine_alternating(
+                block, planes, alphas, config.iterations, config.use_offset)
+            bitplanes[:, r, csl] = planes
+            scales[:, r, g] = alphas
+            offsets[r, g] = offset
+
+    per_row_bits = np.full(rows, config.bits, dtype=np.int64)
+    return BCQTensor(bitplanes=bitplanes, scales=scales, offsets=offsets,
+                     group_size=group_size, shape=(rows, cols),
+                     per_row_bits=per_row_bits)
+
+
+def dequantize_bcq(tensor: BCQTensor) -> np.ndarray:
+    """Reconstruct the FP weight matrix from a :class:`BCQTensor`."""
+    rows, cols = tensor.shape
+    out = np.zeros((rows, cols), dtype=np.float64)
+    for g, csl in enumerate(tensor.column_groups()):
+        # scales[:, :, g] has shape (bits, rows); bitplanes[:, :, csl] is (bits, rows, w)
+        planes = tensor.bitplanes[:, :, csl].astype(np.float64)
+        scaled = planes * tensor.scales[:, :, g][:, :, None]
+        out[:, csl] = scaled.sum(axis=0) + tensor.offsets[:, g][:, None]
+    return out
+
+
+def uniform_to_bcq(tensor: UniformQuantizedTensor) -> BCQTensor:
+    """Convert a uniformly quantized tensor to an *exact* BCQ representation.
+
+    Following Section II-B / Fig. 1: a ``q``-bit uniform grid with step
+    ``s`` and zero point ``z`` is exactly the BCQ representation with scales
+    ``alpha_i = s * 2**(q-1-i) / 2`` and an offset that recentres the grid.
+    Each uniform code ``c`` maps to the binary expansion of ``c`` where bit
+    value 1 → +1 and bit value 0 → -1.
+    """
+    rows, cols = tensor.shape
+    bits = tensor.bits
+    if tensor.granularity == "group":
+        group_size = tensor.group_size
+    else:
+        group_size = cols if cols else 1
+    n_groups = max((cols + group_size - 1) // group_size, 1)
+
+    bitplanes = np.zeros((bits, rows, cols), dtype=np.int8)
+    scales = np.zeros((bits, rows, n_groups), dtype=np.float64)
+    offsets = np.zeros((rows, n_groups), dtype=np.float64)
+
+    codes = tensor.codes
+    for i in range(bits):
+        # Bit i is the (bits-1-i)-th binary digit, MSB first in plane order.
+        digit = (codes >> (bits - 1 - i)) & 1
+        bitplanes[i] = np.where(digit == 1, 1, -1).astype(np.int8)
+
+    # Per-scope scale/zero-point → per (row, group) BCQ scales/offsets.
+    if tensor.granularity == "tensor":
+        def scope_of(r: int, g: int) -> int:
+            return 0
+    elif tensor.granularity == "channel":
+        def scope_of(r: int, g: int) -> int:
+            return r
+    else:
+        groups_per_row = n_groups
+
+        def scope_of(r: int, g: int) -> int:
+            return r * groups_per_row + g
+
+    for r in range(rows):
+        for g in range(n_groups):
+            s = tensor.scales[scope_of(r, g)]
+            z = tensor.zero_points[scope_of(r, g)]
+            for i in range(bits):
+                scales[i, r, g] = s * (1 << (bits - 1 - i)) / 2.0
+            # code c = sum_i digit_i 2^(bits-1-i); with b = 2*digit - 1 the
+            # reconstruction is sum_i alpha_i b_i + offset where
+            # offset = s * ((2^bits - 1)/2 - z).
+            offsets[r, g] = s * (((1 << bits) - 1) / 2.0 - z)
+
+    per_row_bits = np.full(rows, bits, dtype=np.int64)
+    return BCQTensor(bitplanes=bitplanes, scales=scales, offsets=offsets,
+                     group_size=group_size, shape=(rows, cols),
+                     per_row_bits=per_row_bits)

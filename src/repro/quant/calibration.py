@@ -1,0 +1,43 @@
+"""Calibration statistics used by second-order quantizers (OPTQ, ShiftAddLLM).
+
+OPTQ minimises the layer output error ``||W X - Ŵ X||²`` using the Hessian
+``H = 2 X Xᵀ`` of that objective, estimated on a small calibration set.  The
+helper here accumulates that Hessian from activation batches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["gather_calibration_hessian"]
+
+
+def gather_calibration_hessian(activations: np.ndarray, damp_ratio: float = 0.01) -> np.ndarray:
+    """Build the (damped) Hessian ``2 X Xᵀ`` from calibration activations.
+
+    Parameters
+    ----------
+    activations:
+        Array of shape ``(n_samples, in_features)`` containing the inputs
+        that feed the linear layer being quantized.
+    damp_ratio:
+        Diagonal damping added as ``damp_ratio * mean(diag(H))``, matching
+        the "percdamp" stabilisation used by OPTQ.
+
+    Returns
+    -------
+    np.ndarray
+        Symmetric positive-definite matrix of shape
+        ``(in_features, in_features)``.
+    """
+    x = np.asarray(activations, dtype=np.float64)
+    if x.ndim != 2:
+        raise ValueError("activations must be 2-D (n_samples, in_features)")
+    if x.shape[0] == 0:
+        raise ValueError("at least one calibration sample is required")
+    hessian = 2.0 * (x.T @ x) / x.shape[0]
+    damp = damp_ratio * float(np.mean(np.diag(hessian)))
+    if damp <= 0:
+        damp = damp_ratio
+    hessian = hessian + damp * np.eye(x.shape[1])
+    return hessian

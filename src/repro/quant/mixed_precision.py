@@ -1,0 +1,159 @@
+"""Layer-wise sensitivity analysis and mixed-precision bit allocation.
+
+ShiftAddLLM improves the accuracy/efficiency trade-off by giving sensitive
+layers more bit-planes and robust layers fewer, producing fractional average
+bit widths such as the "FIGLUT-Q2.4" point in Fig. 17.  Because FIGLUT is a
+bit-serial architecture, a layer quantized with ``q`` bit-planes simply takes
+``q`` passes — no hardware change is needed, which is exactly why the paper
+can sweep mixed-precision configurations on one fixed design.
+
+This module provides:
+
+* :func:`measure_layer_sensitivity` — per-layer proxy sensitivity: the
+  increase in (optionally activation-weighted) squared output error when the
+  layer is quantized at a candidate bit width;
+* :func:`allocate_mixed_precision` — greedy marginal-gain allocation of
+  bit-planes across layers under an average-bit budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.quant.bcq import BCQConfig, quantize_bcq
+
+__all__ = [
+    "LayerSensitivity",
+    "measure_layer_sensitivity",
+    "allocate_mixed_precision",
+    "MixedPrecisionPlan",
+]
+
+
+@dataclass
+class LayerSensitivity:
+    """Quantization sensitivity of a single layer.
+
+    Attributes
+    ----------
+    name:
+        Layer identifier.
+    n_weights:
+        Number of weight elements (used to weight the average-bit budget).
+    error_by_bits:
+        Mapping from candidate bit width to the layer's proxy output error
+        when quantized at that width.
+    """
+
+    name: str
+    n_weights: int
+    error_by_bits: dict[int, float] = field(default_factory=dict)
+
+    def marginal_gain(self, from_bits: int, to_bits: int) -> float:
+        """Error reduction per additional weight bit when moving between widths."""
+        if to_bits <= from_bits:
+            raise ValueError("to_bits must exceed from_bits")
+        delta_err = self.error_by_bits[from_bits] - self.error_by_bits[to_bits]
+        delta_bits = (to_bits - from_bits) * self.n_weights
+        return delta_err / delta_bits if delta_bits else 0.0
+
+
+def measure_layer_sensitivity(name: str, weight: np.ndarray,
+                              candidate_bits: tuple[int, ...] = (1, 2, 3, 4),
+                              activations: np.ndarray | None = None,
+                              bcq_iterations: int = 3) -> LayerSensitivity:
+    """Measure the quantization error of one layer at each candidate bit width.
+
+    The proxy error is ``||(W - Ŵ) Xᵀ||²`` when calibration activations are
+    provided (activation-aware, as in AWQ/ShiftAddLLM sensitivity analyses),
+    otherwise the plain Frobenius error ``||W - Ŵ||²``.
+    """
+    w = np.asarray(weight, dtype=np.float64)
+    if w.ndim != 2:
+        raise ValueError("weight must be 2-D")
+    sensitivity = LayerSensitivity(name=name, n_weights=int(w.size))
+    for bits in sorted(set(candidate_bits)):
+        qt = quantize_bcq(w, BCQConfig(bits=bits, iterations=bcq_iterations))
+        w_hat = qt.dequantize()
+        diff = w - w_hat
+        if activations is not None:
+            x = np.asarray(activations, dtype=np.float64)
+            if x.ndim != 2 or x.shape[1] != w.shape[1]:
+                raise ValueError("activations must have shape (n, in_features)")
+            err = float(np.sum((diff @ x.T) ** 2)) / max(x.shape[0], 1)
+        else:
+            err = float(np.sum(diff ** 2))
+        sensitivity.error_by_bits[bits] = err
+    return sensitivity
+
+
+@dataclass
+class MixedPrecisionPlan:
+    """Result of a mixed-precision allocation.
+
+    Attributes
+    ----------
+    bits_per_layer:
+        Mapping layer name → allocated bit-plane count.
+    average_bits:
+        Weight-count-weighted average bit width of the plan.
+    total_error:
+        Sum of the layers' proxy errors under the plan.
+    """
+
+    bits_per_layer: dict[str, int]
+    average_bits: float
+    total_error: float
+
+    def bits_for(self, name: str) -> int:
+        return self.bits_per_layer[name]
+
+
+def allocate_mixed_precision(sensitivities: list[LayerSensitivity],
+                             target_average_bits: float,
+                             min_bits: int = 1,
+                             max_bits: int = 4) -> MixedPrecisionPlan:
+    """Allocate bit-planes across layers to hit an average-bit budget.
+
+    Greedy algorithm: start every layer at ``min_bits``, then repeatedly give
+    one more bit to the layer with the largest error-reduction per additional
+    stored bit, until the weight-weighted average reaches
+    ``target_average_bits``.
+    """
+    if not sensitivities:
+        raise ValueError("at least one layer sensitivity is required")
+    if not (min_bits <= target_average_bits <= max_bits):
+        raise ValueError("target_average_bits must lie within [min_bits, max_bits]")
+    for s in sensitivities:
+        for b in range(min_bits, max_bits + 1):
+            if b not in s.error_by_bits:
+                raise ValueError(f"layer {s.name!r} is missing sensitivity at {b} bits")
+
+    bits = {s.name: min_bits for s in sensitivities}
+    total_weights = sum(s.n_weights for s in sensitivities)
+    budget_bits = target_average_bits * total_weights
+
+    def used_bits() -> float:
+        return sum(bits[s.name] * s.n_weights for s in sensitivities)
+
+    # Greedily add bit-planes while staying within the budget.
+    while True:
+        candidates = []
+        for s in sensitivities:
+            b = bits[s.name]
+            if b >= max_bits:
+                continue
+            if used_bits() + s.n_weights > budget_bits + 1e-9:
+                continue
+            candidates.append((s.marginal_gain(b, b + 1), s))
+        if not candidates:
+            break
+        _, best = max(candidates, key=lambda item: item[0])
+        bits[best.name] += 1
+
+    average = used_bits() / total_weights
+    total_error = sum(s.error_by_bits[bits[s.name]] for s in sensitivities)
+    return MixedPrecisionPlan(bits_per_layer=bits, average_bits=average,
+                              total_error=total_error)

@@ -1,0 +1,153 @@
+"""OPTQ-style second-order uniform quantization (Frantar et al. [10]).
+
+OPTQ quantizes weights column by column, using the Cholesky factor of the
+inverse Hessian of the layer-output objective to propagate the rounding
+error of each quantized column into the not-yet-quantized columns.  This is
+the uniform-quantization baseline used for FIGNA in Fig. 17.
+
+The implementation follows the published algorithm:
+
+1. estimate ``H = 2 X Xᵀ`` on calibration activations (``repro.quant.calibration``),
+2. compute ``Hinv = Cholesky(H⁻¹)`` (upper triangular),
+3. for each column ``j`` (optionally in blocks): quantize, record the error
+   ``e = (w_j - q_j) / Hinv[j, j]``, and update the remaining columns
+   ``W[:, j+1:] -= e · Hinv[j, j+1:]``.
+
+The per-row scale/zero-point grid is the same asymmetric RTN grid so that
+the only difference from RTN is the error compensation — exactly the
+comparison the paper relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.quant.rtn import RTNConfig, UniformQuantizedTensor, quantize_rtn
+from repro.quant.calibration import gather_calibration_hessian
+
+__all__ = ["OPTQConfig", "quantize_optq"]
+
+
+@dataclass(frozen=True)
+class OPTQConfig:
+    """Configuration for OPTQ quantization.
+
+    Attributes
+    ----------
+    bits:
+        Weight bit width.
+    block_size:
+        Number of columns processed per lazy-update block.
+    damp_ratio:
+        Hessian diagonal damping ratio.
+    symmetric:
+        Use a symmetric grid instead of asymmetric min/max.
+    """
+
+    bits: int = 4
+    block_size: int = 128
+    damp_ratio: float = 0.01
+    symmetric: bool = False
+
+    def __post_init__(self) -> None:
+        if self.bits < 1:
+            raise ValueError("bits must be >= 1")
+        if self.block_size < 1:
+            raise ValueError("block_size must be >= 1")
+
+
+def _row_grid(w: np.ndarray, bits: int, symmetric: bool) -> tuple[np.ndarray, np.ndarray]:
+    """Per-row (scale, zero_point) for an asymmetric/symmetric uniform grid."""
+    qmax = (1 << bits) - 1
+    if symmetric:
+        absmax = np.max(np.abs(w), axis=1)
+        scales = np.where(absmax > 0, 2.0 * absmax / qmax, 1.0)
+        zeros = np.full(w.shape[0], qmax / 2.0)
+    else:
+        lo = np.min(w, axis=1)
+        hi = np.max(w, axis=1)
+        span = hi - lo
+        scales = np.where(span > 0, span / qmax, 1.0)
+        zeros = np.where(span > 0, -lo / scales, 0.0)
+    return scales, zeros
+
+
+def quantize_optq(weight: np.ndarray, calibration_activations: np.ndarray,
+                  config: OPTQConfig | None = None) -> UniformQuantizedTensor:
+    """Quantize ``weight`` (rows = output channels) with OPTQ error compensation.
+
+    Parameters
+    ----------
+    weight:
+        2-D weight matrix of shape ``(out_features, in_features)``.
+    calibration_activations:
+        Calibration inputs of shape ``(n_samples, in_features)``.
+    config:
+        OPTQ configuration; defaults to 4-bit, block size 128.
+    """
+    config = config or OPTQConfig()
+    w = np.asarray(weight, dtype=np.float64).copy()
+    if w.ndim != 2:
+        raise ValueError("quantize_optq expects a 2-D weight matrix")
+    rows, cols = w.shape
+    x = np.asarray(calibration_activations, dtype=np.float64)
+    if x.ndim != 2 or x.shape[1] != cols:
+        raise ValueError("calibration activations must have shape (n, in_features)")
+
+    hessian = gather_calibration_hessian(x, damp_ratio=config.damp_ratio)
+
+    # Dead columns (zero Hessian diagonal) get their weights zeroed, as OPTQ does.
+    dead = np.diag(hessian) == 0
+    if np.any(dead):
+        hessian[dead, dead] = 1.0
+        w[:, dead] = 0.0
+
+    hinv = np.linalg.inv(hessian)
+    # Upper-triangular Cholesky factor of the inverse Hessian.
+    hinv_chol = np.linalg.cholesky(hinv).T
+
+    scales, zeros = _row_grid(w, config.bits, config.symmetric)
+    qmax = (1 << config.bits) - 1
+    codes = np.zeros((rows, cols), dtype=np.int64)
+
+    for block_start in range(0, cols, config.block_size):
+        block_end = min(block_start + config.block_size, cols)
+        w_block = w[:, block_start:block_end].copy()
+        err_block = np.zeros_like(w_block)
+        h_block = hinv_chol[block_start:block_end, block_start:block_end]
+
+        for j in range(block_end - block_start):
+            col = w_block[:, j]
+            d = h_block[j, j]
+            q = np.clip(np.rint(col / scales + zeros), 0, qmax)
+            codes[:, block_start + j] = q.astype(np.int64)
+            deq = (q - zeros) * scales
+            err = (col - deq) / d
+            # Propagate error to the remaining columns of this block.
+            if j + 1 < block_end - block_start:
+                w_block[:, j + 1:] -= np.outer(err, h_block[j, j + 1:])
+            err_block[:, j] = err
+
+        # Lazy batch update of all columns after this block.
+        if block_end < cols:
+            w[:, block_end:] -= err_block @ hinv_chol[block_start:block_end, block_end:]
+
+    return UniformQuantizedTensor(
+        codes=codes,
+        scales=scales,
+        zero_points=zeros,
+        bits=config.bits,
+        granularity="channel",
+        group_size=cols,
+        shape=(rows, cols),
+    )
+
+
+def quantize_optq_or_rtn(weight: np.ndarray, calibration_activations: np.ndarray | None,
+                         bits: int) -> UniformQuantizedTensor:
+    """Use OPTQ when calibration data is available, otherwise fall back to RTN."""
+    if calibration_activations is None:
+        return quantize_rtn(weight, RTNConfig(bits=bits, granularity="channel"))
+    return quantize_optq(weight, calibration_activations, OPTQConfig(bits=bits))

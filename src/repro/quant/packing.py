@@ -1,0 +1,82 @@
+"""Bit-plane packing utilities.
+
+FIGLUT (like iFPU) consumes weights as *binary bit-planes*: a ``q``-bit BCQ
+weight matrix is stored as ``q`` separate {-1, +1} matrices, each packed one
+bit per weight.  The MPU processes one bit-plane at a time (Fig. 5b), so the
+packing order — bit-plane major, then tile — matters for the dataflow model.
+
+These helpers convert between ±1 bit-plane arrays and packed uint words, and
+compute the storage footprint used by the memory-traffic models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "pack_bitplanes",
+    "unpack_bitplanes",
+    "pack_uniform_to_bitplanes",
+    "bitplane_storage_bits",
+]
+
+
+def pack_bitplanes(bitplanes: np.ndarray) -> np.ndarray:
+    """Pack a (bits, rows, cols) array of ±1 values into uint8 words.
+
+    Each group of 8 column entries is packed into one byte, MSB first; +1 is
+    stored as bit 1 and -1 as bit 0.  The returned array has shape
+    ``(bits, rows, ceil(cols / 8))``.
+    """
+    arr = np.asarray(bitplanes)
+    if arr.ndim != 3:
+        raise ValueError("bitplanes must have shape (bits, rows, cols)")
+    if not np.all(np.isin(arr, (-1, 1))):
+        raise ValueError("bitplanes must contain only -1 and +1")
+    bits01 = (arr == 1).astype(np.uint8)
+    return np.packbits(bits01, axis=2)
+
+
+def unpack_bitplanes(packed: np.ndarray, cols: int) -> np.ndarray:
+    """Inverse of :func:`pack_bitplanes`; returns ±1 int8 values."""
+    arr = np.asarray(packed, dtype=np.uint8)
+    if arr.ndim != 3:
+        raise ValueError("packed bitplanes must have shape (bits, rows, words)")
+    bits01 = np.unpackbits(arr, axis=2)[:, :, :cols]
+    return np.where(bits01 == 1, 1, -1).astype(np.int8)
+
+
+def pack_uniform_to_bitplanes(codes: np.ndarray, bits: int) -> np.ndarray:
+    """Split uniform integer codes into sign-coded bit-planes (MSB first).
+
+    Mirrors :func:`repro.quant.bcq.uniform_to_bcq` but returns only the ±1
+    planes (useful when the scales/offset bookkeeping is handled elsewhere).
+    """
+    arr = np.asarray(codes, dtype=np.int64)
+    if arr.ndim != 2:
+        raise ValueError("codes must be a 2-D integer matrix")
+    if np.any(arr < 0) or np.any(arr >= (1 << bits)):
+        raise ValueError(f"codes must lie in [0, {(1 << bits) - 1}]")
+    planes = np.empty((bits,) + arr.shape, dtype=np.int8)
+    for i in range(bits):
+        digit = (arr >> (bits - 1 - i)) & 1
+        planes[i] = np.where(digit == 1, 1, -1)
+    return planes
+
+
+def bitplane_storage_bits(shape: tuple[int, int], bits: int,
+                          group_size: int | None = None,
+                          scale_bits: int = 16,
+                          include_offset: bool = True) -> int:
+    """Storage footprint (bits) of a BCQ weight matrix.
+
+    One bit per weight per plane, plus ``scale_bits`` per (plane, row, group)
+    scaling factor and per (row, group) offset.
+    """
+    rows, cols = shape
+    group = group_size or cols
+    n_groups = max((cols + group - 1) // group, 1) if cols else 1
+    plane_bits = rows * cols * bits
+    scale_storage = bits * rows * n_groups * scale_bits
+    offset_storage = rows * n_groups * scale_bits if include_offset else 0
+    return int(plane_bits + scale_storage + offset_storage)

@@ -1,0 +1,32 @@
+"""Shared pytest fixtures for the FIGLUT reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic random generator shared by the tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_weight(rng) -> np.ndarray:
+    """A small weight matrix with a realistic (roughly Gaussian) distribution."""
+    return rng.standard_normal((24, 32)) * 0.1
+
+
+@pytest.fixture
+def small_activations(rng) -> np.ndarray:
+    """A small activation matrix (in_features, batch)."""
+    return rng.standard_normal((32, 5))
+
+
+@pytest.fixture(scope="session")
+def trained_testbed():
+    """A small trained LM shared by the accuracy-oriented tests (built once)."""
+    from repro.eval.accuracy import build_testbed
+
+    return build_testbed(epochs=2, num_paragraphs=80, max_batches=2)

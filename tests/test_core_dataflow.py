@@ -1,0 +1,69 @@
+"""Tests for the weight-stationary tiling schedule."""
+
+import pytest
+
+from repro.core.dataflow import (
+    TilingConfig,
+    count_tile_fetches,
+    iterate_bcq_weight_tiles,
+    iterate_int_weight_tiles,
+)
+
+
+class TestTilingConfig:
+    def test_num_tiles(self):
+        config = TilingConfig(tile_m=64, tile_n=64)
+        assert config.num_tiles(128, 256) == 2 * 4
+        assert config.num_tiles(100, 100) == 2 * 2  # ragged edges round up
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            TilingConfig(tile_m=0, tile_n=4)
+
+
+class TestIntSchedule:
+    def test_covers_whole_matrix_once(self):
+        config = TilingConfig(tile_m=3, tile_n=4)
+        tiles = list(iterate_int_weight_tiles(7, 10, config))
+        covered = set()
+        for t in tiles:
+            assert t.bit_plane == 0
+            for r in range(t.row_slice.start, t.row_slice.stop):
+                for c in range(t.col_slice.start, t.col_slice.stop):
+                    assert (r, c) not in covered
+                    covered.add((r, c))
+        assert covered == {(r, c) for r in range(7) for c in range(10)}
+
+
+class TestBCQSchedule:
+    def test_bit_planes_innermost(self):
+        config = TilingConfig(tile_m=4, tile_n=4)
+        tiles = list(iterate_bcq_weight_tiles(8, 4, bits=3, config=config))
+        # First three entries must be the three planes of tile 0 (Fig. 5b).
+        assert [t.bit_plane for t in tiles[:3]] == [0, 1, 2]
+        assert all(t.tile_index == 0 for t in tiles[:3])
+        assert tiles[3].tile_index == 1
+
+    def test_total_steps(self):
+        config = TilingConfig(tile_m=4, tile_n=4)
+        tiles = list(iterate_bcq_weight_tiles(8, 8, bits=2, config=config))
+        assert len(tiles) == config.num_tiles(8, 8) * 2
+
+    def test_rejects_zero_bits(self):
+        with pytest.raises(ValueError):
+            list(iterate_bcq_weight_tiles(4, 4, bits=0, config=TilingConfig(2, 2)))
+
+
+class TestFetchCounts:
+    def test_bcq_schedule_reuses_inputs_across_planes(self):
+        config = TilingConfig(tile_m=16, tile_n=16)
+        counts = count_tile_fetches(64, 64, bits=4, config=config, bcq=True)
+        assert counts["input_tile_fetches"] == counts["tiles"]
+        assert counts["weight_tile_fetches"] == counts["tiles"] * 4
+        assert counts["input_tile_fetches_if_plane_outermost"] == counts["tiles"] * 4
+
+    def test_int_schedule_counts(self):
+        config = TilingConfig(tile_m=16, tile_n=16)
+        counts = count_tile_fetches(32, 32, bits=4, config=config, bcq=False)
+        assert counts["weight_tile_fetches"] == counts["tiles"]
+        assert counts["input_tile_fetches"] == counts["tiles"]

@@ -1,0 +1,80 @@
+"""Tests for the shared-partial-sum LUT generator."""
+
+import numpy as np
+import pytest
+
+from repro.core.lut import build_lut_values
+from repro.core.lut_generator import (
+    LUTGenerator,
+    generate_full_lut,
+    generate_half_lut,
+    generator_addition_count,
+    naive_addition_count,
+)
+
+
+class TestAdditionCounts:
+    def test_paper_numbers_for_mu4(self):
+        # Section III-E: 14 additions versus the straightforward 24 (42% fewer).
+        assert generator_addition_count(4) == 14
+        assert naive_addition_count(4, half=True) == 24
+
+    def test_savings_for_mu4_is_about_42_percent(self):
+        saving = 1 - generator_addition_count(4) / naive_addition_count(4, half=True)
+        assert saving == pytest.approx(0.42, abs=0.01)
+
+    @pytest.mark.parametrize("mu", [2, 3, 4, 6, 8])
+    def test_never_worse_than_naive(self, mu):
+        assert generator_addition_count(mu) <= naive_addition_count(mu, half=True)
+
+    def test_mu1_needs_no_additions(self):
+        assert generator_addition_count(1) == 0
+        assert naive_addition_count(1) == 0
+
+    def test_savings_grow_with_mu(self):
+        savings = [1 - generator_addition_count(mu) / naive_addition_count(mu, half=True)
+                   for mu in (3, 4, 6, 8)]
+        assert savings == sorted(savings)
+
+    def test_rejects_invalid_mu(self):
+        with pytest.raises(ValueError):
+            generator_addition_count(0)
+
+
+class TestGeneratedValues:
+    @pytest.mark.parametrize("mu", [1, 2, 3, 4, 5, 6])
+    def test_full_lut_matches_direct_construction(self, rng, mu):
+        x = rng.standard_normal(mu)
+        values, _ = generate_full_lut(x)
+        np.testing.assert_allclose(values, build_lut_values(x))
+
+    @pytest.mark.parametrize("mu", [2, 3, 4, 6])
+    def test_half_lut_is_first_half(self, rng, mu):
+        x = rng.standard_normal(mu)
+        half, _ = generate_half_lut(x)
+        np.testing.assert_allclose(half, build_lut_values(x)[: 1 << (mu - 1)])
+
+    def test_stats_report_paper_savings(self, rng):
+        _, stats = generate_half_lut(rng.standard_normal(4))
+        assert stats.additions == 14
+        assert stats.naive_additions == 24
+        assert stats.savings == pytest.approx(10 / 24)
+
+
+class TestLUTGeneratorObject:
+    def test_accumulates_addition_counts(self, rng):
+        gen = LUTGenerator(mu=4)
+        for _ in range(5):
+            gen.generate(rng.standard_normal(4))
+        assert gen.total_generations == 5
+        assert gen.total_additions == 5 * 14
+
+    def test_rejects_wrong_group_size(self, rng):
+        gen = LUTGenerator(mu=4)
+        with pytest.raises(ValueError):
+            gen.generate(rng.standard_normal(3))
+
+    def test_average_savings(self, rng):
+        gen = LUTGenerator(mu=4)
+        gen.generate(rng.standard_normal(4))
+        assert gen.average_savings == pytest.approx(10 / 24)

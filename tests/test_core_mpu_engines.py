@@ -1,0 +1,192 @@
+"""Tests for the MPU functional simulation and the functional GEMM engines."""
+
+import numpy as np
+import pytest
+
+from repro.core.engines import (
+    FIGLUTFloatEngine,
+    FIGLUTIntEngine,
+    FIGNAEngine,
+    FPEngine,
+    IFPUEngine,
+    available_engines,
+    make_engine,
+)
+from repro.core.gemm import figlut_gemm, prepare_weights, reference_gemm
+from repro.core.mpu import MPUConfig, MatrixProcessingUnit
+from repro.quant.bcq import BCQConfig, quantize_bcq, uniform_to_bcq
+from repro.quant.rtn import RTNConfig, quantize_rtn
+
+
+@pytest.fixture
+def bcq_weights(small_weight):
+    return quantize_bcq(small_weight, BCQConfig(bits=3, iterations=3))
+
+
+@pytest.fixture
+def uniform_weights(small_weight):
+    return quantize_rtn(small_weight, RTNConfig(bits=4, granularity="channel"))
+
+
+class TestMPU:
+    def test_matches_dequantized_reference(self, bcq_weights, small_activations):
+        mpu = MatrixProcessingUnit(MPUConfig(pe_rows=2, pe_cols=2, mu=4, k=8))
+        y, stats = mpu.gemm(bcq_weights, small_activations)
+        reference = bcq_weights.dequantize() @ small_activations
+        np.testing.assert_allclose(y, reference, rtol=1e-9, atol=1e-9)
+        assert stats.lut_reads > 0 and stats.cycles > 0
+
+    def test_vector_input(self, bcq_weights, rng):
+        mpu = MatrixProcessingUnit(MPUConfig(pe_rows=2, pe_cols=1, mu=4, k=8))
+        x = rng.standard_normal(bcq_weights.shape[1])
+        y, _ = mpu.gemm(bcq_weights, x)
+        np.testing.assert_allclose(y, bcq_weights.dequantize() @ x, rtol=1e-9, atol=1e-9)
+
+    def test_uniform_converted_weights(self, uniform_weights, small_activations):
+        bcq = uniform_to_bcq(uniform_weights)
+        mpu = MatrixProcessingUnit(MPUConfig(pe_rows=2, pe_cols=2, mu=4, k=16))
+        y, _ = mpu.gemm(bcq, small_activations)
+        np.testing.assert_allclose(y, uniform_weights.dequantize() @ small_activations,
+                                   rtol=1e-9, atol=1e-9)
+
+    def test_lut_read_count_matches_analytic_formula(self, bcq_weights, small_activations):
+        cfg = MPUConfig(pe_rows=2, pe_cols=2, mu=4, k=8)
+        mpu = MatrixProcessingUnit(cfg)
+        _, stats = mpu.gemm(bcq_weights, small_activations)
+        m, n = bcq_weights.shape
+        batch = small_activations.shape[1]
+        groups_per_tile_row = -(-cfg.tile_n // cfg.mu)
+        # Every (row, group, batch, plane) combination triggers one read.
+        tiles_n = -(-n // cfg.tile_n)
+        tiles_m = -(-m // cfg.tile_m)
+        total_reads = 0
+        for tm in range(tiles_m):
+            rows = min(cfg.tile_m, m - tm * cfg.tile_m)
+            for tn in range(tiles_n):
+                cols = min(cfg.tile_n, n - tn * cfg.tile_n)
+                groups = -(-cols // cfg.mu)
+                total_reads += rows * groups * batch * bcq_weights.bits
+        assert stats.lut_reads == total_reads
+        del groups_per_tile_row
+
+    def test_cycles_scale_with_bit_planes(self, small_weight, small_activations):
+        cfg = MPUConfig(pe_rows=2, pe_cols=2, mu=4, k=8)
+        y2, s2 = MatrixProcessingUnit(cfg).gemm(
+            quantize_bcq(small_weight, BCQConfig(bits=2, iterations=1)), small_activations)
+        y4, s4 = MatrixProcessingUnit(cfg).gemm(
+            quantize_bcq(small_weight, BCQConfig(bits=4, iterations=1)), small_activations)
+        assert s4.cycles == 2 * s2.cycles
+        del y2, y4
+
+    def test_shape_mismatch_raises(self, bcq_weights):
+        mpu = MatrixProcessingUnit()
+        with pytest.raises(ValueError):
+            mpu.gemm(bcq_weights, np.zeros((bcq_weights.shape[1] + 1, 2)))
+
+    def test_fp32_accumulation_close_to_fp64(self, bcq_weights, small_activations):
+        mpu = MatrixProcessingUnit(MPUConfig(pe_rows=2, pe_cols=2, mu=4, k=8))
+        y32, _ = mpu.gemm(bcq_weights, small_activations, accumulate_dtype=np.float32)
+        y64, _ = mpu.gemm(bcq_weights, small_activations, accumulate_dtype=np.float64)
+        np.testing.assert_allclose(y32, y64, rtol=1e-4, atol=1e-4)
+
+
+class TestEngines:
+    def test_available_engines(self):
+        assert available_engines() == ["fpe", "ifpu", "figna", "figlut-f", "figlut-i"]
+
+    def test_make_engine_unknown(self):
+        with pytest.raises(ValueError):
+            make_engine("tpu")
+
+    @pytest.mark.parametrize("name", ["fpe", "figna"])
+    def test_int_engines_match_reference(self, name, uniform_weights, small_activations):
+        engine = make_engine(name, activation_format="fp32")
+        y = engine.gemm(uniform_weights, small_activations)
+        reference = uniform_weights.dequantize() @ small_activations
+        np.testing.assert_allclose(y, reference, rtol=1e-4, atol=1e-5)
+
+    @pytest.mark.parametrize("name", ["ifpu", "figlut-f", "figlut-i"])
+    def test_bcq_engines_match_reference(self, name, bcq_weights, small_activations):
+        engine = make_engine(name, activation_format="fp32")
+        y = engine.gemm(bcq_weights, small_activations)
+        reference = bcq_weights.dequantize() @ small_activations
+        np.testing.assert_allclose(y, reference, rtol=1e-4, atol=1e-5)
+
+    def test_bcq_engines_accept_uniform_weights(self, uniform_weights, small_activations):
+        engine = FIGLUTFloatEngine(activation_format="fp32")
+        y = engine.gemm(uniform_weights, small_activations)
+        np.testing.assert_allclose(y, uniform_weights.dequantize() @ small_activations,
+                                   rtol=1e-4, atol=1e-5)
+
+    def test_int_engines_reject_bcq(self, bcq_weights, small_activations):
+        with pytest.raises(TypeError):
+            FPEngine().gemm(bcq_weights, small_activations)
+        with pytest.raises(TypeError):
+            FIGNAEngine().gemm(bcq_weights, small_activations)
+
+    def test_fp16_activation_quantization_changes_result(self, bcq_weights, small_activations):
+        fp32_engine = FIGLUTFloatEngine(activation_format="fp32")
+        fp16_engine = FIGLUTFloatEngine(activation_format="fp16")
+        y32 = fp32_engine.gemm(bcq_weights, small_activations)
+        y16 = fp16_engine.gemm(bcq_weights, small_activations)
+        assert not np.allclose(y32, y16, atol=0)
+        np.testing.assert_allclose(y32, y16, rtol=0.05, atol=0.05)
+
+    def test_engine_stats_populated(self, bcq_weights, small_activations):
+        engine = FIGLUTIntEngine(activation_format="fp16")
+        engine.gemm(bcq_weights, small_activations)
+        assert engine.stats.lut_reads > 0
+        assert engine.stats.prealignments > 0
+        engine.reset_stats()
+        assert engine.stats.lut_reads == 0
+
+    def test_ifpu_and_figlut_i_agree(self, bcq_weights, small_activations):
+        # Both use pre-aligned integer arithmetic on the same bit planes.
+        a = IFPUEngine(activation_format="fp16").gemm(bcq_weights, small_activations)
+        b = FIGLUTIntEngine(activation_format="fp16").gemm(bcq_weights, small_activations)
+        np.testing.assert_allclose(a, b, rtol=1e-10, atol=1e-12)
+
+    def test_vector_activation(self, bcq_weights, rng):
+        x = rng.standard_normal(bcq_weights.shape[1])
+        y = FIGLUTFloatEngine(activation_format="fp32").gemm(bcq_weights, x)
+        assert y.shape == (bcq_weights.shape[0],)
+
+
+class TestGEMMAPI:
+    def test_prepare_weights_bcq(self, small_weight):
+        packed = prepare_weights(small_weight, bits=3, method="bcq")
+        assert packed.bits == 3
+
+    def test_prepare_weights_uniform_is_exact_conversion(self, small_weight):
+        packed = prepare_weights(small_weight, bits=4, method="uniform")
+        rtn = quantize_rtn(small_weight, RTNConfig(bits=4, granularity="channel"))
+        np.testing.assert_allclose(packed.dequantize(), rtn.dequantize(), atol=1e-10)
+
+    def test_prepare_weights_bad_method(self, small_weight):
+        with pytest.raises(ValueError):
+            prepare_weights(small_weight, method="log")
+
+    def test_figlut_gemm_variants_agree_with_reference(self, small_weight, small_activations):
+        packed = prepare_weights(small_weight, bits=4, method="bcq")
+        reference = reference_gemm(packed, small_activations)
+        for variant in ("figlut-f", "figlut-i"):
+            y = figlut_gemm(packed, small_activations, variant=variant,
+                            activation_format="fp32")
+            np.testing.assert_allclose(y, reference, rtol=1e-4, atol=1e-5)
+
+    def test_figlut_gemm_detailed_returns_stats(self, small_weight, small_activations):
+        packed = prepare_weights(small_weight, bits=2, method="bcq")
+        y, stats = figlut_gemm(packed, small_activations, detailed=True,
+                               mpu_config=MPUConfig(pe_rows=2, pe_cols=1, mu=4, k=8))
+        np.testing.assert_allclose(y, reference_gemm(packed, small_activations),
+                                   rtol=1e-5, atol=1e-6)
+        assert stats.cycles > 0
+
+    def test_figlut_gemm_rejects_raw_arrays(self, small_weight, small_activations):
+        with pytest.raises(TypeError):
+            figlut_gemm(small_weight, small_activations)
+
+    def test_figlut_gemm_bad_variant(self, small_weight, small_activations):
+        packed = prepare_weights(small_weight, bits=2)
+        with pytest.raises(ValueError):
+            figlut_gemm(packed, small_activations, variant="figlut-x")

@@ -1,0 +1,123 @@
+"""Tests for the RAC unit and the processing element."""
+
+import numpy as np
+import pytest
+
+from repro.core.lut import FFLUT, HalfFFLUT, pattern_to_key
+from repro.core.pe import ProcessingElement
+from repro.core.rac import RAC
+
+
+class TestRAC:
+    def test_step_accumulates_lut_values(self, rng):
+        x = rng.standard_normal(3)
+        lut = FFLUT.from_activations(x)
+        rac = RAC()
+        rac.step(lut, key=7)
+        rac.step(lut, key=0)
+        assert rac.accumulator == pytest.approx(lut.values[7] + lut.values[0])
+        assert rac.reads == 2 and rac.accumulations == 2
+
+    def test_key_register_is_reused(self, rng):
+        lut = FFLUT.from_activations(rng.standard_normal(3))
+        rac = RAC()
+        rac.load_key(5)
+        rac.step(lut)
+        rac.step(lut)
+        assert rac.accumulator == pytest.approx(2 * lut.values[5])
+
+    def test_step_without_key_raises(self, rng):
+        lut = FFLUT.from_activations(rng.standard_normal(3))
+        with pytest.raises(RuntimeError):
+            RAC().step(lut)
+
+    def test_drain_returns_and_clears(self, rng):
+        lut = FFLUT.from_activations(rng.standard_normal(3))
+        rac = RAC()
+        rac.step(lut, key=1)
+        value = rac.drain()
+        assert value == pytest.approx(lut.values[1])
+        assert rac.accumulator == 0.0
+
+    def test_works_with_half_lut(self, rng):
+        x = rng.standard_normal(4)
+        half = HalfFFLUT.from_activations(x)
+        full = FFLUT.from_activations(x)
+        rac = RAC()
+        rac.step(half, key=13)
+        assert rac.accumulator == pytest.approx(full.values[13])
+
+    def test_reset(self, rng):
+        lut = FFLUT.from_activations(rng.standard_normal(3))
+        rac = RAC()
+        rac.step(lut, key=2)
+        rac.reset()
+        assert rac.accumulator == 0.0 and rac.key_register is None and rac.reads == 0
+
+
+class TestProcessingElement:
+    def test_partial_sums_match_reference(self, rng):
+        mu, k = 4, 8
+        pe = ProcessingElement(mu=mu, k=k)
+        x = rng.standard_normal(mu)
+        patterns = rng.choice([-1, 1], size=(k, mu))
+        pe.load_activations(x)
+        sums = pe.read_accumulate_patterns(patterns)
+        np.testing.assert_allclose(sums, patterns @ x)
+
+    def test_accumulation_over_multiple_groups(self, rng):
+        mu, k = 2, 4
+        pe = ProcessingElement(mu=mu, k=k)
+        total = np.zeros(k)
+        for _ in range(3):
+            x = rng.standard_normal(mu)
+            patterns = rng.choice([-1, 1], size=(k, mu))
+            pe.load_activations(x)
+            pe.read_accumulate_patterns(patterns)
+            total += patterns @ x
+        np.testing.assert_allclose(pe.drain(), total)
+
+    def test_full_and_half_lut_agree(self, rng):
+        mu, k = 4, 16
+        x = rng.standard_normal(mu)
+        keys = rng.integers(0, 1 << mu, size=k)
+        pe_full = ProcessingElement(mu=mu, k=k, use_half_lut=False)
+        pe_half = ProcessingElement(mu=mu, k=k, use_half_lut=True)
+        pe_full.load_activations(x)
+        pe_half.load_activations(x)
+        np.testing.assert_allclose(pe_full.read_accumulate(keys), pe_half.read_accumulate(keys))
+
+    def test_stats_track_reads_and_generations(self, rng):
+        pe = ProcessingElement(mu=4, k=8)
+        pe.load_activations(rng.standard_normal(4))
+        pe.read_accumulate(rng.integers(0, 16, size=8))
+        pe.read_accumulate(rng.integers(0, 16, size=8))
+        assert pe.stats.lut_generations == 1
+        assert pe.stats.lut_reads == 16
+        assert pe.stats.generator_additions == 14
+
+    def test_read_before_load_raises(self):
+        pe = ProcessingElement(mu=4, k=4)
+        with pytest.raises(RuntimeError):
+            pe.read_accumulate(np.zeros(4, dtype=np.int64))
+
+    def test_wrong_key_count_raises(self, rng):
+        pe = ProcessingElement(mu=4, k=4)
+        pe.load_activations(rng.standard_normal(4))
+        with pytest.raises(ValueError):
+            pe.read_accumulate(np.zeros(3, dtype=np.int64))
+
+    def test_reset_clears_state(self, rng):
+        pe = ProcessingElement(mu=4, k=4)
+        pe.load_activations(rng.standard_normal(4))
+        pe.read_accumulate(rng.integers(0, 16, size=4))
+        pe.reset()
+        assert pe.lut is None
+        assert pe.stats.lut_reads == 0
+        np.testing.assert_array_equal(pe.drain(), np.zeros(4))
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            ProcessingElement(mu=0, k=4)
+        with pytest.raises(ValueError):
+            ProcessingElement(mu=4, k=0)

@@ -1,0 +1,156 @@
+"""Tests for the technology library, component models and LUT power analyses."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.hw.components import (
+    accumulator_bits,
+    aligned_mantissa_bits,
+    flip_flop_array,
+    fp_adder,
+    fp_multiplier,
+    int_adder,
+    int_multiplier,
+    mux_tree,
+    register_file_read,
+    sign_flip_decoder,
+)
+from repro.hw.lut_power import (
+    LUTPowerModel,
+    hfflut_component_power,
+    lut_read_power_comparison,
+    optimal_fanout,
+    pe_power_vs_fanout,
+    prac_ppe_vs_fanout,
+)
+from repro.hw.tech import CMOS28, scaled_library
+
+
+class TestTechnologyLibrary:
+    def test_fp_energy_lookup(self):
+        assert CMOS28.fp_add_energy("fp16") < CMOS28.fp_add_energy("fp32")
+        assert CMOS28.fp_mul_energy("fp16") > CMOS28.fp_add_energy("fp16")
+
+    def test_unknown_format_raises(self):
+        with pytest.raises(ValueError):
+            CMOS28.fp_add_energy("fp8")
+
+    def test_scaled_library(self):
+        scaled = scaled_library(CMOS28, energy_scale=0.5, area_scale=0.25)
+        assert scaled.fp_add_energy("fp16") == pytest.approx(0.5 * CMOS28.fp_add_energy("fp16"))
+        assert scaled.fp_add_area("fp16") == pytest.approx(0.25 * CMOS28.fp_add_area("fp16"))
+        assert scaled.sram_energy_pj_per_bit == pytest.approx(0.5 * CMOS28.sram_energy_pj_per_bit)
+
+
+class TestComponents:
+    def test_int_units_scale_with_width(self):
+        assert int_adder(32).energy_pj > int_adder(8).energy_pj
+        assert int_multiplier(12, 8).area_um2 > int_multiplier(12, 4).area_um2
+
+    def test_mux_tree_size(self):
+        assert mux_tree(16, 16).area_um2 == pytest.approx(15 * 16 * CMOS28.mux2_area_um2_per_bit)
+
+    def test_flip_flop_array_linear(self):
+        assert flip_flop_array(128).energy_pj == pytest.approx(2 * flip_flop_array(64).energy_pj)
+
+    def test_register_file_read_grows_with_depth(self):
+        assert register_file_read(256, 16) > register_file_read(16, 16)
+
+    def test_decoder_cost_small(self):
+        assert sign_flip_decoder(16).energy_pj < fp_adder("fp16").energy_pj
+
+    def test_aligned_mantissa_and_accumulator_bits(self):
+        assert aligned_mantissa_bits("fp16") == 12
+        assert aligned_mantissa_bits("bf16") == 9
+        assert accumulator_bits("fp16", 4096) == 12 + 12
+
+    def test_invalid_widths_raise(self):
+        with pytest.raises(ValueError):
+            int_adder(0)
+        with pytest.raises(ValueError):
+            int_multiplier(0, 4)
+        with pytest.raises(ValueError):
+            register_file_read(0, 16)
+
+    def test_component_cost_addition(self):
+        total = fp_adder("fp16") + fp_multiplier("fp16")
+        assert total.energy_pj == pytest.approx(
+            fp_adder("fp16").energy_pj + fp_multiplier("fp16").energy_pj)
+
+
+class TestFig6LUTReadPower:
+    def test_fflut_cheaper_than_fp_adder_for_small_mu(self):
+        result = lut_read_power_comparison((2, 4, 8))
+        assert result["fflut"][2] < 1.0
+        assert result["fflut"][4] < 1.0
+
+    def test_fflut_mu8_exceeds_baseline(self):
+        result = lut_read_power_comparison((2, 4, 8))
+        assert result["fflut"][8] > 1.0
+
+    def test_rflut_exceeds_baseline(self):
+        result = lut_read_power_comparison((4, 8))
+        assert result["rflut"][4] > 1.0
+        assert result["rflut"][8] > 1.0
+
+    def test_rflut_mu4_worse_than_mu8_overall(self):
+        # Fig. 6 discussion: µ=4 needs twice the reads → higher overall power.
+        result = lut_read_power_comparison((4, 8))
+        assert result["rflut"][4] > result["rflut"][8]
+
+    def test_rflut_mu2_not_available(self):
+        result = lut_read_power_comparison((2,))
+        assert math.isnan(result["rflut"][2])
+
+
+class TestFig8Fig9FanOut:
+    def test_mu4_worse_than_mu2_without_sharing(self):
+        result = pe_power_vs_fanout(k_values=(1,), mu_values=(2, 4))
+        assert result[4][1] > result[2][1]
+
+    def test_mu4_better_than_mu2_with_large_fanout(self):
+        result = pe_power_vs_fanout(k_values=(32,), mu_values=(2, 4))
+        assert result[4][32] < result[2][32]
+
+    def test_sharing_reduces_relative_power(self):
+        result = pe_power_vs_fanout(k_values=(1, 8, 32), mu_values=(4,))
+        assert result[4][32] < result[4][8] < result[4][1]
+
+    def test_large_fanout_below_fp_adder_baseline(self):
+        result = pe_power_vs_fanout(k_values=(32,), mu_values=(4,))
+        assert result[4][32] < 1.0
+
+    def test_ppe_monotonically_increases(self):
+        curves = prac_ppe_vs_fanout(k_values=(1, 2, 4, 8, 16, 32, 64))
+        values = list(curves["p_pe"].values())
+        assert values == sorted(values)
+
+    def test_prac_has_interior_minimum_at_32(self):
+        curves = prac_ppe_vs_fanout(k_values=(1, 2, 4, 8, 16, 32, 64, 128))
+        prac = curves["p_rac"]
+        assert min(prac, key=prac.get) == 32
+
+    def test_optimal_fanout_is_32(self):
+        assert optimal_fanout(mu=4) == 32
+
+
+class TestTable3HFFLUT:
+    def test_hfflut_lut_power_is_half(self):
+        table = hfflut_component_power(mu=4)
+        assert table["fflut"]["lut"] == pytest.approx(1.0)
+        assert table["hfflut"]["lut"] == pytest.approx(0.5, abs=0.01)
+
+    def test_decoder_and_mux_are_negligible(self):
+        table = hfflut_component_power(mu=4)
+        assert table["fflut"]["mux"] < 0.02
+        assert table["hfflut"]["mux+decoder"] < 0.02
+
+    def test_hfflut_decoder_overhead_exceeds_fflut(self):
+        table = hfflut_component_power(mu=4)
+        assert table["hfflut"]["mux+decoder"] > table["fflut"]["mux+decoder"]
+
+    def test_integer_accumulator_variant(self):
+        model = LUTPowerModel(accumulate_in_fp=False)
+        assert model.rac_accumulate_energy() < LUTPowerModel().rac_accumulate_energy()

@@ -1,0 +1,188 @@
+"""Tests for the hardware engine models, memory system, and workload evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.hw.engines import (
+    FIGLUTModel,
+    all_engine_models,
+    complexity_table,
+    engine_model,
+)
+from repro.hw.memory import GEMMWorkloadShape, MemorySystemModel
+from repro.hw.performance import compare_engines, evaluate_workload
+from repro.models.opt import decoder_gemm_shapes
+
+
+@pytest.fixture(scope="module")
+def opt_shapes():
+    return decoder_gemm_shapes("opt-1.3b", batch=32)
+
+
+class TestEngineGeometry:
+    def test_all_engines_share_binary_throughput(self):
+        engines = all_engine_models("fp16", 4)
+        lanes = {e.binary_weight_lanes() for e in engines.values()}
+        assert lanes == {16384}
+
+    def test_bit_serial_macs_scale_inversely_with_bits(self):
+        figlut = engine_model("figlut-i", "fp16", 4)
+        assert figlut.macs_per_cycle(2) == 2 * figlut.macs_per_cycle(4)
+        assert figlut.peak_tops(8) == pytest.approx(figlut.peak_tops(4) / 2)
+
+    def test_fixed_precision_padding(self):
+        figna = engine_model("figna", "fp16", 4)
+        assert figna.effective_weight_bits(2) == 4.0
+        with pytest.raises(ValueError):
+            figna.effective_weight_bits(8)
+
+    def test_unknown_engine(self):
+        with pytest.raises(ValueError):
+            engine_model("npu")
+
+    def test_complexity_table_rows(self):
+        rows = complexity_table()
+        assert [r["hardware"] for r in rows] == ["GPU", "iFPU", "FIGNA", "FIGLUT (proposed)"]
+        assert rows[3]["complexity"] == "O(mnkq/μ)"
+        assert rows[3]["bcq_support"] and rows[3]["mixed_precision"]
+        assert not rows[2]["bcq_support"]
+
+
+class TestAreaModels:
+    def test_fpe_has_largest_arithmetic_share(self):
+        engines = all_engine_models("fp16", 4)
+        fpe = engines["fpe"].area_breakdown()
+        for name in ("figna", "ifpu", "figlut-f", "figlut-i"):
+            other = engines[name].area_breakdown()
+            assert other.arithmetic_um2 < fpe.arithmetic_um2
+
+    def test_figlut_f_smaller_than_fpe(self):
+        engines = all_engine_models("fp16", 4)
+        assert (engines["figlut-f"].area_breakdown().total_um2
+                < engines["fpe"].area_breakdown().total_um2)
+
+    def test_figlut_i_similar_arithmetic_to_figna(self):
+        engines = all_engine_models("fp16", 4)
+        figna = engines["figna"].area_breakdown().arithmetic_um2
+        figlut = engines["figlut-i"].area_breakdown().arithmetic_um2
+        assert 0.5 < figlut / figna < 2.0
+
+    def test_ifpu_has_most_flip_flops(self):
+        engines = all_engine_models("fp16", 4)
+        ifpu_ff = engines["ifpu"].area_breakdown().flip_flop_um2
+        for name in ("figna", "figlut-f", "figlut-i"):
+            assert engines[name].area_breakdown().flip_flop_um2 < ifpu_ff
+
+    def test_figna_arithmetic_grows_with_weight_bits(self):
+        q4 = engine_model("figna", "fp16", 4).area_breakdown().arithmetic_um2
+        q8 = engine_model("figna", "fp16", 8).area_breakdown().arithmetic_um2
+        assert q8 > q4
+
+    def test_figlut_i_area_grows_from_bf16_to_fp32(self):
+        bf16 = FIGLUTModel(activation_format="bf16", variant="i").area_breakdown().total_um2
+        fp32 = FIGLUTModel(activation_format="fp32", variant="i").area_breakdown().total_um2
+        assert fp32 > bf16
+
+    def test_hfflut_halves_lut_flip_flops(self):
+        half = FIGLUTModel(variant="f", use_half_lut=True).area_breakdown().flip_flop_um2
+        full = FIGLUTModel(variant="f", use_half_lut=False).area_breakdown().flip_flop_um2
+        assert half < full
+
+
+class TestEnergyModels:
+    def test_figlut_i_cheapest_per_mac_at_q4(self):
+        engines = all_engine_models("fp16", 4)
+        energies = {name: e.compute_energy_per_mac(4) for name, e in engines.items()}
+        assert energies["figlut-i"] == min(energies.values())
+        assert energies["fpe"] == max(energies.values())
+
+    def test_bit_serial_energy_scales_with_bits(self):
+        figlut = engine_model("figlut-i", "fp16", 4)
+        assert figlut.compute_energy_per_mac(2) == pytest.approx(
+            figlut.compute_energy_per_mac(4) / 2)
+
+    def test_fixed_precision_energy_flat_below_4_bits(self):
+        figna = engine_model("figna", "fp16", 4)
+        assert figna.compute_energy_per_mac(2) == pytest.approx(figna.compute_energy_per_mac(4))
+
+    def test_figlut_f_more_expensive_than_figlut_i(self):
+        engines = all_engine_models("fp16", 4)
+        assert (engines["figlut-f"].compute_energy_per_mac(4)
+                > engines["figlut-i"].compute_energy_per_mac(4))
+
+
+class TestMemorySystem:
+    def test_traffic_scales_with_weight_bits(self):
+        memory = MemorySystemModel()
+        shape = [GEMMWorkloadShape(256, 256, 8)]
+        t2 = memory.traffic_for_workload(shape, 2)
+        t4 = memory.traffic_for_workload(shape, 4)
+        assert t4.dram_weight_bits > t2.dram_weight_bits
+
+    def test_activation_traffic_independent_of_weight_bits(self):
+        memory = MemorySystemModel()
+        shape = [GEMMWorkloadShape(256, 256, 8)]
+        assert (memory.traffic_for_workload(shape, 2).dram_activation_bits
+                == memory.traffic_for_workload(shape, 8).dram_activation_bits)
+
+    def test_dram_time_uses_bandwidth(self):
+        memory = MemorySystemModel(dram_bandwidth_bytes_per_s=1e9)
+        traffic = memory.traffic_for_workload([GEMMWorkloadShape(1024, 1024, 1)], 8)
+        assert memory.dram_time_s(traffic) == pytest.approx(traffic.dram_bits / 8 / 1e9)
+
+    def test_invalid_shape(self):
+        with pytest.raises(ValueError):
+            GEMMWorkloadShape(0, 4, 1)
+
+
+class TestWorkloadEvaluation:
+    def test_latency_is_max_of_compute_and_dram(self, opt_shapes):
+        engine = engine_model("figlut-i", "fp16", 4)
+        result = evaluate_workload(engine, opt_shapes, 4)
+        assert result.latency_s == pytest.approx(max(result.compute_time_s, result.dram_time_s))
+
+    def test_energy_breakdown_sums_to_total(self, opt_shapes):
+        engine = engine_model("fpe", "fp16", 4)
+        result = evaluate_workload(engine, opt_shapes, 4)
+        assert sum(result.energy_breakdown().values()) == pytest.approx(result.total_energy_pj)
+
+    def test_figlut_beats_figna_tops_per_watt_at_q4(self, opt_shapes):
+        comparison = compare_engines(all_engine_models("fp16", 4), opt_shapes, 4)
+        assert (comparison.results["figlut-i"].tops_per_watt
+                > comparison.results["figna"].tops_per_watt)
+
+    def test_figlut_advantage_grows_at_lower_bits(self, opt_shapes):
+        engines = all_engine_models("fp16", 4)
+        ratios = []
+        for bits in (4, 3, 2):
+            comparison = compare_engines(engines, opt_shapes, bits)
+            ratios.append(comparison.results["figlut-i"].tops_per_watt
+                          / comparison.results["figna"].tops_per_watt)
+        assert ratios[0] < ratios[1] < ratios[2]
+
+    def test_all_engines_beat_fpe(self, opt_shapes):
+        comparison = compare_engines(all_engine_models("fp16", 4), opt_shapes, 4)
+        normalized = comparison.normalized_tops_per_watt()
+        for name, value in normalized.items():
+            if name != "fpe":
+                assert value > 1.0
+
+    def test_q8_halves_bit_serial_throughput(self, opt_shapes):
+        comparison = compare_engines(all_engine_models("fp16", 8), opt_shapes, 8)
+        assert (comparison.results["figlut-i"].achieved_tops
+                == pytest.approx(comparison.results["figna"].achieved_tops / 2))
+
+    def test_missing_baseline_raises(self, opt_shapes):
+        engines = {"figna": engine_model("figna", "fp16", 4)}
+        with pytest.raises(ValueError):
+            compare_engines(engines, opt_shapes, 4)
+
+    def test_empty_workload_raises(self):
+        with pytest.raises(ValueError):
+            evaluate_workload(engine_model("fpe"), [], 4)
+
+    def test_utilization_increases_latency(self, opt_shapes):
+        engine = engine_model("figna", "fp16", 4)
+        full = evaluate_workload(engine, opt_shapes, 4, utilization=1.0)
+        half = evaluate_workload(engine, opt_shapes, 4, utilization=0.5)
+        assert half.compute_time_s == pytest.approx(2 * full.compute_time_s)

@@ -1,0 +1,80 @@
+"""Tests for the bank-conflict simulator and the GPU roofline models."""
+
+import numpy as np
+import pytest
+
+from repro.hw.bank_conflict import (
+    BankConflictConfig,
+    expected_conflict_factor,
+    simulate_lut_reads,
+)
+from repro.hw.gpu import A100, H100, gpu_fp16_gemm, gpu_lutgemm_q4
+from repro.models.opt import decoder_gemm_shapes
+
+
+class TestBankConflicts:
+    def test_identical_keys_broadcast_without_conflict(self):
+        keys = np.full((16, 32), 3)
+        result = simulate_lut_reads(keys)
+        assert result.conflict_factor == 1.0
+        assert result.conflict_free_fraction == 1.0
+
+    def test_worst_case_all_distinct_same_bank(self):
+        config = BankConflictConfig(mu=8, entry_bytes=4, word_bytes=4)
+        # Keys spaced by num_banks map to the same bank with distinct addresses.
+        keys = (np.arange(32) * config.num_banks)[None, :] % (1 << config.mu)
+        result = simulate_lut_reads(keys, config)
+        assert result.worst_case_factor > 4
+
+    def test_random_keys_cause_conflicts(self):
+        factor = expected_conflict_factor(BankConflictConfig(mu=8), cycles=512, seed=1)
+        assert factor > 1.5
+
+    def test_construction_phase_layout_reduces_conflicts(self, rng):
+        config = BankConflictConfig(mu=8, entry_bytes=4, word_bytes=4)
+        keys = np.tile(np.arange(32)[None, :], (64, 1))
+        shared = simulate_lut_reads(keys, config, per_thread_tables=False)
+        private = simulate_lut_reads(keys, config, per_thread_tables=True)
+        assert private.conflict_factor <= shared.conflict_factor
+
+    def test_key_range_validation(self):
+        with pytest.raises(ValueError):
+            simulate_lut_reads(np.full((2, 32), 256), BankConflictConfig(mu=8))
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            simulate_lut_reads(np.zeros((4, 16), dtype=int))
+
+
+class TestGPUModels:
+    @pytest.fixture(scope="class")
+    def shapes(self):
+        return decoder_gemm_shapes("opt-6.7b", batch=32)
+
+    def test_a100_fp16_near_paper_measurement(self, shapes):
+        result = gpu_fp16_gemm(A100, shapes)
+        assert result.throughput_tops == pytest.approx(40.27, rel=0.15)
+        assert result.tops_per_watt == pytest.approx(0.21, rel=0.15)
+
+    def test_h100_fp16_near_paper_measurement(self, shapes):
+        result = gpu_fp16_gemm(H100, shapes)
+        assert result.throughput_tops == pytest.approx(62.08, rel=0.15)
+        assert result.tops_per_watt == pytest.approx(0.22, rel=0.15)
+
+    def test_h100_more_efficient_than_a100(self, shapes):
+        assert gpu_fp16_gemm(H100, shapes).tops_per_watt > gpu_fp16_gemm(A100, shapes).tops_per_watt
+
+    def test_lutgemm_much_slower_than_tensor_cores(self, shapes):
+        lut = gpu_lutgemm_q4(A100, shapes)
+        fp16 = gpu_fp16_gemm(A100, shapes)
+        assert lut.throughput_tops < fp16.throughput_tops / 5
+        assert lut.throughput_tops == pytest.approx(1.85, rel=0.5)
+
+    def test_memory_bound_small_batch(self):
+        small = decoder_gemm_shapes("opt-6.7b", batch=1)
+        large = decoder_gemm_shapes("opt-6.7b", batch=32)
+        assert gpu_fp16_gemm(A100, small).throughput_tops < gpu_fp16_gemm(A100, large).throughput_tops
+
+    def test_empty_workload_raises(self):
+        with pytest.raises(ValueError):
+            gpu_fp16_gemm(A100, [])

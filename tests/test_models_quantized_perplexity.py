@@ -1,0 +1,127 @@
+"""Tests for quantized engine-backed inference and perplexity evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.models.perplexity import evaluate_perplexity
+from repro.models.quantized_model import (
+    QuantizationRecipe,
+    QuantizedLM,
+    capture_calibration_activations,
+    quantize_model_weights,
+)
+from repro.quant.bcq import BCQTensor
+from repro.quant.rtn import UniformQuantizedTensor
+
+
+class TestQuantizationRecipe:
+    def test_invalid_method(self):
+        with pytest.raises(ValueError):
+            QuantizationRecipe(method="log2")
+
+    def test_per_layer_override(self):
+        recipe = QuantizationRecipe(method="bcq", bits=2, bits_per_layer={"lm_head.weight": 4})
+        assert recipe.bits_for("lm_head.weight") == 4
+        assert recipe.bits_for("anything.else") == 2
+
+
+class TestQuantizeModelWeights:
+    def test_rtn_produces_uniform_tensors(self, trained_testbed):
+        quantized = quantize_model_weights(trained_testbed.model,
+                                           QuantizationRecipe(method="rtn", bits=4))
+        assert set(quantized) == set(trained_testbed.model.weight_matrix_names())
+        assert all(isinstance(t, UniformQuantizedTensor) for t in quantized.values())
+
+    def test_bcq_produces_bcq_tensors(self, trained_testbed):
+        quantized = quantize_model_weights(trained_testbed.model,
+                                           QuantizationRecipe(method="bcq", bits=2))
+        assert all(isinstance(t, BCQTensor) and t.bits == 2 for t in quantized.values())
+
+    def test_optq_requires_calibration(self, trained_testbed):
+        with pytest.raises(ValueError):
+            quantize_model_weights(trained_testbed.model,
+                                   QuantizationRecipe(method="optq", bits=4))
+
+    def test_optq_with_calibration(self, trained_testbed):
+        calibration = trained_testbed.calibration_activations()
+        quantized = quantize_model_weights(trained_testbed.model,
+                                           QuantizationRecipe(method="optq", bits=4),
+                                           calibration=calibration)
+        assert all(isinstance(t, UniformQuantizedTensor) for t in quantized.values())
+
+
+class TestCalibrationCapture:
+    def test_shapes_match_layer_inputs(self, trained_testbed):
+        tokens = trained_testbed.valid_tokens[:33][None, :32]
+        calib = capture_calibration_activations(trained_testbed.model, tokens)
+        model = trained_testbed.model
+        for name, acts in calib.items():
+            assert acts.shape[1] == model.params[name].shape[1]
+
+    def test_sample_cap_respected(self, trained_testbed):
+        tokens = trained_testbed.valid_tokens[:65][None, :64][:, :32]
+        calib = capture_calibration_activations(trained_testbed.model, tokens, max_samples=10)
+        assert all(a.shape[0] <= 10 for a in calib.values())
+
+
+class TestQuantizedLM:
+    def test_engine_matmul_matches_dequantized_weights(self, trained_testbed, rng):
+        recipe = QuantizationRecipe(method="rtn", bits=8)
+        quantized = QuantizedLM.build(trained_testbed.model, recipe, engine="figlut-f",
+                                      activation_format="fp32")
+        name = "layer0.attn.wq"
+        weight = trained_testbed.model.params[name]
+        x = rng.standard_normal((2, 3, weight.shape[1]))
+        out = quantized.matmul(name, x, weight)
+        expected = x @ quantized.quantized_weights[name].dequantize().T
+        np.testing.assert_allclose(out, expected, rtol=1e-4, atol=1e-5)
+
+    def test_unquantized_matrices_fall_back_to_dense(self, trained_testbed, rng):
+        recipe = QuantizationRecipe(method="rtn", bits=4)
+        quantized = QuantizedLM.build(trained_testbed.model, recipe, engine="figlut-f")
+        weight = rng.standard_normal((7, 5))
+        x = rng.standard_normal((2, 5))
+        np.testing.assert_allclose(quantized.matmul("tok_emb", x, weight), x @ weight.T)
+
+    def test_int_engine_rejects_bcq_weights(self, trained_testbed):
+        recipe = QuantizationRecipe(method="bcq", bits=2)
+        quantized = QuantizedLM.build(trained_testbed.model, recipe, engine="fpe")
+        tokens = trained_testbed.valid_tokens[:17][None, :16]
+        with pytest.raises(TypeError):
+            quantized.evaluate_loss(tokens, tokens)
+
+
+class TestPerplexity:
+    def test_fp_perplexity_better_than_chance(self, trained_testbed):
+        vocab = trained_testbed.tokenizer.vocab_size
+        result = evaluate_perplexity(trained_testbed.model, trained_testbed.valid_tokens,
+                                     max_batches=2)
+        assert result.perplexity < vocab
+
+    def test_engine_numerics_do_not_change_perplexity(self, trained_testbed):
+        # Table IV: FP reference vs FIGLUT-F vs FIGLUT-I at 4-bit RTN.
+        recipe = QuantizationRecipe(method="rtn", bits=4)
+        reference = trained_testbed.quantized_perplexity(recipe, engine=None)
+        figlut_f = trained_testbed.quantized_perplexity(recipe, engine="figlut-f",
+                                                        accumulator="fp32")
+        figlut_i = trained_testbed.quantized_perplexity(recipe, engine="figlut-i",
+                                                        accumulator="fp32")
+        assert figlut_f == pytest.approx(reference, rel=0.01)
+        assert figlut_i == pytest.approx(reference, rel=0.01)
+
+    def test_lower_bits_do_not_improve_perplexity(self, trained_testbed):
+        ppl2 = trained_testbed.quantized_perplexity(QuantizationRecipe(method="bcq", bits=2))
+        ppl4 = trained_testbed.quantized_perplexity(QuantizationRecipe(method="bcq", bits=4))
+        fp = trained_testbed.fp_perplexity()
+        assert ppl4 >= fp * 0.999
+        assert ppl2 >= ppl4 * 0.999
+
+    def test_too_short_stream_raises(self, trained_testbed):
+        with pytest.raises(ValueError):
+            evaluate_perplexity(trained_testbed.model, trained_testbed.valid_tokens[:5],
+                                seq_len=32)
+
+    def test_result_label(self, trained_testbed):
+        result = evaluate_perplexity(trained_testbed.model, trained_testbed.valid_tokens,
+                                     max_batches=1, label="baseline")
+        assert result.label == "baseline"

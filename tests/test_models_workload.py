@@ -1,0 +1,125 @@
+"""Tests for the OPT workload definitions, tokenizer, and synthetic corpus."""
+
+import numpy as np
+import pytest
+
+from repro.models.dataset import SyntheticCorpusConfig, batchify, generate_corpus, split_corpus
+from repro.models.opt import OPT_CONFIGS, decoder_gemm_shapes, opt_config, total_weight_count
+from repro.models.tokenizer import WordTokenizer
+
+
+class TestOPTConfigs:
+    def test_family_members_present(self):
+        for name in ("opt-125m", "opt-350m", "opt-1.3b", "opt-2.7b", "opt-6.7b", "opt-13b", "opt-30b"):
+            assert name in OPT_CONFIGS
+
+    def test_lookup_is_case_insensitive(self):
+        assert opt_config("OPT-6.7B").hidden_size == 4096
+        assert opt_config("6.7b").num_layers == 32
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(ValueError):
+            opt_config("opt-66b")
+
+    def test_parameter_counts_roughly_match_names(self):
+        assert OPT_CONFIGS["opt-125m"].parameters == pytest.approx(125e6, rel=0.3)
+        assert OPT_CONFIGS["opt-6.7b"].parameters == pytest.approx(6.7e9, rel=0.15)
+        assert OPT_CONFIGS["opt-30b"].parameters == pytest.approx(30e9, rel=0.15)
+
+    def test_decoder_gemm_shapes_count(self):
+        shapes = decoder_gemm_shapes("opt-1.3b", batch=4)
+        assert len(shapes) == 24 * 6
+        assert all(s.batch == 4 for s in shapes)
+
+    def test_decoder_gemm_shapes_sizes(self):
+        shapes = decoder_gemm_shapes("opt-125m", batch=1)
+        d, f = 768, 3072
+        per_layer = shapes[:6]
+        assert [(s.m, s.n) for s in per_layer] == [(d, d)] * 4 + [(f, d), (d, f)]
+
+    def test_lm_head_inclusion(self):
+        with_head = decoder_gemm_shapes("opt-125m", include_lm_head=True)
+        without = decoder_gemm_shapes("opt-125m", include_lm_head=False)
+        assert len(with_head) == len(without) + 1
+
+    def test_total_weight_count_matches_shapes(self):
+        count = total_weight_count("opt-125m")
+        assert count == 12 * (4 * 768 * 768 + 2 * 768 * 3072)
+
+    def test_larger_models_have_more_weights(self):
+        assert total_weight_count("opt-30b") > total_weight_count("opt-6.7b")
+
+    def test_invalid_batch(self):
+        with pytest.raises(ValueError):
+            decoder_gemm_shapes("opt-125m", batch=0)
+
+
+class TestTokenizer:
+    def test_fit_and_roundtrip(self):
+        tok = WordTokenizer(max_vocab=64).fit("the cat sat on the mat the end")
+        ids = tok.encode("the cat sat")
+        assert tok.decode(ids) == "the cat sat"
+
+    def test_unknown_words_map_to_unk(self):
+        tok = WordTokenizer(max_vocab=8).fit("a b c d")
+        ids = tok.encode("zebra")
+        assert ids == [tok.unk_id]
+
+    def test_vocab_capped(self):
+        text = " ".join(f"word{i}" for i in range(1000))
+        tok = WordTokenizer(max_vocab=100).fit(text)
+        assert tok.vocab_size == 100
+
+    def test_most_frequent_words_kept(self):
+        tok = WordTokenizer(max_vocab=4).fit("x x x y y z rare")
+        assert "x" in tok.word_to_id and "y" in tok.word_to_id
+
+    def test_encode_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            WordTokenizer().encode("hello")
+
+    def test_decode_invalid_id_raises(self):
+        tok = WordTokenizer(max_vocab=8).fit("a b")
+        with pytest.raises(ValueError):
+            tok.decode([999])
+
+
+class TestSyntheticCorpus:
+    def test_deterministic_for_fixed_seed(self):
+        a = generate_corpus(SyntheticCorpusConfig(num_paragraphs=10, seed=3))
+        b = generate_corpus(SyntheticCorpusConfig(num_paragraphs=10, seed=3))
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = generate_corpus(SyntheticCorpusConfig(num_paragraphs=10, seed=3))
+        b = generate_corpus(SyntheticCorpusConfig(num_paragraphs=10, seed=4))
+        assert a != b
+
+    def test_size_scales_with_paragraphs(self):
+        small = generate_corpus(SyntheticCorpusConfig(num_paragraphs=5))
+        large = generate_corpus(SyntheticCorpusConfig(num_paragraphs=50))
+        assert len(large.split()) > len(small.split())
+
+    def test_corpus_vocabulary_is_learnable_size(self):
+        corpus = generate_corpus(SyntheticCorpusConfig(num_paragraphs=100))
+        vocab = set(corpus.split())
+        assert 50 < len(vocab) < 400
+
+    def test_split_corpus(self):
+        train, valid = split_corpus(list(range(100)), train_fraction=0.8)
+        assert len(train) == 80 and len(valid) == 20
+
+    def test_split_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            split_corpus(list(range(10)), train_fraction=1.5)
+
+    def test_batchify_shapes_and_shift(self):
+        ids = np.arange(200)
+        batches = batchify(ids, batch_size=3, seq_len=10)
+        inputs, targets = batches[0]
+        assert inputs.shape == (3, 10) and targets.shape == (3, 10)
+        np.testing.assert_array_equal(targets[:, :-1], inputs[:, 1:])
+
+    def test_batchify_too_short_raises(self):
+        with pytest.raises(ValueError):
+            batchify(np.arange(5), batch_size=1, seq_len=10)

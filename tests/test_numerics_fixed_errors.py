@@ -1,0 +1,76 @@
+"""Tests for fixed-point helpers and error metrics."""
+
+import numpy as np
+import pytest
+
+from repro.numerics.errors import max_abs_error, mean_abs_error, relative_error, sqnr_db
+from repro.numerics.fixed import (
+    clamp_to_bits,
+    from_twos_complement,
+    int_bits_required,
+    saturating_add,
+    to_twos_complement,
+)
+
+
+class TestIntBitsRequired:
+    @pytest.mark.parametrize("value,expected", [(0, 1), (1, 2), (-1, 1), (7, 4), (-8, 4), (8, 5)])
+    def test_signed(self, value, expected):
+        assert int_bits_required(value, signed=True) == expected
+
+    @pytest.mark.parametrize("value,expected", [(0, 1), (1, 1), (255, 8), (256, 9)])
+    def test_unsigned(self, value, expected):
+        assert int_bits_required(value, signed=False) == expected
+
+    def test_unsigned_rejects_negative(self):
+        with pytest.raises(ValueError):
+            int_bits_required(-1, signed=False)
+
+
+class TestClampAndTwosComplement:
+    def test_clamp_signed(self):
+        assert clamp_to_bits(np.array([200, -200, 5]), 8).tolist() == [127, -128, 5]
+
+    def test_clamp_unsigned(self):
+        assert clamp_to_bits(np.array([300, -5]), 8, signed=False).tolist() == [255, 0]
+
+    def test_twos_complement_roundtrip(self, rng):
+        values = rng.integers(-128, 128, size=50)
+        words = to_twos_complement(values, 8)
+        assert np.all(words >= 0) and np.all(words < 256)
+        np.testing.assert_array_equal(from_twos_complement(words, 8), values)
+
+    def test_twos_complement_overflow_raises(self):
+        with pytest.raises(ValueError):
+            to_twos_complement(np.array([128]), 8)
+
+    def test_from_twos_complement_invalid_word(self):
+        with pytest.raises(ValueError):
+            from_twos_complement(np.array([256]), 8)
+
+    def test_saturating_add(self):
+        assert saturating_add(100, 100, 8) == 127
+        assert saturating_add(-100, -100, 8) == -128
+        assert saturating_add(5, 6, 8) == 11
+
+
+class TestErrorMetrics:
+    def test_max_abs_error(self):
+        assert max_abs_error(np.array([1.0, 2.0]), np.array([1.5, 2.0])) == 0.5
+
+    def test_mean_abs_error(self):
+        assert mean_abs_error(np.array([1.0, 2.0]), np.array([1.5, 2.5])) == 0.5
+
+    def test_relative_error_zero_for_identical(self, rng):
+        x = rng.standard_normal(20)
+        assert relative_error(x, x) == 0.0
+
+    def test_sqnr_increases_with_smaller_noise(self, rng):
+        signal = rng.standard_normal(1000)
+        noisy_small = signal + rng.standard_normal(1000) * 1e-4
+        noisy_big = signal + rng.standard_normal(1000) * 1e-2
+        assert sqnr_db(signal, noisy_small) > sqnr_db(signal, noisy_big)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            max_abs_error(np.zeros(3), np.zeros(4))

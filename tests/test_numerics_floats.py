@@ -1,0 +1,113 @@
+"""Tests for the software floating-point format models."""
+
+import numpy as np
+import pytest
+
+from repro.numerics.floats import (
+    BF16,
+    FP16,
+    FP32,
+    cast_to_format,
+    compose,
+    decompose,
+    get_format,
+    ulp,
+)
+
+
+class TestFormatDescriptors:
+    def test_fp16_fields(self):
+        assert FP16.exponent_bits == 5
+        assert FP16.mantissa_bits == 10
+        assert FP16.total_bits == 16
+        assert FP16.bias == 15
+
+    def test_bf16_fields(self):
+        assert BF16.exponent_bits == 8
+        assert BF16.mantissa_bits == 7
+        assert BF16.total_bits == 16
+
+    def test_fp32_fields(self):
+        assert FP32.exponent_bits == 8
+        assert FP32.mantissa_bits == 23
+        assert FP32.total_bits == 32
+
+    def test_max_value_fp16(self):
+        assert FP16.max_value == pytest.approx(65504.0)
+
+    def test_get_format_by_name(self):
+        assert get_format("fp16") is FP16
+        assert get_format("BF16") is BF16
+        assert get_format(FP32) is FP32
+
+    def test_get_format_unknown(self):
+        with pytest.raises(ValueError):
+            get_format("fp8")
+
+
+class TestCasting:
+    def test_fp16_cast_matches_numpy(self, rng):
+        values = rng.standard_normal(100)
+        assert np.array_equal(cast_to_format(values, "fp16"),
+                              values.astype(np.float16).astype(np.float64))
+
+    def test_fp32_cast_matches_numpy(self, rng):
+        values = rng.standard_normal(100)
+        assert np.array_equal(cast_to_format(values, "fp32"),
+                              values.astype(np.float32).astype(np.float64))
+
+    def test_bf16_cast_preserves_exactly_representable(self):
+        # 1.5 has a short mantissa and must be exact in bfloat16.
+        assert cast_to_format(np.array([1.5, -2.0, 0.0]), "bf16").tolist() == [1.5, -2.0, 0.0]
+
+    def test_bf16_cast_rounds_mantissa(self):
+        value = np.float32(1.0 + 2 ** -9)  # below bf16 resolution at 1.0
+        cast = cast_to_format(np.array([value]), "bf16")[0]
+        assert cast in (1.0, 1.0 + 2 ** -7)
+
+    def test_bf16_error_bounded_by_relative_2e_minus_8(self, rng):
+        values = rng.standard_normal(1000)
+        cast = cast_to_format(values, "bf16")
+        rel = np.abs(cast - values) / np.maximum(np.abs(values), 1e-30)
+        assert np.max(rel) <= 2 ** -8 + 1e-12
+
+
+class TestDecomposeCompose:
+    @pytest.mark.parametrize("fmt", ["fp16", "bf16", "fp32"])
+    def test_roundtrip(self, fmt, rng):
+        values = rng.standard_normal(200)
+        cast = cast_to_format(values, fmt)
+        sign, exponent, mantissa = decompose(cast, fmt)
+        rebuilt = compose(sign, exponent, mantissa, fmt)
+        np.testing.assert_allclose(rebuilt, cast, rtol=0, atol=0)
+
+    def test_zero_decomposes_to_zero_mantissa(self):
+        sign, exponent, mantissa = decompose(np.array([0.0]), "fp16")
+        assert mantissa[0] == 0
+
+    def test_mantissa_includes_hidden_bit(self):
+        _, _, mantissa = decompose(np.array([1.0]), "fp16")
+        assert mantissa[0] == 1 << 10
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            decompose(np.array([np.nan]), "fp16")
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError):
+            decompose(np.array([np.inf]), "fp32")
+
+    def test_sign_of_negative_values(self):
+        sign, _, _ = decompose(np.array([-3.0, 2.0]), "fp16")
+        assert sign.tolist() == [-1, 1]
+
+
+class TestUlp:
+    def test_ulp_at_one_fp16(self):
+        assert ulp(1.0, "fp16") == pytest.approx(2 ** -10)
+
+    def test_ulp_scales_with_exponent(self):
+        assert ulp(4.0, "fp16") == pytest.approx(4 * ulp(1.0, "fp16"))
+
+    def test_ulp_of_zero_is_smallest_step(self):
+        assert ulp(0.0, "fp16") == pytest.approx(2.0 ** (FP16.min_exponent - FP16.mantissa_bits))

@@ -1,0 +1,90 @@
+"""Tests for the mantissa pre-alignment transform."""
+
+import numpy as np
+import pytest
+
+from repro.numerics.floats import cast_to_format, get_format
+from repro.numerics.prealign import aligned_dot, prealign, prealign_matrix, reconstruct
+
+
+class TestPrealign:
+    def test_reconstruction_error_bounded_by_alignment_loss(self, rng):
+        values = cast_to_format(rng.standard_normal(64), "fp16")
+        block = prealign(values, fmt="fp16")
+        # Alignment can only lose bits below the shared exponent; the error is
+        # bounded by one aligned LSB per element.
+        np.testing.assert_allclose(reconstruct(block), values, atol=block.scale)
+
+    def test_exact_for_equal_exponents(self):
+        values = np.array([1.5, -1.25, 1.75, -1.0])
+        block = prealign(values, fmt="fp16")
+        np.testing.assert_array_equal(reconstruct(block), values)
+
+    def test_shared_exponent_is_block_maximum(self):
+        values = np.array([0.5, 8.0, -0.25])
+        block = prealign(values, fmt="fp16")
+        assert block.shared_exponent == 3  # 8.0 = 1.0 * 2^3
+
+    def test_small_values_may_flush_to_zero(self):
+        values = np.array([1.0, 2.0 ** -30])
+        block = prealign(values, fmt="fp16")
+        assert block.mantissas[1] == 0
+
+    def test_zero_block(self):
+        block = prealign(np.zeros(4), fmt="fp16")
+        assert np.all(block.mantissas == 0)
+        np.testing.assert_array_equal(reconstruct(block), np.zeros(4))
+
+    def test_extra_bits_reduce_error(self, rng):
+        values = cast_to_format(rng.standard_normal(128) * rng.uniform(0.01, 10, 128), "fp16")
+        coarse = prealign(values, fmt="fp16", extra_bits=0)
+        fine = prealign(values, fmt="fp16", extra_bits=8)
+        err_coarse = np.max(np.abs(reconstruct(coarse) - values))
+        err_fine = np.max(np.abs(reconstruct(fine) - values))
+        assert err_fine <= err_coarse
+
+    def test_mantissas_fit_datapath_width(self, rng):
+        fmt = get_format("fp16")
+        values = cast_to_format(rng.standard_normal(256), "fp16")
+        block = prealign(values, fmt="fp16")
+        # Aligned mantissas must fit in mantissa_bits + hidden bit (+ sign).
+        assert np.max(np.abs(block.mantissas)) <= (1 << (fmt.mantissa_bits + 1))
+
+
+class TestAlignedDot:
+    def test_matches_reference_within_alignment_error(self, rng):
+        x = cast_to_format(rng.standard_normal(64), "fp16")
+        w = rng.integers(-8, 8, size=64)
+        block = prealign(x, fmt="fp16")
+        reference = float(np.dot(x, w))
+        assert aligned_dot(block, w) == pytest.approx(reference, abs=64 * 8 * block.scale)
+
+    def test_binary_weights(self, rng):
+        x = np.array([1.0, 2.0, 3.0, 4.0])
+        w = np.array([1, -1, 1, -1])
+        block = prealign(x, fmt="fp32")
+        assert aligned_dot(block, w) == pytest.approx(-2.0, rel=1e-6)
+
+    def test_rejects_non_integer_weights(self):
+        block = prealign(np.array([1.0, 2.0]), fmt="fp16")
+        with pytest.raises(ValueError):
+            aligned_dot(block, np.array([0.5, 1.5]))
+
+
+class TestPrealignMatrix:
+    def test_one_block_per_row(self, rng):
+        matrix = rng.standard_normal((6, 16))
+        blocks = prealign_matrix(matrix, fmt="fp16", axis=-1)
+        assert len(blocks) == 6
+        for row, block in zip(matrix, blocks):
+            cast_row = cast_to_format(row, "fp16")
+            np.testing.assert_allclose(reconstruct(block), cast_row, atol=block.scale)
+
+    def test_axis_zero_aligns_columns(self, rng):
+        matrix = rng.standard_normal((4, 3))
+        blocks = prealign_matrix(matrix, fmt="fp32", axis=0)
+        assert len(blocks) == 3
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            prealign_matrix(np.zeros(5), fmt="fp16")

@@ -1,0 +1,134 @@
+"""Property-based tests (hypothesis) on the core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.lut import FFLUT, HalfFFLUT, build_lut_values, key_to_pattern, pattern_to_key
+from repro.core.lut_generator import generate_full_lut, generator_addition_count, naive_addition_count
+from repro.numerics.fixed import from_twos_complement, to_twos_complement
+from repro.numerics.floats import cast_to_format
+from repro.numerics.prealign import prealign, reconstruct
+from repro.quant.bcq import BCQConfig, quantize_bcq, uniform_to_bcq
+from repro.quant.packing import pack_bitplanes, unpack_bitplanes
+from repro.quant.rtn import RTNConfig, quantize_rtn
+
+finite_floats = st.floats(min_value=-100.0, max_value=100.0,
+                          allow_nan=False, allow_infinity=False, width=32)
+
+
+@st.composite
+def activation_groups(draw, min_mu=1, max_mu=6):
+    mu = draw(st.integers(min_value=min_mu, max_value=max_mu))
+    return np.array(draw(st.lists(finite_floats, min_size=mu, max_size=mu)))
+
+
+@st.composite
+def weight_matrices(draw, max_rows=8, max_cols=16):
+    rows = draw(st.integers(min_value=1, max_value=max_rows))
+    cols = draw(st.integers(min_value=2, max_value=max_cols))
+    data = draw(hnp.arrays(np.float64, (rows, cols),
+                           elements=st.floats(min_value=-5, max_value=5,
+                                              allow_nan=False, allow_infinity=False)))
+    return data
+
+
+class TestLUTProperties:
+    @given(activation_groups())
+    @settings(max_examples=60, deadline=None)
+    def test_lut_values_equal_signed_sums(self, x):
+        values = build_lut_values(x)
+        mu = x.size
+        for key in (0, (1 << mu) - 1, (1 << mu) // 2):
+            pattern = key_to_pattern(key, mu)
+            assert np.isclose(values[key], float(pattern @ x), atol=1e-9)
+
+    @given(activation_groups())
+    @settings(max_examples=60, deadline=None)
+    def test_vertical_symmetry_holds_for_any_input(self, x):
+        values = build_lut_values(x)
+        np.testing.assert_allclose(values, -values[::-1], atol=1e-9)
+
+    @given(activation_groups(min_mu=2, max_mu=6))
+    @settings(max_examples=40, deadline=None)
+    def test_half_lut_always_equals_full_lut(self, x):
+        full = FFLUT.from_activations(x)
+        half = HalfFFLUT.from_activations(x)
+        keys = np.arange(1 << x.size)
+        np.testing.assert_allclose(half.read_many(keys), full.read_many(keys), atol=1e-9)
+
+    @given(activation_groups())
+    @settings(max_examples=40, deadline=None)
+    def test_generator_matches_direct_construction(self, x):
+        values, _ = generate_full_lut(x)
+        np.testing.assert_allclose(values, build_lut_values(x), atol=1e-9)
+
+    @given(st.integers(min_value=1, max_value=10))
+    @settings(max_examples=20, deadline=None)
+    def test_generator_never_uses_more_adders_than_naive(self, mu):
+        assert generator_addition_count(mu) <= max(naive_addition_count(mu, half=True), 0) or mu == 1
+
+    @given(st.integers(min_value=1, max_value=8), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_key_pattern_roundtrip(self, mu, data):
+        key = data.draw(st.integers(min_value=0, max_value=(1 << mu) - 1))
+        assert pattern_to_key(key_to_pattern(key, mu)) == key
+
+
+class TestQuantizationProperties:
+    @given(weight_matrices(), st.integers(min_value=2, max_value=6))
+    @settings(max_examples=25, deadline=None)
+    def test_rtn_error_bounded_by_half_step(self, weight, bits):
+        qt = quantize_rtn(weight, RTNConfig(bits=bits, granularity="channel"))
+        err = np.abs(qt.dequantize() - weight)
+        assert np.max(err) <= np.max(qt.scales) / 2 + 1e-9
+
+    @given(weight_matrices(), st.integers(min_value=2, max_value=4))
+    @settings(max_examples=15, deadline=None)
+    def test_uniform_to_bcq_is_always_exact(self, weight, bits):
+        uniform = quantize_rtn(weight, RTNConfig(bits=bits, granularity="channel"))
+        bcq = uniform_to_bcq(uniform)
+        np.testing.assert_allclose(bcq.dequantize(), uniform.dequantize(), atol=1e-8)
+
+    @given(weight_matrices(max_rows=4, max_cols=12), st.integers(min_value=1, max_value=3))
+    @settings(max_examples=15, deadline=None)
+    def test_bcq_bitplanes_always_binary(self, weight, bits):
+        qt = quantize_bcq(weight, BCQConfig(bits=bits, iterations=2))
+        assert set(np.unique(qt.bitplanes)) <= {-1, 1}
+        assert np.all(qt.scales >= 0)
+
+    @given(st.integers(min_value=1, max_value=4), st.integers(min_value=1, max_value=3),
+           st.integers(min_value=1, max_value=40), st.randoms())
+    @settings(max_examples=30, deadline=None)
+    def test_bitplane_packing_roundtrip(self, bits, rows, cols, rnd):
+        rng = np.random.default_rng(rnd.randint(0, 2**32 - 1))
+        planes = rng.choice([-1, 1], size=(bits, rows, cols)).astype(np.int8)
+        np.testing.assert_array_equal(unpack_bitplanes(pack_bitplanes(planes), cols), planes)
+
+
+class TestNumericsProperties:
+    @given(hnp.arrays(np.float64, st.integers(min_value=1, max_value=32),
+                      elements=st.floats(min_value=-1e3, max_value=1e3,
+                                         allow_nan=False, allow_infinity=False)))
+    @settings(max_examples=50, deadline=None)
+    def test_prealign_error_bounded_by_one_aligned_lsb(self, values):
+        cast = cast_to_format(values, "fp16")
+        block = prealign(cast, fmt="fp16")
+        err = np.abs(reconstruct(block) - cast)
+        assert np.max(err) <= block.scale + 1e-12
+
+    @given(st.lists(st.integers(min_value=-128, max_value=127), min_size=1, max_size=32))
+    @settings(max_examples=50, deadline=None)
+    def test_twos_complement_roundtrip(self, values):
+        arr = np.array(values)
+        np.testing.assert_array_equal(from_twos_complement(to_twos_complement(arr, 8), 8), arr)
+
+    @given(hnp.arrays(np.float64, st.integers(min_value=1, max_value=64),
+                      elements=st.floats(min_value=-50, max_value=50,
+                                         allow_nan=False, allow_infinity=False)))
+    @settings(max_examples=50, deadline=None)
+    def test_fp16_cast_is_idempotent(self, values):
+        once = cast_to_format(values, "fp16")
+        twice = cast_to_format(once, "fp16")
+        np.testing.assert_array_equal(once, twice)

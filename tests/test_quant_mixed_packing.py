@@ -1,0 +1,103 @@
+"""Tests for mixed-precision allocation and bit-plane packing."""
+
+import numpy as np
+import pytest
+
+from repro.quant.mixed_precision import (
+    allocate_mixed_precision,
+    measure_layer_sensitivity,
+)
+from repro.quant.packing import (
+    bitplane_storage_bits,
+    pack_bitplanes,
+    pack_uniform_to_bitplanes,
+    unpack_bitplanes,
+)
+
+
+class TestLayerSensitivity:
+    def test_error_decreases_with_bits(self, rng):
+        weight = rng.standard_normal((16, 32)) * 0.1
+        s = measure_layer_sensitivity("layer", weight, candidate_bits=(1, 2, 3, 4))
+        errors = [s.error_by_bits[b] for b in (1, 2, 3, 4)]
+        assert errors == sorted(errors, reverse=True)
+
+    def test_activation_aware_error_uses_calibration(self, rng):
+        weight = rng.standard_normal((8, 16)) * 0.1
+        acts = rng.standard_normal((32, 16))
+        s = measure_layer_sensitivity("layer", weight, candidate_bits=(2,), activations=acts)
+        assert s.error_by_bits[2] > 0
+
+    def test_marginal_gain_positive_for_extra_bit(self, rng):
+        weight = rng.standard_normal((8, 32)) * 0.1
+        s = measure_layer_sensitivity("layer", weight, candidate_bits=(2, 3))
+        assert s.marginal_gain(2, 3) >= 0
+
+
+class TestAllocateMixedPrecision:
+    def _sensitivities(self, rng, scales=(1.0, 10.0, 0.1)):
+        sens = []
+        for i, scale in enumerate(scales):
+            weight = rng.standard_normal((16, 32)) * scale
+            sens.append(measure_layer_sensitivity(f"layer{i}", weight,
+                                                   candidate_bits=(1, 2, 3, 4)))
+        return sens
+
+    def test_average_bits_within_budget(self, rng):
+        sens = self._sensitivities(rng)
+        plan = allocate_mixed_precision(sens, target_average_bits=2.4, min_bits=1, max_bits=4)
+        assert plan.average_bits <= 2.4 + 1e-9
+        assert all(1 <= b <= 4 for b in plan.bits_per_layer.values())
+
+    def test_sensitive_layer_gets_more_bits(self, rng):
+        sens = self._sensitivities(rng, scales=(0.01, 5.0, 0.01))
+        plan = allocate_mixed_precision(sens, target_average_bits=2.0, min_bits=1, max_bits=4)
+        assert plan.bits_per_layer["layer1"] >= max(plan.bits_per_layer["layer0"],
+                                                    plan.bits_per_layer["layer2"])
+
+    def test_full_budget_gives_max_bits(self, rng):
+        sens = self._sensitivities(rng)
+        plan = allocate_mixed_precision(sens, target_average_bits=4.0, min_bits=1, max_bits=4)
+        assert all(b == 4 for b in plan.bits_per_layer.values())
+
+    def test_out_of_range_target_raises(self, rng):
+        sens = self._sensitivities(rng)
+        with pytest.raises(ValueError):
+            allocate_mixed_precision(sens, target_average_bits=5.0, min_bits=1, max_bits=4)
+
+    def test_empty_layer_list_raises(self):
+        with pytest.raises(ValueError):
+            allocate_mixed_precision([], target_average_bits=2.0)
+
+
+class TestPacking:
+    def test_pack_unpack_roundtrip(self, rng):
+        planes = rng.choice([-1, 1], size=(3, 8, 21)).astype(np.int8)
+        packed = pack_bitplanes(planes)
+        assert packed.dtype == np.uint8
+        np.testing.assert_array_equal(unpack_bitplanes(packed, 21), planes)
+
+    def test_pack_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            pack_bitplanes(np.zeros((1, 2, 3)))
+
+    def test_pack_uniform_roundtrip_via_weights(self, rng):
+        codes = rng.integers(0, 16, size=(6, 10))
+        planes = pack_uniform_to_bitplanes(codes, bits=4)
+        # Reconstruct codes from the sign planes (MSB first).
+        rebuilt = np.zeros_like(codes)
+        for i in range(4):
+            rebuilt += ((planes[i] + 1) // 2).astype(np.int64) << (3 - i)
+        np.testing.assert_array_equal(rebuilt, codes)
+
+    def test_pack_uniform_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            pack_uniform_to_bitplanes(np.array([[16]]), bits=4)
+
+    def test_storage_bits_scales_with_bits(self):
+        assert (bitplane_storage_bits((64, 64), 4, group_size=64)
+                > bitplane_storage_bits((64, 64), 2, group_size=64))
+
+    def test_storage_bits_counts_scales(self):
+        bits = bitplane_storage_bits((4, 8), 2, group_size=8, scale_bits=16)
+        assert bits == 4 * 8 * 2 + 2 * 4 * 1 * 16 + 4 * 1 * 16

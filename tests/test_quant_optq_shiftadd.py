@@ -1,0 +1,88 @@
+"""Tests for OPTQ and ShiftAddLLM-style quantization."""
+
+import numpy as np
+import pytest
+
+from repro.quant.calibration import gather_calibration_hessian
+from repro.quant.optq import OPTQConfig, quantize_optq
+from repro.quant.rtn import RTNConfig, quantize_rtn
+from repro.quant.shiftadd import ShiftAddConfig, quantize_shiftadd
+from repro.quant.bcq import BCQConfig, quantize_bcq
+
+
+@pytest.fixture
+def calibration(rng):
+    return rng.standard_normal((64, 32))
+
+
+def _output_error(weight, quantized, activations):
+    return np.linalg.norm((weight - quantized.dequantize()) @ activations.T)
+
+
+class TestCalibrationHessian:
+    def test_shape_and_symmetry(self, calibration):
+        h = gather_calibration_hessian(calibration)
+        assert h.shape == (32, 32)
+        np.testing.assert_allclose(h, h.T)
+
+    def test_positive_definite(self, calibration):
+        h = gather_calibration_hessian(calibration)
+        assert np.all(np.linalg.eigvalsh(h) > 0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            gather_calibration_hessian(np.zeros((0, 4)))
+
+
+class TestOPTQ:
+    def test_codes_in_range(self, small_weight, calibration):
+        qt = quantize_optq(small_weight, calibration, OPTQConfig(bits=3))
+        assert qt.codes.min() >= 0 and qt.codes.max() <= 7
+
+    def test_improves_output_error_over_rtn(self, rng):
+        # Correlated calibration inputs are where OPTQ's compensation helps.
+        weight = rng.standard_normal((32, 48)) * 0.1
+        base = rng.standard_normal((256, 8))
+        mix = rng.standard_normal((8, 48))
+        activations = base @ mix + 0.05 * rng.standard_normal((256, 48))
+        optq = quantize_optq(weight, activations, OPTQConfig(bits=3))
+        rtn = quantize_rtn(weight, RTNConfig(bits=3, granularity="channel"))
+        assert _output_error(weight, optq, activations) < _output_error(weight, rtn, activations)
+
+    def test_block_size_does_not_change_result_much(self, small_weight, calibration):
+        a = quantize_optq(small_weight, calibration, OPTQConfig(bits=4, block_size=8))
+        b = quantize_optq(small_weight, calibration, OPTQConfig(bits=4, block_size=128))
+        # Same grid, same compensation maths — output errors should be close.
+        err_a = _output_error(small_weight, a, calibration)
+        err_b = _output_error(small_weight, b, calibration)
+        assert err_a == pytest.approx(err_b, rel=0.2)
+
+    def test_shape_mismatch_raises(self, small_weight):
+        with pytest.raises(ValueError):
+            quantize_optq(small_weight, np.zeros((16, 7)), OPTQConfig(bits=4))
+
+
+class TestShiftAdd:
+    def test_returns_bcq_tensor_with_binary_planes(self, small_weight, calibration):
+        qt = quantize_shiftadd(small_weight, calibration, ShiftAddConfig(bits=2))
+        assert set(np.unique(qt.bitplanes)) <= {-1, 1}
+        assert qt.bits == 2
+
+    def test_without_calibration_matches_plain_bcq(self, small_weight):
+        a = quantize_shiftadd(small_weight, None, ShiftAddConfig(bits=3, iterations=4))
+        b = quantize_bcq(small_weight, BCQConfig(bits=3, iterations=4))
+        np.testing.assert_allclose(a.dequantize(), b.dequantize())
+
+    def test_error_compensation_improves_output_error(self, rng):
+        weight = rng.standard_normal((24, 48)) * 0.1
+        base = rng.standard_normal((256, 6))
+        mix = rng.standard_normal((6, 48))
+        activations = base @ mix + 0.05 * rng.standard_normal((256, 48))
+        plain = quantize_shiftadd(weight, None, ShiftAddConfig(bits=2, error_compensation=False))
+        compensated = quantize_shiftadd(weight, activations, ShiftAddConfig(bits=2))
+        assert (_output_error(weight, compensated, activations)
+                <= _output_error(weight, plain, activations) * 1.05)
+
+    def test_rejects_bad_calibration_shape(self, small_weight):
+        with pytest.raises(ValueError):
+            quantize_shiftadd(small_weight, np.zeros((8, 5)), ShiftAddConfig(bits=2))

@@ -1,0 +1,85 @@
+"""Tests for round-to-nearest uniform quantization."""
+
+import numpy as np
+import pytest
+
+from repro.quant.rtn import RTNConfig, quantize_rtn
+
+
+class TestRTNConfig:
+    def test_rejects_zero_bits(self):
+        with pytest.raises(ValueError):
+            RTNConfig(bits=0)
+
+    def test_rejects_bad_granularity(self):
+        with pytest.raises(ValueError):
+            RTNConfig(granularity="row")
+
+    def test_rejects_bad_group_size(self):
+        with pytest.raises(ValueError):
+            RTNConfig(granularity="group", group_size=0)
+
+
+class TestQuantizeRTN:
+    @pytest.mark.parametrize("bits", [2, 3, 4, 8])
+    def test_codes_within_range(self, small_weight, bits):
+        qt = quantize_rtn(small_weight, RTNConfig(bits=bits))
+        assert qt.codes.min() >= 0
+        assert qt.codes.max() <= (1 << bits) - 1
+
+    @pytest.mark.parametrize("granularity", ["tensor", "channel", "group"])
+    def test_error_bounded_by_half_step(self, small_weight, granularity):
+        config = RTNConfig(bits=4, granularity=granularity, group_size=8)
+        qt = quantize_rtn(small_weight, config)
+        err = np.abs(qt.dequantize() - small_weight)
+        # Each element must land within half a quantization step of its scope.
+        max_scale = np.max(qt.scales)
+        assert np.max(err) <= max_scale / 2 + 1e-12
+
+    def test_more_bits_reduce_error(self, small_weight):
+        errs = []
+        for bits in (2, 4, 8):
+            qt = quantize_rtn(small_weight, RTNConfig(bits=bits))
+            errs.append(np.linalg.norm(qt.dequantize() - small_weight))
+        assert errs[0] > errs[1] > errs[2]
+
+    def test_channel_beats_tensor_granularity(self, rng):
+        # Rows with very different magnitude ranges favour per-channel scales.
+        weight = rng.standard_normal((8, 64)) * np.logspace(-2, 1, 8)[:, None]
+        per_tensor = quantize_rtn(weight, RTNConfig(bits=4, granularity="tensor"))
+        per_channel = quantize_rtn(weight, RTNConfig(bits=4, granularity="channel"))
+        err_tensor = np.linalg.norm(per_tensor.dequantize() - weight)
+        err_channel = np.linalg.norm(per_channel.dequantize() - weight)
+        assert err_channel < err_tensor
+
+    def test_group_beats_channel_for_columnwise_scale_variation(self, rng):
+        weight = rng.standard_normal((4, 128)) * np.repeat(np.logspace(-2, 1, 8), 16)[None, :]
+        per_channel = quantize_rtn(weight, RTNConfig(bits=3, granularity="channel"))
+        per_group = quantize_rtn(weight, RTNConfig(bits=3, granularity="group", group_size=16))
+        assert (np.linalg.norm(per_group.dequantize() - weight)
+                < np.linalg.norm(per_channel.dequantize() - weight))
+
+    def test_symmetric_grid_has_centered_zero_point(self, small_weight):
+        qt = quantize_rtn(small_weight, RTNConfig(bits=4, symmetric=True))
+        np.testing.assert_allclose(qt.zero_points, ((1 << 4) - 1) / 2.0)
+
+    def test_constant_block_is_exact(self):
+        weight = np.full((3, 7), 0.25)
+        qt = quantize_rtn(weight, RTNConfig(bits=4))
+        np.testing.assert_allclose(qt.dequantize(), weight)
+
+    def test_min_and_max_are_exactly_representable_asymmetric(self, small_weight):
+        qt = quantize_rtn(small_weight, RTNConfig(bits=4, granularity="channel"))
+        deq = qt.dequantize()
+        for r in range(small_weight.shape[0]):
+            assert deq[r].min() == pytest.approx(small_weight[r].min(), abs=1e-9)
+            assert deq[r].max() == pytest.approx(small_weight[r].max(), abs=1e-9)
+
+    def test_storage_bits_accounts_for_codes_and_scales(self, small_weight):
+        qt = quantize_rtn(small_weight, RTNConfig(bits=4, granularity="channel"))
+        expected = small_weight.size * 4 + 2 * small_weight.shape[0] * 16
+        assert qt.storage_bits() == expected
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            quantize_rtn(np.zeros(5))
