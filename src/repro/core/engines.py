@@ -36,7 +36,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.numerics.floats import FloatFormat, cast_to_format, get_format
-from repro.numerics.prealign import prealign
+from repro.numerics.prealign import prealign, prealign_grouped
 from repro.quant.bcq import BCQTensor, uniform_to_bcq
 from repro.quant.rtn import UniformQuantizedTensor
 
@@ -86,6 +86,39 @@ def _activation_2d(x: np.ndarray, n: int) -> tuple[np.ndarray, bool]:
     if arr.shape[0] != n:
         raise ValueError(f"activation rows {arr.shape[0]} != weight cols {n}")
     return arr, squeeze
+
+
+def _prealigned_bcq_gemm(bcq: BCQTensor, x: np.ndarray,
+                         fmt: FloatFormat) -> np.ndarray:
+    """Shared vectorized core of the pre-aligned BCQ engines (iFPU, FIGLUT-I).
+
+    All (group, batch-column) activation blocks are pre-aligned in one
+    batched pass, then each (group, bit-plane) contributes through a single
+    sign-matrix product over the whole batch.  The per-column accumulation
+    order (planes within a group, then the group's offset term) and every
+    elementwise operation match the scalar per-(batch, group, plane) loops
+    bit-for-bit; mantissas ride in float64 through BLAS, which is exact
+    because every partial sum is an integer far below 2**53.
+    """
+    m, n = bcq.shape
+    batch = x.shape[1]
+    y = np.zeros((m, batch), dtype=np.float64)
+    if n == 0 or batch == 0:
+        return y
+    pre = prealign_grouped(x, bcq.group_size, fmt=fmt)
+    mantissas = pre.mantissas.astype(np.float64)
+    # Row sums per (batch, group) block for the offset term; the transposed
+    # contiguous layout reproduces np.sum's per-column reduction order.
+    xt = np.ascontiguousarray(x.T)
+    for g, sl in enumerate(bcq.column_groups()):
+        mant = mantissas[sl]                      # (group, batch)
+        scale = pre.scales[g]                     # (batch,)
+        for plane in range(bcq.bits):
+            signs = bcq.bitplanes[plane][:, sl].astype(np.float64)
+            acc = signs @ mant                    # integer-valued, exact
+            y += bcq.scales[plane][:, g][:, None] * (acc * scale[None, :])
+        y += bcq.offsets[:, g][:, None] * xt[:, sl].sum(axis=1)[None, :]
+    return y
 
 
 class GEMMEngine:
@@ -169,23 +202,14 @@ class IFPUEngine(GEMMEngine):
         x, squeeze = _activation_2d(activations, n)
         x = self._quantize_activations(x)
         batch = x.shape[1]
-        y = np.zeros((m, batch), dtype=np.float64)
 
-        group_slices = bcq.column_groups()
-        for b in range(batch):
-            for g, sl in enumerate(group_slices):
-                block = prealign(x[sl, b], fmt=self.activation_format)
-                self.stats.prealignments += block.mantissas.size
-                mant = block.mantissas.astype(np.int64)
-                for plane in range(bcq.bits):
-                    signs = bcq.bitplanes[plane][:, sl].astype(np.int64)
-                    acc = signs @ mant  # integer add/subtract per bit plane
-                    self.stats.int_additions += m * mant.size
-                    y[:, b] += bcq.scales[plane][:, g] * (acc * block.scale)
-                    self.stats.fp_multiplications += m
-                    self.stats.fp_additions += m
-                y[:, b] += bcq.offsets[:, g] * float(np.sum(x[sl, b]))
-                self.stats.fp_additions += m
+        y = _prealigned_bcq_gemm(bcq, x, self.activation_format)
+
+        n_groups = bcq.n_groups
+        self.stats.prealignments += n * batch
+        self.stats.int_additions += m * n * batch * bcq.bits
+        self.stats.fp_multiplications += m * batch * bcq.bits * n_groups
+        self.stats.fp_additions += m * batch * (bcq.bits + 1) * n_groups
         return y[:, 0] if squeeze else y
 
 
@@ -297,22 +321,14 @@ class FIGLUTIntEngine(_FIGLUTBase):
         x, squeeze = _activation_2d(activations, n)
         x = self._quantize_activations(x)
         batch = x.shape[1]
-        y = np.zeros((m, batch), dtype=np.float64)
 
-        group_slices = bcq.column_groups()
-        for b in range(batch):
-            for g, sl in enumerate(group_slices):
-                block = prealign(x[sl, b], fmt=self.activation_format)
-                self.stats.prealignments += block.mantissas.size
-                mant = block.mantissas.astype(np.int64)
-                for plane in range(bcq.bits):
-                    signs = bcq.bitplanes[plane][:, sl].astype(np.int64)
-                    acc = signs @ mant  # integer read-accumulate
-                    y[:, b] += bcq.scales[plane][:, g] * (acc * block.scale)
-                y[:, b] += bcq.offsets[:, g] * float(np.sum(x[sl, b]))
+        y = _prealigned_bcq_gemm(bcq, x, self.activation_format)
+
+        n_groups = bcq.n_groups
+        self.stats.prealignments += n * batch
         self._count_lut_ops(m, n, batch, bcq.bits)
-        self.stats.fp_multiplications += m * batch * bcq.bits * len(group_slices)
-        self.stats.fp_additions += m * batch * (bcq.bits + 1) * len(group_slices)
+        self.stats.fp_multiplications += m * batch * bcq.bits * n_groups
+        self.stats.fp_additions += m * batch * (bcq.bits + 1) * n_groups
         return y[:, 0] if squeeze else y
 
 

@@ -72,14 +72,25 @@ def figlut_gemm(weights: BCQTensor, activations: np.ndarray, *,
         (pre-aligned integer LUT).
     detailed:
         If True, simulate the MPU tile-by-tile and return
-        ``(Y, MPURunStats)`` instead of just ``Y``.
+        ``(Y, MPURunStats)`` instead of just ``Y``.  Only supported for
+        ``variant="figlut-f"`` (the datapath the MPU models); the
+        ``accumulator`` precision is honoured as the LUT/accumulate dtype.
     """
     if not isinstance(weights, BCQTensor):
         raise TypeError("weights must be a BCQTensor; use prepare_weights()")
     if detailed:
+        # The MPU models the FIGLUT-F datapath (FP LUT entries, no
+        # pre-alignment); other variants have no detailed model, so reject
+        # them instead of silently running FIGLUT-F numerics.
+        if variant != "figlut-f":
+            raise ValueError(
+                f"detailed=True models only variant='figlut-f', got {variant!r}")
+        acc_dtypes = {"fp16": np.float16, "fp32": np.float32, "fp64": np.float64}
+        if accumulator not in acc_dtypes:
+            raise ValueError("accumulator must be 'fp16', 'fp32' or 'fp64'")
         mpu = MatrixProcessingUnit(mpu_config or MPUConfig(mu=mu))
-        acc_dtype = np.float32 if accumulator == "fp32" else np.float64
-        return mpu.gemm(weights, activations, accumulate_dtype=acc_dtype)
+        return mpu.gemm(weights, activations,
+                        accumulate_dtype=acc_dtypes[accumulator])
     if variant == "figlut-f":
         engine = FIGLUTFloatEngine(activation_format=activation_format,
                                    accumulator=accumulator, mu=mu)

@@ -25,7 +25,11 @@ from repro.numerics.floats import FloatFormat, get_format, decompose
 
 __all__ = [
     "PreAlignedBlock",
+    "PreAlignedBlocks",
+    "PreAlignedGroups",
     "prealign",
+    "prealign_blocks",
+    "prealign_grouped",
     "prealign_matrix",
     "reconstruct",
     "aligned_dot",
@@ -87,29 +91,143 @@ def prealign(values: np.ndarray, fmt: "FloatFormat | str" = "fp16",
     """
     fmt = get_format(fmt)
     arr = np.asarray(values, dtype=np.float64)
-    sign, exponent, mantissa = decompose(arr, fmt)
-
     if arr.size == 0:
         return PreAlignedBlock(np.zeros(arr.shape, dtype=np.int64), 0,
                                fmt.mantissa_bits + extra_bits, fmt)
+    # One shared implementation of the alignment shifter: delegate to the
+    # batched kernel with a single block.
+    batched = prealign_blocks(arr.reshape(1, arr.size), fmt=fmt,
+                              extra_bits=extra_bits)
+    return PreAlignedBlock(batched.mantissas.reshape(arr.shape),
+                           int(batched.shared_exponents[0]),
+                           batched.frac_bits, fmt)
 
+
+@dataclass(frozen=True)
+class PreAlignedBlocks:
+    """A stack of independently pre-aligned blocks (batched counterpart of
+    :class:`PreAlignedBlock`).
+
+    Attributes
+    ----------
+    mantissas:
+        int64 array of shape ``(n_blocks, n)``; row ``b`` holds block ``b``'s
+        aligned mantissas.
+    shared_exponents:
+        int64 array of shape ``(n_blocks,)`` with each block's shared
+        unbiased exponent.
+    frac_bits:
+        Number of fractional bits retained (common to all blocks).
+    fmt:
+        The floating-point format the activations were interpreted in.
+    """
+
+    mantissas: np.ndarray
+    shared_exponents: np.ndarray
+    frac_bits: int
+    fmt: FloatFormat
+
+    @property
+    def scales(self) -> np.ndarray:
+        """Per-block factors mapping integer mantissas back to reals."""
+        return np.exp2(self.shared_exponents.astype(np.float64) - self.frac_bits)
+
+
+@dataclass(frozen=True)
+class PreAlignedGroups:
+    """All (column-group × batch-column) blocks of an activation matrix,
+    pre-aligned at once for the grouped BCQ engines (iFPU / FIGLUT-I).
+
+    Attributes
+    ----------
+    mantissas:
+        int64 array with the activation matrix's shape ``(n, batch)``;
+        ``mantissas[sl, b]`` are the aligned mantissas of group slice ``sl``
+        in batch column ``b``.
+    scales:
+        float64 array of shape ``(n_groups, batch)``; ``scales[g, b]`` maps
+        group ``g``'s mantissas in column ``b`` back to real values.
+    group_size:
+        Number of rows per group (the last group may be smaller).
+    """
+
+    mantissas: np.ndarray
+    scales: np.ndarray
+    group_size: int
+
+
+def prealign_blocks(blocks: np.ndarray, fmt: "FloatFormat | str" = "fp16",
+                    extra_bits: int = 0) -> PreAlignedBlocks:
+    """Pre-align every row of a ``(n_blocks, n)`` stack in one pass.
+
+    Bit-exact with calling :func:`prealign` per row: the decomposition is
+    elementwise and the shared exponent is an order-insensitive max.
+    """
+    fmt = get_format(fmt)
+    arr = np.asarray(blocks, dtype=np.float64)
+    if arr.ndim != 2:
+        raise ValueError("prealign_blocks expects a 2-D stack of blocks")
     frac_bits = fmt.mantissa_bits + extra_bits
-    max_exp = int(np.max(exponent[mantissa != 0], initial=fmt.min_exponent))
+    if arr.shape[1] == 0:
+        return PreAlignedBlocks(np.zeros(arr.shape, dtype=np.int64),
+                                np.zeros(arr.shape[0], dtype=np.int64),
+                                frac_bits, fmt)
+    sign, exponent, mantissa = decompose(arr, fmt)
 
-    # Shift each mantissa so it is expressed relative to max_exp.
-    shift = (max_exp - exponent).astype(np.int64)
-    # extra_bits shifts left first (adds guard bits), then align right.
-    scaled = mantissa << extra_bits if extra_bits else mantissa.copy()
-    # Right-shift with rounding-to-nearest (ties away from zero) to mimic a
-    # rounding alignment shifter; values shifted out entirely become 0.
+    # decompose() already reports min_exponent for zeros, so a plain row max
+    # equals the scalar path's max over nonzero entries (with the same
+    # min_exponent floor).
+    max_exp = np.where(mantissa != 0, exponent, fmt.min_exponent).max(axis=1)
+
+    shift = max_exp[:, None] - exponent
+    scaled = mantissa << extra_bits if extra_bits else mantissa
     aligned = np.zeros_like(scaled)
     in_range = shift < 63
     half = np.zeros_like(scaled)
     half[in_range] = np.where(shift[in_range] > 0, 1 << np.maximum(shift[in_range] - 1, 0), 0)
     aligned[in_range] = (scaled[in_range] + half[in_range]) >> shift[in_range]
 
-    mantissas = sign * aligned
-    return PreAlignedBlock(mantissas.reshape(arr.shape), max_exp, frac_bits, fmt)
+    return PreAlignedBlocks(sign * aligned, max_exp, frac_bits, fmt)
+
+
+def prealign_grouped(x: np.ndarray, group_size: int,
+                     fmt: "FloatFormat | str" = "fp16",
+                     extra_bits: int = 0) -> PreAlignedGroups:
+    """Pre-align all (column-group × batch-column) blocks of ``x`` at once.
+
+    ``x`` has shape ``(n, batch)``; each block ``x[g*group_size:(g+1)*
+    group_size, b]`` is aligned independently, exactly as the engines'
+    per-(batch, group) :func:`prealign` calls would, but in two batched
+    passes (full-size groups plus the ragged last group, so no padding
+    enters the shared-exponent max).
+    """
+    fmt = get_format(fmt)
+    arr = np.asarray(x, dtype=np.float64)
+    if arr.ndim != 2:
+        raise ValueError("prealign_grouped expects a 2-D activation matrix")
+    if group_size < 1:
+        raise ValueError("group_size must be >= 1")
+    n, batch = arr.shape
+    n_groups = max((n + group_size - 1) // group_size, 1)
+    mantissas = np.zeros((n, batch), dtype=np.int64)
+    scales = np.ones((n_groups, batch), dtype=np.float64)
+    if n == 0 or batch == 0:
+        return PreAlignedGroups(mantissas, scales, group_size)
+
+    xt = np.ascontiguousarray(arr.T)  # (batch, n); rows are batch columns
+    n_full = n // group_size
+    full = n_full * group_size
+    if n_full:
+        blocks = xt[:, :full].reshape(batch * n_full, group_size)
+        pre = prealign_blocks(blocks, fmt=fmt, extra_bits=extra_bits)
+        mantissas[:full] = pre.mantissas.reshape(batch, full).T
+        scales[:n_full] = pre.scales.reshape(batch, n_full).T
+    if full < n:
+        pre = prealign_blocks(np.ascontiguousarray(xt[:, full:]),
+                              fmt=fmt, extra_bits=extra_bits)
+        mantissas[full:] = pre.mantissas.T
+        scales[n_full] = pre.scales
+    return PreAlignedGroups(mantissas, scales, group_size)
 
 
 def prealign_matrix(matrix: np.ndarray, fmt: "FloatFormat | str" = "fp16",

@@ -190,3 +190,36 @@ class TestGEMMAPI:
         packed = prepare_weights(small_weight, bits=2)
         with pytest.raises(ValueError):
             figlut_gemm(packed, small_activations, variant="figlut-x")
+
+    def test_figlut_gemm_detailed_rejects_unsupported_variant(self, small_weight,
+                                                             small_activations):
+        # The MPU models FIGLUT-F only; silently running FIGLUT-F numerics
+        # for variant="figlut-i" was a bug.
+        packed = prepare_weights(small_weight, bits=2)
+        with pytest.raises(ValueError, match="figlut-f"):
+            figlut_gemm(packed, small_activations, variant="figlut-i",
+                        detailed=True)
+
+    def test_figlut_gemm_detailed_rejects_bad_accumulator(self, small_weight,
+                                                          small_activations):
+        packed = prepare_weights(small_weight, bits=2)
+        with pytest.raises(ValueError, match="accumulator"):
+            figlut_gemm(packed, small_activations, detailed=True,
+                        accumulator="int8")
+
+    def test_figlut_gemm_detailed_honours_accumulator_dtype(self, small_weight,
+                                                            small_activations):
+        # fp16 used to silently map to float64 accumulation; now each
+        # accumulator name maps to its dtype, so fp16 must match an explicit
+        # float16 MPU run (and differ from the old float64 behaviour).
+        packed = prepare_weights(small_weight, bits=2, method="bcq")
+        cfg = MPUConfig(pe_rows=2, pe_cols=1, mu=4, k=8)
+        y16, _ = figlut_gemm(packed, small_activations, detailed=True,
+                             accumulator="fp16", mpu_config=cfg)
+        mpu = MatrixProcessingUnit(cfg)
+        expected16, _ = mpu.gemm(packed, small_activations,
+                                 accumulate_dtype=np.float16)
+        np.testing.assert_array_equal(y16, expected16)
+        y64, _ = figlut_gemm(packed, small_activations, detailed=True,
+                             accumulator="fp64", mpu_config=cfg)
+        assert not np.array_equal(y16, y64)

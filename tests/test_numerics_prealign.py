@@ -88,3 +88,72 @@ class TestPrealignMatrix:
     def test_rejects_non_2d(self):
         with pytest.raises(ValueError):
             prealign_matrix(np.zeros(5), fmt="fp16")
+
+
+class TestPrealignBlocks:
+    def test_matches_per_row_prealign(self, rng):
+        from repro.numerics.prealign import prealign_blocks
+
+        blocks = rng.standard_normal((9, 24))
+        blocks[3] = 0.0  # all-zero block
+        batched = prealign_blocks(blocks, fmt="fp16")
+        for k in range(blocks.shape[0]):
+            single = prealign(blocks[k], fmt="fp16")
+            np.testing.assert_array_equal(batched.mantissas[k], single.mantissas)
+            assert int(batched.shared_exponents[k]) == single.shared_exponent
+            assert batched.scales[k] == single.scale
+        assert batched.frac_bits == single.frac_bits
+
+    def test_extra_bits_guard_bits(self, rng):
+        from repro.numerics.prealign import prealign_blocks
+
+        blocks = rng.standard_normal((4, 16))
+        batched = prealign_blocks(blocks, fmt="fp16", extra_bits=3)
+        for k in range(4):
+            single = prealign(blocks[k], fmt="fp16", extra_bits=3)
+            np.testing.assert_array_equal(batched.mantissas[k], single.mantissas)
+
+    def test_zero_width_blocks(self):
+        from repro.numerics.prealign import prealign_blocks
+
+        batched = prealign_blocks(np.zeros((3, 0)), fmt="fp16")
+        assert batched.mantissas.shape == (3, 0)
+        np.testing.assert_array_equal(batched.shared_exponents, np.zeros(3))
+
+    def test_rejects_non_2d(self):
+        from repro.numerics.prealign import prealign_blocks
+
+        with pytest.raises(ValueError):
+            prealign_blocks(np.zeros(5), fmt="fp16")
+
+
+class TestPrealignGrouped:
+    @pytest.mark.parametrize("n,group_size", [(16, 4), (17, 4), (5, 8), (12, 1)])
+    def test_matches_per_block_prealign(self, rng, n, group_size):
+        from repro.numerics.prealign import prealign_grouped
+
+        x = rng.standard_normal((n, 3))
+        grouped = prealign_grouped(x, group_size, fmt="fp16")
+        n_groups = max((n + group_size - 1) // group_size, 1)
+        assert grouped.scales.shape == (n_groups, 3)
+        for b in range(x.shape[1]):
+            for g in range(n_groups):
+                sl = slice(g * group_size, min((g + 1) * group_size, n))
+                single = prealign(x[sl, b], fmt="fp16")
+                np.testing.assert_array_equal(grouped.mantissas[sl, b],
+                                              single.mantissas)
+                assert grouped.scales[g, b] == single.scale
+
+    def test_empty_activation_matrix(self):
+        from repro.numerics.prealign import prealign_grouped
+
+        grouped = prealign_grouped(np.zeros((0, 4)), 8, fmt="fp16")
+        assert grouped.mantissas.shape == (0, 4)
+        grouped = prealign_grouped(np.zeros((6, 0)), 2, fmt="fp16")
+        assert grouped.mantissas.shape == (6, 0)
+
+    def test_rejects_bad_group_size(self):
+        from repro.numerics.prealign import prealign_grouped
+
+        with pytest.raises(ValueError):
+            prealign_grouped(np.zeros((4, 2)), 0)

@@ -1,0 +1,155 @@
+"""Bit-exactness of the vectorized BCQ quantizer and engine hot paths.
+
+The vectorized :func:`repro.quant.bcq.quantize_bcq` and the batched
+pre-aligned GEMM core of the iFPU / FIGLUT-I engines must reproduce the seed
+scalar implementations bit-for-bit — these tests pin that contract across
+bit widths, group geometries (including ragged last groups), degenerate
+shapes, and all-zero blocks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.engines import FIGLUTIntEngine, IFPUEngine
+from repro.numerics.floats import get_format
+from repro.numerics.prealign import prealign
+from repro.quant.bcq import (
+    BCQConfig,
+    BCQTensor,
+    quantize_bcq,
+    _reference_quantize_bcq,
+)
+
+
+def assert_bcq_equal(actual: BCQTensor, expected: BCQTensor) -> None:
+    assert actual.shape == expected.shape
+    assert actual.group_size == expected.group_size
+    np.testing.assert_array_equal(actual.bitplanes, expected.bitplanes)
+    np.testing.assert_array_equal(actual.scales, expected.scales)
+    np.testing.assert_array_equal(actual.offsets, expected.offsets)
+    np.testing.assert_array_equal(actual.per_row_bits, expected.per_row_bits)
+
+
+class TestQuantizerEquivalence:
+    @pytest.mark.parametrize("bits", [1, 2, 4])
+    @pytest.mark.parametrize("group_size", [None, 1, 128, "cols"])
+    def test_bit_exact_vs_reference(self, rng, bits, group_size):
+        rows, cols = 6, 160
+        gs = cols if group_size == "cols" else group_size
+        w = rng.standard_normal((rows, cols))
+        cfg = BCQConfig(bits=bits, group_size=gs, iterations=4)
+        assert_bcq_equal(quantize_bcq(w, cfg), _reference_quantize_bcq(w, cfg))
+
+    @pytest.mark.parametrize("cols,group_size", [(100, 32), (37, 16), (5, 4)])
+    def test_ragged_last_group(self, rng, cols, group_size):
+        w = rng.standard_normal((4, cols))
+        cfg = BCQConfig(bits=3, group_size=group_size, iterations=5)
+        assert_bcq_equal(quantize_bcq(w, cfg), _reference_quantize_bcq(w, cfg))
+
+    @pytest.mark.parametrize("shape", [(4, 0), (0, 7), (0, 0), (1, 1)])
+    def test_degenerate_shapes(self, rng, shape):
+        w = rng.standard_normal(shape)
+        cfg = BCQConfig(bits=2, iterations=3)
+        assert_bcq_equal(quantize_bcq(w, cfg), _reference_quantize_bcq(w, cfg))
+
+    def test_all_zero_rows_and_blocks(self, rng):
+        w = rng.standard_normal((6, 64))
+        w[2] = 0.0          # an all-zero row
+        w[4, :32] = 0.0     # an all-zero group
+        cfg = BCQConfig(bits=4, group_size=32, iterations=5)
+        assert_bcq_equal(quantize_bcq(w, cfg), _reference_quantize_bcq(w, cfg))
+
+    @pytest.mark.parametrize("use_offset", [True, False])
+    @pytest.mark.parametrize("iterations", [0, 5])
+    def test_offset_and_iteration_variants(self, rng, use_offset, iterations):
+        w = rng.standard_normal((5, 70))
+        cfg = BCQConfig(bits=3, group_size=16, iterations=iterations,
+                        use_offset=use_offset)
+        assert_bcq_equal(quantize_bcq(w, cfg), _reference_quantize_bcq(w, cfg))
+
+    def test_many_blocks_cross_chunk_boundaries(self, rng):
+        # More (row, group) blocks than one kernel chunk, exercising the
+        # workspace reuse across chunks.
+        w = rng.standard_normal((48, 512))
+        cfg = BCQConfig(bits=2, group_size=16, iterations=3)
+        assert_bcq_equal(quantize_bcq(w, cfg), _reference_quantize_bcq(w, cfg))
+
+
+class TestBCQTensorPostInit:
+    def test_per_row_bits_derived_when_omitted(self):
+        bitplanes = np.ones((3, 4, 8), dtype=np.int8)
+        t = BCQTensor(bitplanes=bitplanes, scales=np.ones((3, 4, 1)),
+                      offsets=np.zeros((4, 1)), group_size=8, shape=(4, 8))
+        np.testing.assert_array_equal(t.per_row_bits, np.full(4, 3))
+
+    def test_explicit_per_row_bits_preserved(self):
+        bitplanes = np.ones((3, 4, 8), dtype=np.int8)
+        custom = np.array([1, 2, 3, 4])
+        t = BCQTensor(bitplanes=bitplanes, scales=np.ones((3, 4, 1)),
+                      offsets=np.zeros((4, 1)), group_size=8, shape=(4, 8),
+                      per_row_bits=custom)
+        assert t.per_row_bits is custom
+
+
+def _reference_prealigned_gemm(engine, bcq: BCQTensor, x: np.ndarray) -> np.ndarray:
+    """The seed per-(batch, group, plane) scalar engine loop."""
+    m, _ = bcq.shape
+    batch = x.shape[1]
+    y = np.zeros((m, batch), dtype=np.float64)
+    fmt = get_format(engine.activation_format)
+    for b in range(batch):
+        for g, sl in enumerate(bcq.column_groups()):
+            block = prealign(x[sl, b], fmt=fmt)
+            mant = block.mantissas.astype(np.int64)
+            for plane in range(bcq.bits):
+                signs = bcq.bitplanes[plane][:, sl].astype(np.int64)
+                acc = signs @ mant
+                y[:, b] += bcq.scales[plane][:, g] * (acc * block.scale)
+            y[:, b] += bcq.offsets[:, g] * float(np.sum(x[sl, b]))
+    return y
+
+
+class TestEngineEquivalence:
+    @pytest.mark.parametrize("engine_cls", [IFPUEngine, FIGLUTIntEngine])
+    @pytest.mark.parametrize("group_size", [None, 8, 13])
+    def test_batched_gemm_matches_scalar_loop(self, rng, engine_cls, group_size):
+        w = rng.standard_normal((10, 26)) * 0.2
+        x = rng.standard_normal((26, 7))
+        bcq = quantize_bcq(w, BCQConfig(bits=3, group_size=group_size))
+        engine = engine_cls(activation_format="fp16")
+        x_cast = engine._quantize_activations(np.asarray(x, dtype=np.float64))
+        expected = _reference_prealigned_gemm(engine, bcq, x_cast)
+        np.testing.assert_array_equal(engine.gemm(bcq, x), expected)
+
+    @pytest.mark.parametrize("engine_cls", [IFPUEngine, FIGLUTIntEngine])
+    def test_vector_activation_squeeze(self, rng, engine_cls):
+        w = rng.standard_normal((6, 16)) * 0.2
+        x = rng.standard_normal(16)
+        bcq = quantize_bcq(w, BCQConfig(bits=2, group_size=4))
+        engine = engine_cls()
+        x_cast = engine._quantize_activations(
+            np.asarray(x, dtype=np.float64)[:, None])
+        expected = _reference_prealigned_gemm(engine, bcq, x_cast)[:, 0]
+        y = engine.gemm(bcq, x)
+        assert y.shape == (6,)
+        np.testing.assert_array_equal(y, expected)
+
+    def test_ifpu_stats_match_seed_formulas(self, rng):
+        w = rng.standard_normal((5, 12)) * 0.3
+        x = rng.standard_normal((12, 3))
+        bcq = quantize_bcq(w, BCQConfig(bits=2, group_size=5))  # ragged: 5,5,2
+        engine = IFPUEngine()
+        engine.gemm(bcq, x)
+        m, n, batch, bits, n_groups = 5, 12, 3, 2, 3
+        assert engine.stats.prealignments == n * batch
+        assert engine.stats.int_additions == m * n * batch * bits
+        assert engine.stats.fp_multiplications == m * batch * bits * n_groups
+        assert engine.stats.fp_additions == m * batch * (bits + 1) * n_groups
+
+    @pytest.mark.parametrize("engine_cls", [IFPUEngine, FIGLUTIntEngine])
+    def test_empty_batch_and_empty_weights(self, rng, engine_cls):
+        w = rng.standard_normal((4, 8))
+        bcq = quantize_bcq(w, BCQConfig(bits=2, group_size=4))
+        engine = engine_cls()
+        y = engine.gemm(bcq, np.zeros((8, 0)))
+        assert y.shape == (4, 0)
