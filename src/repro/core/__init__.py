@@ -9,7 +9,9 @@ This package implements the paper's primary contribution:
 * :mod:`repro.core.rac`, :mod:`repro.core.pe` — the read-accumulate unit and
   the processing element (one shared LUT + k RACs).
 * :mod:`repro.core.dataflow`, :mod:`repro.core.mpu` — weight-stationary
-  tiling with bit-plane-innermost ordering and the functional MPU model.
+  tiling with bit-plane-innermost ordering, the scale-group-aligned tile
+  execution planner, and the batched MPU executor with its retained scalar
+  reference.
 * :mod:`repro.core.engines` — functional GEMM engines with the numerics of
   FPE, iFPU, FIGNA, FIGLUT-F and FIGLUT-I.
 * :mod:`repro.core.gemm` — the high-level ``prepare_weights`` /
@@ -20,6 +22,7 @@ from repro.core.lut import (
     FFLUT,
     HalfFFLUT,
     build_lut_values,
+    build_lut_tables,
     lut_table_rows,
     pattern_to_key,
     key_to_pattern,
@@ -37,6 +40,10 @@ from repro.core.pe import ProcessingElement, PEStats
 from repro.core.dataflow import (
     TilingConfig,
     TileCoordinates,
+    ColumnSegment,
+    TileStep,
+    TileExecutionPlan,
+    plan_bcq_tile_execution,
     iterate_int_weight_tiles,
     iterate_bcq_weight_tiles,
     count_tile_fetches,
@@ -59,6 +66,7 @@ __all__ = [
     "FFLUT",
     "HalfFFLUT",
     "build_lut_values",
+    "build_lut_tables",
     "lut_table_rows",
     "pattern_to_key",
     "key_to_pattern",
@@ -73,6 +81,10 @@ __all__ = [
     "PEStats",
     "TilingConfig",
     "TileCoordinates",
+    "ColumnSegment",
+    "TileStep",
+    "TileExecutionPlan",
+    "plan_bcq_tile_execution",
     "iterate_int_weight_tiles",
     "iterate_bcq_weight_tiles",
     "count_tile_fetches",

@@ -1,4 +1,5 @@
-"""Weight-stationary tiling and the FP-BCQ bit-plane fetch order (Fig. 5).
+"""Weight-stationary tiling, the FP-BCQ fetch order (Fig. 5), and the tile
+execution planner shared by the MPU simulation and the analytical models.
 
 The MPU processes a GEMM ``Y = W X`` (weights ``W`` of shape ``(M, N)``,
 activations ``X`` of shape ``(N, batch)``) tile by tile:
@@ -11,9 +12,19 @@ activations ``X`` of shape ``(N, batch)``) tile by tile:
   planes of the same tile before moving to the next tile** (Fig. 5b), so each
   input tile is fetched once and reused across all bit planes.
 
-This module provides the tile iterators used by both the functional MPU
-simulation and the analytical performance/energy models, plus helpers that
-count how many input/weight fetches a schedule performs.
+Two layers live here:
+
+* the *iterators* (:func:`iterate_int_weight_tiles`,
+  :func:`iterate_bcq_weight_tiles`) — the raw geometric schedule, used by
+  fetch-count analytics and the packing model;
+* the *planner* (:func:`plan_bcq_tile_execution`) — a fully materialised
+  :class:`TileExecutionPlan` whose column extents are additionally **split at
+  BCQ scale-group boundaries**, so every planned segment carries exactly one
+  scale column.  The batched MPU executor and its retained scalar reference
+  both walk this plan; splitting at group boundaries is what lets every
+  partial sum go through the LUT/accumulator numerics (the seed's
+  multi-group tiles silently bypassed ``accumulate_dtype`` with a float64
+  matmul fallback).
 """
 
 from __future__ import annotations
@@ -26,6 +37,10 @@ import numpy as np
 __all__ = [
     "TileCoordinates",
     "TilingConfig",
+    "ColumnSegment",
+    "TileStep",
+    "TileExecutionPlan",
+    "plan_bcq_tile_execution",
     "iterate_int_weight_tiles",
     "iterate_bcq_weight_tiles",
     "count_tile_fetches",
@@ -77,6 +92,145 @@ class TilingConfig:
 
 def _tile_slices(extent: int, tile: int) -> list[slice]:
     return [slice(start, min(start + tile, extent)) for start in range(0, extent, tile)]
+
+
+@dataclass(frozen=True)
+class ColumnSegment:
+    """A run of input channels inside one tile band and one BCQ scale group.
+
+    The planner cuts every ``tile_n`` column band at scale-group boundaries,
+    so a segment never spans two groups: its whole contribution is scaled by
+    the single ``scales[plane][:, scale_group]`` column.
+
+    Attributes
+    ----------
+    col_slice:
+        The segment's input-channel columns.
+    scale_group:
+        Index of the BCQ scale group the columns belong to.
+    band_index:
+        Index of the geometric ``tile_n`` band the segment was cut from.
+    lut_groups:
+        Number of µ-wide LUT activation groups the segment occupies
+        (``ceil(width / µ)``; the last group is padded in hardware).
+    """
+
+    col_slice: slice
+    scale_group: int
+    band_index: int
+    lut_groups: int
+
+    @property
+    def width(self) -> int:
+        return self.col_slice.stop - self.col_slice.start
+
+
+@dataclass(frozen=True)
+class TileStep:
+    """One executed step of the planned schedule: a (row tile, column
+    segment, bit plane) triple.  ``tile_index`` is the geometric (row band,
+    column band) tile the step belongs to, matching
+    :class:`TileCoordinates` numbering."""
+
+    row_slice: slice
+    segment: ColumnSegment
+    bit_plane: int
+    tile_index: int
+
+    @property
+    def col_slice(self) -> slice:
+        return self.segment.col_slice
+
+
+@dataclass(frozen=True)
+class TileExecutionPlan:
+    """Materialised weight-stationary schedule with scale-group-aligned
+    column segments.
+
+    The plan is purely geometric — no weight or activation data — so the
+    stats counters of an MPU run can be derived from it analytically
+    (:meth:`lut_group_total`, :meth:`num_steps`, …) and a run can be costed
+    without executing it.
+    """
+
+    m: int
+    n: int
+    bits: int
+    mu: int
+    group_size: int
+    tiling: TilingConfig
+    row_slices: tuple[slice, ...]
+    segments: tuple[ColumnSegment, ...]
+    num_bands: int
+
+    @property
+    def num_tiles(self) -> int:
+        """Geometric (row band × column band) tiles, as in the Fig. 5 schedule."""
+        return len(self.row_slices) * self.num_bands
+
+    @property
+    def num_steps(self) -> int:
+        """Executed (row tile, segment, bit plane) steps."""
+        return len(self.row_slices) * len(self.segments) * self.bits
+
+    @property
+    def lut_group_total(self) -> int:
+        """Σ over segments of their µ-group count (one column band pass)."""
+        return sum(seg.lut_groups for seg in self.segments)
+
+    @property
+    def num_scale_groups(self) -> int:
+        return max((self.n + self.group_size - 1) // self.group_size, 1)
+
+    def steps(self) -> Iterator[TileStep]:
+        """Plan steps in execution order: row tiles outermost, then column
+        segments (ascending columns), then bit planes innermost (Fig. 5b)."""
+        for r_idx, rsl in enumerate(self.row_slices):
+            for seg in self.segments:
+                tile_index = r_idx * self.num_bands + seg.band_index
+                for plane in range(self.bits):
+                    yield TileStep(rsl, seg, plane, tile_index)
+
+
+def plan_bcq_tile_execution(m: int, n: int, bits: int, config: TilingConfig,
+                            mu: int = 1,
+                            group_size: int | None = None) -> TileExecutionPlan:
+    """Plan the BCQ weight-stationary schedule with scale-group splitting.
+
+    Every ``tile_n`` column band is cut at the boundaries of the
+    ``group_size``-wide BCQ scale groups, so each resulting
+    :class:`ColumnSegment` lies inside exactly one scale group.  Segments
+    whose width is not a multiple of ``mu`` occupy a padded final LUT group
+    (the hardware pads the key with −1 weights and the stream with zero
+    activations, which contributes exactly zero).
+    """
+    if bits < 1:
+        raise ValueError("bits must be >= 1")
+    if mu < 1:
+        raise ValueError("mu must be >= 1")
+    if group_size is not None and group_size < 1:
+        raise ValueError("group_size must be >= 1 or None")
+    group_size = group_size or max(n, 1)
+
+    row_slices = tuple(_tile_slices(m, config.tile_m))
+    segments: list[ColumnSegment] = []
+    for band_index, band in enumerate(_tile_slices(n, config.tile_n)):
+        start = band.start
+        while start < band.stop:
+            group = start // group_size
+            stop = min(band.stop, (group + 1) * group_size)
+            width = stop - start
+            segments.append(ColumnSegment(
+                col_slice=slice(start, stop),
+                scale_group=group,
+                band_index=band_index,
+                lut_groups=-(-width // mu),
+            ))
+            start = stop
+    num_bands = max((n + config.tile_n - 1) // config.tile_n, 0)
+    return TileExecutionPlan(m=m, n=n, bits=bits, mu=mu, group_size=group_size,
+                             tiling=config, row_slices=row_slices,
+                             segments=tuple(segments), num_bands=num_bands)
 
 
 def iterate_int_weight_tiles(m: int, n: int, config: TilingConfig) -> Iterator[TileCoordinates]:

@@ -36,7 +36,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.numerics.floats import FloatFormat, cast_to_format, get_format
-from repro.numerics.prealign import prealign, prealign_grouped
+from repro.numerics.prealign import prealign_grouped
 from repro.quant.bcq import BCQTensor, uniform_to_bcq
 from repro.quant.rtn import UniformQuantizedTensor
 
@@ -213,8 +213,62 @@ class IFPUEngine(GEMMEngine):
         return y[:, 0] if squeeze else y
 
 
+def _figna_work_dtype(mantissa_bits: int, code_magnitude: int, n: int) -> np.dtype:
+    """Matmul dtype for FIGNA's centred-code × mantissa products.
+
+    float64 BLAS when every partial sum is an integer exactly representable
+    below 2**53 (aligned mantissas carry ``mantissa_bits + 1`` bits, centred
+    codes at most ``code_magnitude`` in absolute value — which asymmetric
+    grids with large zero points can push far beyond ``2**bits`` — and the
+    reduction adds at most ``n`` products); otherwise the (exact but slower)
+    int64 matmul.
+    """
+    magnitude_bits = max(code_magnitude, 1).bit_length()
+    if (mantissa_bits + 1 + magnitude_bits + max(n, 1).bit_length()) < 53:
+        return np.dtype(np.float64)
+    return np.dtype(np.int64)
+
+
+def _reference_figna_gemm(weights: "UniformQuantizedTensor", x: np.ndarray,
+                          fmt: FloatFormat) -> np.ndarray:
+    """Scalar per-(batch column, scope) FIGNA loop (the seed hot loop).
+
+    Retained as the ground truth the batched :meth:`FIGNAEngine.gemm` is
+    tested bit-for-bit against (``x`` arrives already cast to the activation
+    format); orders of magnitude slower on real layers.
+    """
+    from repro.numerics.prealign import prealign
+    from repro.quant.rtn import _iter_scopes
+
+    m, n = weights.shape
+    batch = x.shape[1]
+    y = np.zeros((m, batch), dtype=np.float64)
+    codes = weights.codes.astype(np.int64)
+    zero_int = np.rint(weights.zero_points).astype(np.int64)
+    zero_frac = weights.zero_points - zero_int
+    for b in range(batch):
+        block = prealign(x[:, b], fmt=fmt)
+        mant = block.mantissas.astype(np.int64)
+        for scope_idx, rsl, csl in _iter_scopes(weights.shape, weights.granularity,
+                                                weights.group_size):
+            sub_codes = codes[rsl, csl] - zero_int[scope_idx]
+            acc = sub_codes @ mant[csl]  # integer multiply-accumulate
+            contribution = weights.scales[scope_idx] * (
+                acc * block.scale - zero_frac[scope_idx] * x[csl, b].sum())
+            y[rsl, b] += contribution
+    return y
+
+
 class FIGNAEngine(GEMMEngine):
-    """FIGNA: pre-aligned integer mantissa × INT weight code multiplication."""
+    """FIGNA: pre-aligned integer mantissa × INT weight code multiplication.
+
+    Like the BCQ engines' :func:`_prealigned_bcq_gemm` core, all (batch
+    column) activation blocks are pre-aligned in one
+    :func:`~repro.numerics.prealign.prealign_grouped` pass (FIGNA aligns each
+    whole activation column, i.e. one group spanning all input channels), and
+    each per-scope integer multiply-accumulate runs as a single matrix
+    product over the whole batch — bit-exact with the per-column scalar loop.
+    """
 
     name = "figna"
     supports_bcq = False
@@ -228,32 +282,60 @@ class FIGNAEngine(GEMMEngine):
         x = self._quantize_activations(x)
         batch = x.shape[1]
         y = np.zeros((m, batch), dtype=np.float64)
+        if n == 0 or batch == 0:
+            return y[:, 0] if squeeze else y
 
-        codes = weights.codes.astype(np.int64)
         # Centre the codes around the zero point so the integer product is of
         # (code - zero); the residual fractional zero point is applied in FP.
         zero_int = np.rint(weights.zero_points).astype(np.int64)
         zero_frac = weights.zero_points - zero_int
 
-        from repro.quant.rtn import _iter_scopes  # scope geometry shared with RTN
+        pre = prealign_grouped(x, n, fmt=self.activation_format)
+        self.stats.prealignments += n * batch
+        col_scale = pre.scales[0]  # (batch,) — one shared exponent per column
+        # Mantissas and centred codes ride in float64 through BLAS when every
+        # partial sum fits exactly below 2**53, falling back to the (exact but
+        # slower) int64 matmul for very wide accumulations or grids whose
+        # zero points inflate the centred codes (e.g. narrow all-positive
+        # asymmetric blocks).
+        qmax = (1 << weights.bits) - 1
+        max_centred = int(np.maximum(np.abs(zero_int),
+                                     np.abs(qmax - zero_int)).max()) if zero_int.size else 1
+        work_dtype = _figna_work_dtype(self.activation_format.mantissa_bits,
+                                       max_centred, n)
+        mant = pre.mantissas.astype(work_dtype)
+        codes = weights.codes.astype(work_dtype)
+        # Row sums per (batch, group) block for the fractional-zero-point
+        # term; the transposed contiguous layout reproduces np.sum's
+        # per-column reduction order.
+        xt = np.ascontiguousarray(x.T)
 
-        for b in range(batch):
-            block = prealign(x[:, b], fmt=self.activation_format)
-            self.stats.prealignments += n
-            mant = block.mantissas.astype(np.int64)
-            for scope_idx, rsl, csl in _iter_scopes(weights.shape, weights.granularity,
-                                                    weights.group_size):
-                sub_codes = codes[rsl, csl] - zero_int[scope_idx]
-                acc = sub_codes @ mant[csl]  # integer multiply-accumulate
-                rows = np.arange(rsl.start, rsl.stop)
-                cols = csl.stop - csl.start
-                self.stats.int_multiplications += rows.size * cols
-                self.stats.int_additions += rows.size * max(cols - 1, 0)
-                contribution = weights.scales[scope_idx] * (acc * block.scale
-                                                            - zero_frac[scope_idx] * x[csl, b].sum())
-                y[rows, b] += contribution
-                self.stats.fp_multiplications += rows.size
-                self.stats.fp_additions += rows.size
+        # One batched pass per column scope group (all rows at once); the
+        # ascending group order matches the per-scope scalar accumulation.
+        if weights.granularity == "tensor":
+            col_groups = [(slice(0, n), np.zeros(m, dtype=np.int64))]
+        elif weights.granularity == "channel":
+            col_groups = [(slice(0, n), np.arange(m, dtype=np.int64))]
+        else:
+            n_groups = (n + weights.group_size - 1) // weights.group_size
+            col_groups = [
+                (slice(g * weights.group_size, min((g + 1) * weights.group_size, n)),
+                 np.arange(m, dtype=np.int64) * n_groups + g)
+                for g in range(n_groups)
+            ]
+
+        for csl, scope_vec in col_groups:
+            cols = csl.stop - csl.start
+            centred = codes[:, csl] - zero_int[scope_vec].astype(work_dtype)[:, None]
+            acc = centred @ mant[csl]  # (m, batch) integer-valued, exact
+            col_sums = xt[:, csl].sum(axis=1)  # (batch,)
+            y += weights.scales[scope_vec][:, None] * (
+                acc.astype(np.float64) * col_scale[None, :]
+                - zero_frac[scope_vec][:, None] * col_sums[None, :])
+            self.stats.int_multiplications += m * cols * batch
+            self.stats.int_additions += m * max(cols - 1, 0) * batch
+            self.stats.fp_multiplications += m * batch
+            self.stats.fp_additions += m * batch
         return y[:, 0] if squeeze else y
 
 

@@ -12,7 +12,9 @@ then run FP-INT GEMMs against it with the FIGLUT numerics::
 The ``detailed`` path routes through the cycle/operation-counting
 :class:`~repro.core.mpu.MatrixProcessingUnit`; the default path uses the
 vectorised :class:`~repro.core.engines.FIGLUTFloatEngine` /
-:class:`~repro.core.engines.FIGLUTIntEngine`.
+:class:`~repro.core.engines.FIGLUTIntEngine`.  Since the MPU became a
+batched executor over the scale-group-aligned tile plan, ``detailed=True``
+is usable on full LLM layer shapes (4096×4096 at batch 32 runs in seconds).
 """
 
 from __future__ import annotations

@@ -31,6 +31,7 @@ __all__ = [
     "pattern_to_key",
     "key_to_pattern",
     "build_lut_values",
+    "build_lut_tables",
     "lut_table_rows",
     "FFLUT",
     "HalfFFLUT",
@@ -60,6 +61,40 @@ def key_to_pattern(key: int, mu: int) -> np.ndarray:
     return np.array([1 if b else -1 for b in bits], dtype=np.int8)
 
 
+def build_lut_tables(groups: np.ndarray, dtype: np.dtype | type = np.float64) -> np.ndarray:
+    """Compute LUT contents for a whole stack of µ-long activation groups.
+
+    ``groups`` has shape ``(..., µ)``; the result has shape ``(..., 2^µ)``
+    with ``out[..., key] = Σ_i pattern(key)_i · groups[..., i]`` (Table II
+    convention).  The sum is accumulated *sequentially* over the µ inputs
+    with elementwise operations, so every entry goes through the same
+    rounding sequence no matter how many groups are stacked:
+    :func:`build_lut_values` is exactly the single-group case, and the
+    batched MPU executor relies on that bit-for-bit equivalence.
+    """
+    g = np.asarray(groups)
+    if g.ndim < 1 or g.shape[-1] < 1:
+        raise ValueError("activation groups must contain at least one element")
+    mu = g.shape[-1]
+    if mu > 16:
+        raise ValueError("mu > 16 would require a 64Ki-entry LUT; refusing")
+    keys = np.arange(1 << mu, dtype=np.int64)
+    # signs[key, i] = +1 if bit (mu-1-i) of key is set else -1
+    bit_positions = mu - 1 - np.arange(mu)
+    sign_bits = ((keys[:, None] >> bit_positions[None, :]) & 1) == 1
+    if np.issubdtype(np.dtype(dtype), np.integer):
+        signs = np.where(sign_bits, 1, -1).astype(np.int64)
+        x = g.astype(np.int64)
+        values = np.zeros(g.shape[:-1] + (keys.size,), dtype=np.int64)
+    else:
+        signs = np.where(sign_bits, 1.0, -1.0)
+        x = g.astype(np.float64)
+        values = np.zeros(g.shape[:-1] + (keys.size,), dtype=np.float64)
+    for i in range(mu):
+        values += signs[:, i] * x[..., i, None]
+    return values.astype(dtype)
+
+
 def build_lut_values(activations: np.ndarray, dtype: np.dtype | type = np.float64) -> np.ndarray:
     """Compute all 2^µ signed sums of a µ-long activation group.
 
@@ -67,23 +102,20 @@ def build_lut_values(activations: np.ndarray, dtype: np.dtype | type = np.float6
     The group length µ is taken from ``len(activations)``.  The result dtype
     controls the precision the LUT entries are stored in (e.g. float32 for
     FIGLUT-F, int64 for FIGLUT-I operating on pre-aligned mantissas).
+    Single-group case of :func:`build_lut_tables`.
+
+    .. note::
+       Entries are accumulated sequentially over the µ inputs (see
+       :func:`build_lut_tables`) rather than via a BLAS dot product, so
+       float results can differ from earlier releases in the last ulp.  The
+       trade is deliberate: a batch-size-independent rounding sequence is
+       what lets the batched MPU executor stay bit-exact with its scalar
+       reference.
     """
     x = np.asarray(activations).ravel()
-    mu = x.size
-    if mu < 1:
+    if x.size < 1:
         raise ValueError("activation group must contain at least one element")
-    if mu > 16:
-        raise ValueError("mu > 16 would require a 64Ki-entry LUT; refusing")
-    n = 1 << mu
-    keys = np.arange(n, dtype=np.int64)
-    # signs[key, i] = +1 if bit (mu-1-i) of key is set else -1
-    bit_positions = mu - 1 - np.arange(mu)
-    signs = np.where((keys[:, None] >> bit_positions[None, :]) & 1 == 1, 1, -1)
-    if np.issubdtype(np.dtype(dtype), np.integer):
-        values = signs.astype(np.int64) @ x.astype(np.int64)
-        return values.astype(dtype)
-    values = signs.astype(np.float64) @ x.astype(np.float64)
-    return values.astype(dtype)
+    return build_lut_tables(x[None, :], dtype=dtype)[0]
 
 
 def lut_table_rows(activations: np.ndarray) -> list[tuple[tuple[int, ...], int, float]]:

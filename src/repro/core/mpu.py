@@ -14,10 +14,25 @@ The MPU (Fig. 4) is a 2-D array of processing elements.  In this model:
   moving on (Fig. 5b), scaling each plane's partial sums by its α and adding
   the offset term once per output at the end.
 
-The simulation is *functional + counting*: outputs are exact (float64
-accumulation by default) and the returned :class:`MPURunStats` reports LUT
-generations, LUT reads, accumulations, generator additions and an analytical
-cycle count that the performance model consumes.
+The simulation is split into a *planner* and an *executor*:
+
+* the planner (:func:`repro.core.dataflow.plan_bcq_tile_execution`) cuts the
+  weight-stationary schedule into column segments that never cross a BCQ
+  scale-group boundary, so every partial sum goes through the LUT-entry /
+  accumulator numerics and ``accumulate_dtype`` is honoured everywhere (the
+  seed's multi-group tiles silently fell back to a float64 matmul);
+* the executor (:meth:`MatrixProcessingUnit.gemm`) walks the plan as a
+  batched NumPy pass — LUT tables built once per column segment and reused
+  across bit planes and row tiles, lookups gathered for all rows and batch
+  columns at once — while the stats counters (LUT generations, LUT reads,
+  accumulations, generator additions, cycles) are derived analytically from
+  the plan.
+
+:meth:`MatrixProcessingUnit.gemm_reference` retains the scalar per-(batch,
+group) walk of the *same* plan, incrementing every counter as the loops run;
+the batched executor is bit-exact against it (including the counters), which
+the equivalence tests pin down.  :meth:`MatrixProcessingUnit.plan_stats`
+returns the counters alone, without touching any activation data.
 """
 
 from __future__ import annotations
@@ -26,8 +41,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.dataflow import TilingConfig, iterate_bcq_weight_tiles
-from repro.core.lut import build_lut_values
+from repro.core.dataflow import (
+    TileExecutionPlan,
+    TilingConfig,
+    plan_bcq_tile_execution,
+)
+from repro.core.lut import build_lut_tables, build_lut_values
 from repro.core.lut_generator import generator_addition_count
 from repro.quant.bcq import BCQTensor
 
@@ -103,17 +122,107 @@ class MPURunStats:
 
 
 class MatrixProcessingUnit:
-    """Functional + counting simulation of the FIGLUT MPU."""
+    """Planner/executor simulation of the FIGLUT MPU."""
 
     def __init__(self, config: MPUConfig | None = None) -> None:
         self.config = config or MPUConfig()
 
-    def _pad_inputs(self, x: np.ndarray, n: int) -> np.ndarray:
-        pad = (-x.shape[0]) % self.config.mu
-        if pad:
-            x = np.concatenate([x, np.zeros((pad,) + x.shape[1:], dtype=x.dtype)], axis=0)
-        return x
+    # -- planning ----------------------------------------------------------
+    def plan(self, weights: BCQTensor) -> TileExecutionPlan:
+        """The scale-group-aligned tile execution plan for ``weights``."""
+        cfg = self.config
+        m, n = weights.shape
+        return plan_bcq_tile_execution(
+            m, n, weights.bits,
+            TilingConfig(tile_m=cfg.tile_m, tile_n=cfg.tile_n),
+            mu=cfg.mu, group_size=weights.group_size)
 
+    def plan_stats(self, weights: BCQTensor, batch: int) -> MPURunStats:
+        """Analytic run counters for a GEMM of ``weights`` against ``batch``
+        activation columns, derived from the plan without executing it."""
+        if batch < 0:
+            raise ValueError("batch must be >= 0")
+        return self._stats_from_plan(self.plan(weights), batch)
+
+    def _stats_from_plan(self, plan: TileExecutionPlan, batch: int) -> MPURunStats:
+        cfg = self.config
+        stats = MPURunStats()
+        stats.tiles = plan.num_tiles
+        # A geometric tile's segments ride through the array together: one
+        # systolic pass per (tile, bit plane), exactly the Fig. 5b schedule.
+        # Splitting at scale-group boundaries changes the numerics, not the
+        # streaming cost.
+        tile_plane_passes = plan.num_tiles * plan.bits
+        stats.bit_planes_processed = tile_plane_passes
+        stats.cycles = tile_plane_passes * (batch + cfg.pe_rows + cfg.pe_cols)
+        # Per segment pass: one LUT generation per (µ-group, batch column);
+        # one read and one accumulation per (output row, µ-group, batch
+        # column); one α multiplication per (output row, batch column).  A
+        # scale-group boundary that is not µ-aligned starts a fresh padded
+        # µ-group (α is applied per LUT read, so a µ-group must be
+        # group-pure), which the per-segment group counts reflect.
+        rows_total = plan.m  # Σ over row tiles of their heights
+        per_band_groups = plan.lut_group_total
+        stats.lut_generations = plan.bits * batch * len(plan.row_slices) * per_band_groups
+        stats.lut_reads = plan.bits * batch * rows_total * per_band_groups
+        stats.accumulations = stats.lut_reads
+        stats.scale_multiplications = plan.bits * batch * rows_total * len(plan.segments)
+        stats.offset_additions = plan.m * batch * plan.num_scale_groups
+        stats.generator_additions = (
+            stats.lut_generations * generator_addition_count(cfg.mu))
+        return stats
+
+    # -- shared input handling --------------------------------------------
+    def _check_inputs(self, weights: BCQTensor,
+                      activations: np.ndarray) -> tuple[np.ndarray, bool]:
+        x = np.asarray(activations, dtype=np.float64)
+        squeeze = x.ndim == 1
+        if squeeze:
+            x = x[:, None]
+        if x.shape[0] != weights.shape[1]:
+            raise ValueError(
+                f"activation rows {x.shape[0]} != weight cols {weights.shape[1]}")
+        return x, squeeze
+
+    @staticmethod
+    def _segment_groups(x: np.ndarray, seg, mu: int) -> np.ndarray:
+        """Zero-pad the segment's activations to whole µ-groups.
+
+        Returns an array of shape ``(lut_groups, µ, batch)``.
+        """
+        xg = x[seg.col_slice, :]
+        pad = seg.lut_groups * mu - seg.width
+        if pad:
+            xg = np.concatenate(
+                [xg, np.zeros((pad, x.shape[1]), dtype=xg.dtype)], axis=0)
+        return xg.reshape(seg.lut_groups, mu, x.shape[1])
+
+    @staticmethod
+    def _segment_keys(plane_w: np.ndarray, seg, mu: int,
+                      powers: np.ndarray) -> np.ndarray:
+        """RAC keys of a bit-plane slice, padded with −1 weights.
+
+        ``plane_w`` holds the segment's ±1 entries of shape ``(rows,
+        width)``; the result is the integer key matrix ``(rows,
+        lut_groups)``.  Padding a key with −1 weights pairs with the
+        zero-padded activations, so padded positions contribute exactly zero.
+        """
+        rows = plane_w.shape[0]
+        pad = seg.lut_groups * mu - seg.width
+        if pad:
+            plane_w = np.concatenate(
+                [plane_w, -np.ones((rows, pad), dtype=np.int64)], axis=1)
+        patt = plane_w.reshape(rows, seg.lut_groups, mu)
+        return (((patt + 1) // 2) * powers[None, None, :]).sum(axis=2)
+
+    def _add_offset_terms(self, weights: BCQTensor, x: np.ndarray,
+                          y: np.ndarray) -> None:
+        """y += z_rg · Σ(x over group g), once per output (shared by both paths)."""
+        for g, sl in enumerate(weights.column_groups()):
+            group_sum = x[sl, :].sum(axis=0, keepdims=True)  # (1, batch)
+            y += weights.offsets[:, g][:, None] * group_sum
+
+    # -- batched executor --------------------------------------------------
     def gemm(self, weights: BCQTensor, activations: np.ndarray,
              accumulate_dtype: np.dtype | type = np.float64) -> tuple[np.ndarray, MPURunStats]:
         """Compute ``Y = W X`` where ``W`` is BCQ-quantized.
@@ -125,106 +234,115 @@ class MatrixProcessingUnit:
         activations:
             Activation matrix of shape ``(N,)`` or ``(N, batch)``.
         accumulate_dtype:
-            Dtype of LUT entries and accumulators (float32 models the FP32
-            accumulators the paper uses; float64 gives a reference result).
+            Dtype of the LUT entries *and* of the per-segment RAC
+            accumulators (float32 models the FP32 accumulators the paper
+            uses; float64 gives a reference result).  The α scaling and the
+            cross-tile/offset accumulation stay in float64, as in the seed
+            model.
 
         Returns
         -------
         (Y, stats):
-            ``Y`` has shape ``(M, batch)`` (or ``(M,)`` for vector input).
+            ``Y`` has shape ``(M, batch)`` (or ``(M,)`` for vector input);
+            ``stats`` is derived analytically from the execution plan and is
+            identical to the counters :meth:`gemm_reference` increments.
         """
         cfg = self.config
-        x = np.asarray(activations, dtype=np.float64)
-        squeeze = x.ndim == 1
-        if squeeze:
-            x = x[:, None]
-        m, n = weights.shape
-        if x.shape[0] != n:
-            raise ValueError(f"activation rows {x.shape[0]} != weight cols {n}")
+        x, squeeze = self._check_inputs(weights, activations)
+        m, _ = weights.shape
         batch = x.shape[1]
-
-        bits = weights.bits
-        tiling = TilingConfig(tile_m=cfg.tile_m, tile_n=cfg.tile_n)
-        stats = MPURunStats()
-
-        y = np.zeros((m, batch), dtype=np.float64)
         acc_dtype = np.dtype(accumulate_dtype)
 
-        group_slices = weights.column_groups()
-        col_to_group = np.zeros(n, dtype=np.int64)
-        for g, sl in enumerate(group_slices):
-            col_to_group[sl] = g
+        plan = self.plan(weights)
+        stats = self._stats_from_plan(plan, batch)
+        y = np.zeros((m, batch), dtype=np.float64)
+        powers = 1 << np.arange(cfg.mu - 1, -1, -1, dtype=np.int64)
+
+        for seg in plan.segments:
+            # One LUT table per (µ-group, batch column), built once for the
+            # segment and reused by every bit plane and every row tile (the
+            # table contents depend only on the activations; the hardware
+            # regenerates them per pass, which the counters reflect).
+            xg = self._segment_groups(x, seg, cfg.mu)          # (G, µ, B)
+            luts = build_lut_tables(xg.transpose(0, 2, 1), dtype=acc_dtype)
+            # luts: (G, B, 2^µ)
+            for plane in range(plan.bits):
+                plane_w = weights.bitplanes[plane][:, seg.col_slice].astype(np.int64)
+                keys = self._segment_keys(plane_w, seg, cfg.mu, powers)  # (m, G)
+                partial = np.zeros((batch, m), dtype=acc_dtype)
+                for g in range(seg.lut_groups):
+                    # Gather the RAC reads for every (batch, row) pair and
+                    # accumulate in the accumulator dtype; the group order
+                    # matches the scalar reference's inner loop.
+                    partial += np.take(luts[g], keys[:, g], axis=1)
+                alpha = weights.scales[plane][:, seg.scale_group]  # (m,)
+                y += alpha[:, None] * partial.T.astype(np.float64)
+
+        self._add_offset_terms(weights, x, y)
+
+        if squeeze:
+            return y[:, 0], stats
+        return y, stats
+
+    # -- retained scalar reference ----------------------------------------
+    def gemm_reference(self, weights: BCQTensor, activations: np.ndarray,
+                       accumulate_dtype: np.dtype | type = np.float64
+                       ) -> tuple[np.ndarray, MPURunStats]:
+        """Scalar per-(batch, group) walk of the execution plan.
+
+        This is the retained reference the batched :meth:`gemm` is verified
+        against bit-for-bit: one :func:`build_lut_values` call per (step,
+        batch column, µ-group), counters incremented as the loops run.
+        Orders of magnitude slower — use only for equivalence testing.
+        """
+        cfg = self.config
+        x, squeeze = self._check_inputs(weights, activations)
+        m, _ = weights.shape
+        batch = x.shape[1]
+        acc_dtype = np.dtype(accumulate_dtype)
+
+        plan = self.plan(weights)
+        stats = MPURunStats()
+        y = np.zeros((m, batch), dtype=np.float64)
+        powers = 1 << np.arange(cfg.mu - 1, -1, -1, dtype=np.int64)
 
         seen_tiles: set[int] = set()
-        for tile in iterate_bcq_weight_tiles(m, n, bits, tiling):
-            rsl, csl, plane = tile.row_slice, tile.col_slice, tile.bit_plane
-            if tile.tile_index not in seen_tiles:
-                seen_tiles.add(tile.tile_index)
+        for step in plan.steps():
+            seg = step.segment
+            rsl = step.row_slice
+            rows = rsl.stop - rsl.start
+            if step.tile_index not in seen_tiles:
+                seen_tiles.add(step.tile_index)
                 stats.tiles += 1
-            stats.bit_planes_processed += 1
+            # The segments of one geometric tile stream through the array in
+            # a single systolic pass per bit plane; charge the pass when the
+            # plane enters the tile's first segment.
+            first_segment_of_band = (
+                seg.col_slice.start == seg.band_index * plan.tiling.tile_n)
+            if first_segment_of_band:
+                stats.bit_planes_processed += 1
+                stats.cycles += batch + cfg.pe_rows + cfg.pe_cols
 
-            rows = np.arange(rsl.start, rsl.stop)
-            cols = np.arange(csl.start, csl.stop)
-            plane_w = weights.bitplanes[plane][np.ix_(rows, cols)].astype(np.int64)  # (tm, tn)
-            tile_x = x[cols, :]  # (tn, batch)
+            plane_w = weights.bitplanes[step.bit_plane][rsl, seg.col_slice]
+            keys = self._segment_keys(plane_w.astype(np.int64), seg, cfg.mu,
+                                      powers)
+            xg = self._segment_groups(x, seg, cfg.mu)  # (G, µ, B)
 
-            # Pad the tile to whole activation groups.
-            pad_cols = (-cols.size) % cfg.mu
-            if pad_cols:
-                plane_w = np.concatenate(
-                    [plane_w, -np.ones((rows.size, pad_cols), dtype=np.int64)], axis=1)
-                tile_x = np.concatenate(
-                    [tile_x, np.zeros((pad_cols, batch), dtype=tile_x.dtype)], axis=0)
-            n_groups_tile = plane_w.shape[1] // cfg.mu
-
-            # --- LUT generation: one LUT per (activation group, batch element).
-            # Keys per (row, group): encode the ±1 pattern as an integer.
-            powers = 1 << np.arange(cfg.mu - 1, -1, -1, dtype=np.int64)
-            patt = plane_w.reshape(rows.size, n_groups_tile, cfg.mu)
-            keys = (((patt + 1) // 2) * powers[None, None, :]).sum(axis=2)  # (tm, g)
-
-            tile_partial = np.zeros((rows.size, batch), dtype=np.float64)
+            tile_partial = np.zeros((rows, batch), dtype=acc_dtype)
             for b in range(batch):
-                xg = tile_x[:, b].reshape(n_groups_tile, cfg.mu)
-                for g in range(n_groups_tile):
-                    lut_values = build_lut_values(xg[g], dtype=acc_dtype)
+                for g in range(seg.lut_groups):
+                    lut_values = build_lut_values(xg[g, :, b], dtype=acc_dtype)
                     stats.lut_generations += 1
-                    looked_up = lut_values[keys[:, g]]
-                    tile_partial[:, b] += looked_up.astype(np.float64)
-                    stats.lut_reads += rows.size
-                    stats.accumulations += rows.size
+                    tile_partial[:, b] += lut_values[keys[:, g]]
+                    stats.lut_reads += rows
+                    stats.accumulations += rows
 
-            # --- scale by α of this bit plane (per row / column group) and add.
-            # Column groups of the BCQ tensor may be coarser than the tile; we
-            # apply the scale of the group the tile's columns belong to.  When
-            # a tile spans several scale groups we fall back to splitting the
-            # tile's contribution per group (exact, still one α mult per read).
-            groups_in_tile = np.unique(col_to_group[cols])
-            if groups_in_tile.size == 1:
-                alpha = weights.scales[plane][np.ix_(rows, groups_in_tile)]  # (tm, 1)
-                y[rows[:, None], np.arange(batch)[None, :]] += alpha * tile_partial
-                stats.scale_multiplications += rows.size * batch
-            else:
-                for g in groups_in_tile:
-                    gcols = cols[col_to_group[cols] == g]
-                    sub_w = weights.bitplanes[plane][np.ix_(rows, gcols)].astype(np.float64)
-                    sub = sub_w @ x[gcols, :]
-                    alpha = weights.scales[plane][rows, g][:, None]
-                    y[rows, :] += alpha * sub
-                    stats.scale_multiplications += rows.size * batch
-                # Remove the unscaled tile_partial contribution bookkeeping:
-                # the partial sums above already include this plane's data.
+            alpha = weights.scales[step.bit_plane][rsl, seg.scale_group]
+            y[rsl, :] += alpha[:, None] * tile_partial.astype(np.float64)
+            stats.scale_multiplications += rows * batch
 
-            # Cycle model: streaming `batch` activation groups through the
-            # array takes `batch` cycles per bit plane once the pipeline is
-            # full; add the systolic fill latency of (pe_rows + pe_cols).
-            stats.cycles += batch + cfg.pe_rows + cfg.pe_cols
-
-        # --- offset term: y += z_rg * sum(x over group g) once per output.
-        for g, sl in enumerate(group_slices):
-            group_sum = x[sl, :].sum(axis=0, keepdims=True)  # (1, batch)
-            y += weights.offsets[:, g][:, None] * group_sum
-            stats.offset_additions += m * batch
+        self._add_offset_terms(weights, x, y)
+        stats.offset_additions = m * batch * plan.num_scale_groups
 
         # Each LUT generation uses the shared-partial-sum generator.
         stats.generator_additions = stats.lut_generations * generator_addition_count(cfg.mu)

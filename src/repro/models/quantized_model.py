@@ -135,6 +135,7 @@ class QuantizedLM:
     quantized_weights: dict[str, "UniformQuantizedTensor | BCQTensor"]
     engine: GEMMEngine
     _converted: dict[str, object] = field(default_factory=dict)
+    _bcq_converted: dict[str, BCQTensor] = field(default_factory=dict)
 
     @classmethod
     def build(cls, model: TransformerLM, recipe: QuantizationRecipe,
@@ -147,18 +148,48 @@ class QuantizedLM:
             engine = make_engine(engine, **engine_kwargs)
         return cls(model=model, quantized_weights=quantized, engine=engine)
 
+    def _bcq_view(self, name: str) -> BCQTensor:
+        """The layer's weights as BCQ, converted at most once per layer.
+
+        One shared memo serves both the engine dispatch and the analytic
+        stats path, so a uniform tensor is never converted (nor its
+        bit-planes duplicated) twice.
+        """
+        cached = self._bcq_converted.get(name)
+        if cached is None:
+            tensor = self.quantized_weights[name]
+            cached = tensor if isinstance(tensor, BCQTensor) else uniform_to_bcq(tensor)
+            self._bcq_converted[name] = cached
+        return cached
+
     def _weights_for_engine(self, name: str):
         """Convert the stored tensor to the format the engine consumes, cached."""
         if name in self._converted:
             return self._converted[name]
         tensor = self.quantized_weights[name]
         if self.engine.supports_bcq and isinstance(tensor, UniformQuantizedTensor):
-            tensor = uniform_to_bcq(tensor)
+            tensor = self._bcq_view(name)
         if not self.engine.supports_bcq and isinstance(tensor, BCQTensor):
             raise TypeError(
                 f"engine {self.engine.name!r} cannot consume BCQ weights for {name!r}")
         self._converted[name] = tensor
         return tensor
+
+    def layer_mpu_stats(self, name: str, batch: int,
+                        mpu_config: "MPUConfig | None" = None) -> "MPURunStats":
+        """Analytic MPU run counters for one weight GEMM of the model.
+
+        Uses the tile-execution planner (no activation data needed), so a
+        whole model's cycle/energy footprint can be costed without running
+        it.  A uniform tensor is converted to BCQ at most once per layer,
+        through the same memo the engine dispatch uses.
+        """
+        from repro.core.mpu import MatrixProcessingUnit, MPUConfig
+
+        if name not in self.quantized_weights:
+            raise KeyError(f"{name!r} is not a quantized weight matrix")
+        return MatrixProcessingUnit(mpu_config or MPUConfig()).plan_stats(
+            self._bcq_view(name), batch)
 
     def matmul(self, name: str, x: np.ndarray, weight: np.ndarray) -> np.ndarray:
         """The transformer forward hook: ``x @ W.T`` through the engine.

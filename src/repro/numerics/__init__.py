@@ -28,8 +28,11 @@ from repro.numerics.floats import (
 )
 from repro.numerics.prealign import (
     PreAlignedBlock,
+    PreAlignedBlocks,
+    PreAlignedGroups,
     prealign,
-    prealign_matrix,
+    prealign_blocks,
+    prealign_grouped,
     reconstruct,
     aligned_dot,
 )
@@ -56,8 +59,11 @@ __all__ = [
     "compose",
     "ulp",
     "PreAlignedBlock",
+    "PreAlignedBlocks",
+    "PreAlignedGroups",
     "prealign",
-    "prealign_matrix",
+    "prealign_blocks",
+    "prealign_grouped",
     "reconstruct",
     "aligned_dot",
     "int_bits_required",

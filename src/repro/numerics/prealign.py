@@ -13,6 +13,13 @@ values; the paper shows (Table IV) that with enough integer accumulation width
 this has no visible effect on perplexity.  The :class:`PreAlignedBlock` here
 captures both the aligned integers and the shared exponent so downstream
 engine models can do bit-exact integer arithmetic.
+
+:func:`prealign_blocks` (a stack of equal-length blocks) and
+:func:`prealign_grouped` (all column-group × batch-column blocks of an
+activation matrix) are the batched kernels every engine consumes;
+:func:`prealign` is the single-block case and delegates to them.  The old
+``prealign_matrix`` helper, which returned a Python list of per-row blocks,
+was retired in favour of :func:`prealign_blocks`.
 """
 
 from __future__ import annotations
@@ -30,7 +37,6 @@ __all__ = [
     "prealign",
     "prealign_blocks",
     "prealign_grouped",
-    "prealign_matrix",
     "reconstruct",
     "aligned_dot",
 ]
@@ -228,27 +234,6 @@ def prealign_grouped(x: np.ndarray, group_size: int,
         mantissas[full:] = pre.mantissas.T
         scales[n_full] = pre.scales
     return PreAlignedGroups(mantissas, scales, group_size)
-
-
-def prealign_matrix(matrix: np.ndarray, fmt: "FloatFormat | str" = "fp16",
-                    axis: int = -1, extra_bits: int = 0) -> list[PreAlignedBlock]:
-    """Pre-align each row (or column) of a matrix independently.
-
-    The engines align activations per reduction block; for a GEMM
-    ``y = W @ x`` the natural unit is one activation vector (one batch
-    element / token), which corresponds to one block per row when
-    ``axis=-1``.
-
-    Returns a list of :class:`PreAlignedBlock`, one per slice along ``axis``.
-    """
-    arr = np.asarray(matrix, dtype=np.float64)
-    if arr.ndim != 2:
-        raise ValueError("prealign_matrix expects a 2-D array")
-    if axis not in (-1, 1, 0):
-        raise ValueError("axis must be 0 or 1")
-    if axis == 0:
-        arr = arr.T
-    return [prealign(row, fmt=fmt, extra_bits=extra_bits) for row in arr]
 
 
 def reconstruct(block: PreAlignedBlock) -> np.ndarray:

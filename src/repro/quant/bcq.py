@@ -25,6 +25,8 @@ blocks at once — stacked greedy init, stacked Gram solves via
 ``np.linalg.solve``, stacked plane re-picking — and is bit-exact with the
 per-block scalar implementation, which is kept as
 :func:`_reference_quantize_bcq` for the equivalence tests.
+:func:`uniform_to_bcq` likewise fills its scales/offsets with one stacked
+scope-map assignment instead of a per-(row, group, bit) Python loop.
 """
 
 from __future__ import annotations
@@ -523,29 +525,26 @@ def uniform_to_bcq(tensor: UniformQuantizedTensor) -> BCQTensor:
         digit = (codes >> (bits - 1 - i)) & 1
         bitplanes[i] = np.where(digit == 1, 1, -1).astype(np.int8)
 
-    # Per-scope scale/zero-point → per (row, group) BCQ scales/offsets.
-    if tensor.granularity == "tensor":
-        def scope_of(r: int, g: int) -> int:
-            return 0
-    elif tensor.granularity == "channel":
-        def scope_of(r: int, g: int) -> int:
-            return r
-    else:
-        groups_per_row = n_groups
-
-        def scope_of(r: int, g: int) -> int:
-            return r * groups_per_row + g
-
-    for r in range(rows):
-        for g in range(n_groups):
-            s = tensor.scales[scope_of(r, g)]
-            z = tensor.zero_points[scope_of(r, g)]
-            for i in range(bits):
-                scales[i, r, g] = s * (1 << (bits - 1 - i)) / 2.0
-            # code c = sum_i digit_i 2^(bits-1-i); with b = 2*digit - 1 the
-            # reconstruction is sum_i alpha_i b_i + offset where
-            # offset = s * ((2^bits - 1)/2 - z).
-            offsets[r, g] = s * (((1 << bits) - 1) / 2.0 - z)
+    # Per-scope scale/zero-point → per (row, group) BCQ scales/offsets, as
+    # one stacked assignment: scope_map[r, g] indexes the uniform tensor's
+    # flat scope array for every (row, group) cell at once.
+    if rows and n_groups:
+        if tensor.granularity == "tensor":
+            scope_map = np.zeros((rows, n_groups), dtype=np.int64)
+        elif tensor.granularity == "channel":
+            scope_map = np.broadcast_to(
+                np.arange(rows, dtype=np.int64)[:, None], (rows, n_groups))
+        else:
+            scope_map = (np.arange(rows, dtype=np.int64)[:, None] * n_groups
+                         + np.arange(n_groups, dtype=np.int64)[None, :])
+        s = tensor.scales[scope_map]        # (rows, n_groups)
+        z = tensor.zero_points[scope_map]   # (rows, n_groups)
+        powers = (1 << (bits - 1 - np.arange(bits, dtype=np.int64)))
+        scales[:] = (s[None, :, :] * powers[:, None, None]) / 2.0
+        # code c = sum_i digit_i 2^(bits-1-i); with b = 2*digit - 1 the
+        # reconstruction is sum_i alpha_i b_i + offset where
+        # offset = s * ((2^bits - 1)/2 - z).
+        offsets[:] = s * (((1 << bits) - 1) / 2.0 - z)
 
     per_row_bits = np.full(rows, bits, dtype=np.int64)
     return BCQTensor(bitplanes=bitplanes, scales=scales, offsets=offsets,

@@ -48,6 +48,14 @@ class ShiftAddConfig:
         column-wise error propagation on top of the BCQ grid.
     damp_ratio:
         Hessian damping used by the error compensation.
+    block_size:
+        Columns per lazy-update block.  The per-column error feedback is
+        inherently sequential, but the trailing-column updates can be
+        batched: within a block each column still propagates into the
+        block's remaining columns immediately, while the columns beyond the
+        block receive one accumulated matrix update per block (the same
+        lazy-batch scheme :mod:`repro.quant.optq` uses), turning the
+        dominant rank-1 sweeps into GEMMs.
     """
 
     bits: int = 3
@@ -56,10 +64,13 @@ class ShiftAddConfig:
     iterations: int = 5
     error_compensation: bool = True
     damp_ratio: float = 0.01
+    block_size: int = 128
 
     def __post_init__(self) -> None:
         if self.bits < 1:
             raise ValueError("bits must be >= 1")
+        if self.block_size < 1:
+            raise ValueError("block_size must be >= 1")
 
 
 def _nearest_bcq_codes(values: np.ndarray, levels: np.ndarray) -> np.ndarray:
@@ -144,17 +155,32 @@ def quantize_shiftadd(weight: np.ndarray,
     for g in range(base.n_groups):
         levels_per_group.append(_row_levels(base.scales[:, :, g], base.offsets[:, g]))
 
-    for j in range(cols):
-        g = int(col_group[j])
-        levels, signs = levels_per_group[g]
-        col = work[:, j]
-        codes = _nearest_bcq_codes(col, levels)
-        deq = levels[np.arange(rows), codes]
-        bitplanes[:, :, j] = signs[codes].T.astype(np.int8)
-        d = hinv_chol[j, j]
-        err = (col - deq) / d
-        if j + 1 < cols:
-            work[:, j + 1:] -= np.outer(err, hinv_chol[j, j + 1:])
+    # OPTQ-style lazy-batch updates (mirroring repro.quant.optq): the
+    # per-column error feedback stays sequential inside each block, and the
+    # columns beyond the block receive one accumulated GEMM update per
+    # block instead of one rank-1 update per column.
+    row_idx = np.arange(rows)
+    for block_start in range(0, cols, config.block_size):
+        block_end = min(block_start + config.block_size, cols)
+        width = block_end - block_start
+        w_block = work[:, block_start:block_end].copy()
+        err_block = np.zeros_like(w_block)
+        h_block = hinv_chol[block_start:block_end, block_start:block_end]
+
+        for j in range(width):
+            g = int(col_group[block_start + j])
+            levels, signs = levels_per_group[g]
+            col = w_block[:, j]
+            codes = _nearest_bcq_codes(col, levels)
+            deq = levels[row_idx, codes]
+            bitplanes[:, :, block_start + j] = signs[codes].T.astype(np.int8)
+            err = (col - deq) / h_block[j, j]
+            if j + 1 < width:
+                w_block[:, j + 1:] -= np.outer(err, h_block[j, j + 1:])
+            err_block[:, j] = err
+
+        if block_end < cols:
+            work[:, block_end:] -= err_block @ hinv_chol[block_start:block_end, block_end:]
 
     return BCQTensor(bitplanes=bitplanes, scales=base.scales, offsets=base.offsets,
                      group_size=base.group_size, shape=base.shape,

@@ -1,0 +1,172 @@
+"""Equivalence tests pinning the batched MPU executor to the scalar reference.
+
+The batched :meth:`MatrixProcessingUnit.gemm` and the retained scalar
+:meth:`MatrixProcessingUnit.gemm_reference` walk the same
+scale-group-aligned :class:`TileExecutionPlan`; these tests assert they are
+bit-for-bit identical — outputs *and* every :class:`MPURunStats` counter —
+across multi-scale-group tiles, ragged/padded shapes, and fp16/fp32/fp64
+accumulators, and that ``accumulate_dtype`` is genuinely honoured when a
+tile band spans several scale groups (the seed's silent float64 fallback).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.dataflow import TilingConfig, plan_bcq_tile_execution
+from repro.core.lut import build_lut_tables, build_lut_values
+from repro.core.mpu import MPUConfig, MatrixProcessingUnit
+from repro.quant.bcq import BCQConfig, quantize_bcq
+
+
+def _make_case(rng, m, n, bits, group_size, iterations=2):
+    w = rng.standard_normal((m, n)) * 0.1
+    return quantize_bcq(w, BCQConfig(bits=bits, group_size=group_size,
+                                     iterations=iterations))
+
+
+class TestPlanner:
+    def test_segments_split_at_scale_group_boundaries(self):
+        # tile_n = 8, scale groups of 6 → bands [0:8) and [8:16) must be cut
+        # at columns 6 and 12.
+        plan = plan_bcq_tile_execution(4, 16, bits=2,
+                                       config=TilingConfig(tile_m=4, tile_n=8),
+                                       mu=4, group_size=6)
+        spans = [(s.col_slice.start, s.col_slice.stop, s.scale_group)
+                 for s in plan.segments]
+        assert spans == [(0, 6, 0), (6, 8, 1), (8, 12, 1), (12, 16, 2)]
+        # A segment never spans two scale groups by construction.
+        for seg in plan.segments:
+            assert (seg.col_slice.start // 6) == ((seg.col_slice.stop - 1) // 6)
+
+    def test_single_group_plan_matches_geometric_tiling(self):
+        plan = plan_bcq_tile_execution(8, 32, bits=3,
+                                       config=TilingConfig(tile_m=4, tile_n=8),
+                                       mu=4, group_size=None)
+        assert len(plan.segments) == 4  # one segment per band, no splitting
+        assert plan.num_tiles == 2 * 4
+        assert plan.num_steps == plan.num_tiles * 3
+
+    def test_lut_groups_round_up_ragged_segments(self):
+        plan = plan_bcq_tile_execution(4, 10, bits=1,
+                                       config=TilingConfig(tile_m=4, tile_n=8),
+                                       mu=4, group_size=None)
+        # Bands [0:8) and [8:10): the 2-wide tail still occupies one µ-group.
+        assert [seg.lut_groups for seg in plan.segments] == [2, 1]
+
+    def test_steps_iterate_planes_innermost(self):
+        plan = plan_bcq_tile_execution(8, 8, bits=3,
+                                       config=TilingConfig(tile_m=4, tile_n=4),
+                                       mu=4, group_size=None)
+        steps = list(plan.steps())
+        assert [s.bit_plane for s in steps[:3]] == [0, 1, 2]
+        assert all(s.tile_index == steps[0].tile_index for s in steps[:3])
+        assert len(steps) == plan.num_steps
+
+    def test_rejects_bad_parameters(self):
+        cfg = TilingConfig(tile_m=4, tile_n=4)
+        with pytest.raises(ValueError):
+            plan_bcq_tile_execution(4, 4, bits=0, config=cfg, mu=4)
+        with pytest.raises(ValueError):
+            plan_bcq_tile_execution(4, 4, bits=2, config=cfg, mu=0)
+        with pytest.raises(ValueError):
+            plan_bcq_tile_execution(4, 4, bits=2, config=cfg, mu=4, group_size=0)
+
+
+class TestBatchedLUTTables:
+    def test_matches_per_group_build(self, rng):
+        groups = rng.standard_normal((5, 3, 4))
+        tables = build_lut_tables(groups, dtype=np.float32)
+        for i in range(5):
+            for j in range(3):
+                np.testing.assert_array_equal(
+                    tables[i, j], build_lut_values(groups[i, j], dtype=np.float32))
+
+    def test_integer_dtype(self):
+        tables = build_lut_tables(np.array([[1, 2, 3]]), dtype=np.int64)
+        assert tables.dtype == np.int64
+        assert tables[0, 7] == 6 and tables[0, 0] == -6
+
+
+class TestBatchedExecutorEquivalence:
+    CASES = [
+        # (m, n, bits, group_size) — multi-group tiles, ragged edges, µ padding
+        (24, 32, 3, None),   # per-row scales, exact tiling
+        (20, 30, 2, 6),      # scale groups finer than tile_n, ragged band
+        (17, 29, 3, 5),      # group boundary inside a µ-group (padding)
+        (8, 8, 1, 3),        # single plane, tiny groups
+        (24, 32, 2, 16),     # groups aligned with bands
+    ]
+
+    @pytest.mark.parametrize("m,n,bits,group_size", CASES)
+    @pytest.mark.parametrize("acc", [np.float16, np.float32, np.float64])
+    def test_bit_exact_with_identical_stats(self, rng, m, n, bits, group_size, acc):
+        bcq = _make_case(rng, m, n, bits, group_size)
+        x = rng.standard_normal((n, 4))
+        mpu = MatrixProcessingUnit(MPUConfig(pe_rows=2, pe_cols=2, mu=4, k=8))
+        y, stats = mpu.gemm(bcq, x, accumulate_dtype=acc)
+        y_ref, stats_ref = mpu.gemm_reference(bcq, x, accumulate_dtype=acc)
+        np.testing.assert_array_equal(y, y_ref)
+        assert stats == stats_ref
+
+    def test_vector_input_bit_exact(self, rng):
+        bcq = _make_case(rng, 12, 22, 2, 5)
+        x = rng.standard_normal(22)
+        mpu = MatrixProcessingUnit(MPUConfig(pe_rows=2, pe_cols=1, mu=4, k=8))
+        y, stats = mpu.gemm(bcq, x, accumulate_dtype=np.float32)
+        y_ref, stats_ref = mpu.gemm_reference(bcq, x, accumulate_dtype=np.float32)
+        assert y.shape == (12,)
+        np.testing.assert_array_equal(y, y_ref)
+        assert stats == stats_ref
+
+    def test_matches_dequantized_reference_across_groups(self, rng):
+        # Default float64 accumulation stays exact even when every tile band
+        # is split into several scale-group segments.
+        bcq = _make_case(rng, 20, 30, 3, 6)
+        x = rng.standard_normal((30, 5))
+        mpu = MatrixProcessingUnit(MPUConfig(pe_rows=2, pe_cols=2, mu=4, k=8))
+        y, _ = mpu.gemm(bcq, x)
+        np.testing.assert_allclose(y, bcq.dequantize() @ x, rtol=1e-9, atol=1e-9)
+
+    def test_accumulate_dtype_honoured_when_tiles_span_groups(self, rng):
+        # The seed fell back to an exact float64 matmul whenever a tile
+        # spanned several scale groups, so fp32 and fp64 runs were bitwise
+        # identical there.  With the split plan, the accumulator dtype must
+        # leave a visible footprint.
+        bcq = _make_case(rng, 20, 30, 2, 6)
+        x = rng.standard_normal((30, 5))
+        mpu = MatrixProcessingUnit(MPUConfig(pe_rows=2, pe_cols=2, mu=4, k=8))
+        y32, _ = mpu.gemm(bcq, x, accumulate_dtype=np.float32)
+        y64, _ = mpu.gemm(bcq, x, accumulate_dtype=np.float64)
+        assert not np.array_equal(y32, y64)
+        np.testing.assert_allclose(y32, y64, rtol=1e-4, atol=1e-4)
+
+
+class TestPlanStats:
+    def test_plan_stats_match_executed_stats(self, rng):
+        bcq = _make_case(rng, 20, 30, 3, 6)
+        x = rng.standard_normal((30, 7))
+        mpu = MatrixProcessingUnit(MPUConfig(pe_rows=2, pe_cols=2, mu=4, k=8))
+        _, executed = mpu.gemm(bcq, x)
+        assert mpu.plan_stats(bcq, batch=7) == executed
+
+    def test_plan_stats_reject_negative_batch(self, rng):
+        bcq = _make_case(rng, 8, 8, 2, None)
+        with pytest.raises(ValueError):
+            MatrixProcessingUnit().plan_stats(bcq, batch=-1)
+
+    def test_quantized_lm_layer_stats(self):
+        from repro.models.quantized_model import QuantizationRecipe, QuantizedLM
+        from repro.models.transformer import TransformerConfig, TransformerLM
+
+        model = TransformerLM(TransformerConfig(vocab_size=13, max_seq_len=8,
+                                                d_model=8, n_heads=2,
+                                                n_layers=1, d_ff=16))
+        qlm = QuantizedLM.build(model, QuantizationRecipe(method="bcq", bits=2),
+                                engine="figlut-f")
+        name = model.weight_matrix_names()[0]
+        stats = qlm.layer_mpu_stats(name, batch=3,
+                                    mpu_config=MPUConfig(pe_rows=2, pe_cols=1,
+                                                         mu=4, k=4))
+        assert stats.cycles > 0 and stats.lut_reads > 0
+        with pytest.raises(KeyError):
+            qlm.layer_mpu_stats("not-a-layer", batch=3)

@@ -152,6 +152,69 @@ class TestEngines:
         assert y.shape == (bcq_weights.shape[0],)
 
 
+class TestFIGNAEquivalence:
+    """The batched FIGNA pass is pinned bit-exact against the retained
+    scalar per-(batch column, scope) reference."""
+
+    @pytest.mark.parametrize("granularity,group_size", [
+        ("tensor", 128), ("channel", 128), ("group", 8), ("group", 7)])
+    @pytest.mark.parametrize("fmt", ["fp16", "fp32"])
+    def test_bit_exact_vs_scalar_reference(self, rng, granularity, group_size, fmt):
+        from repro.core.engines import _reference_figna_gemm
+
+        w = rng.standard_normal((24, 30)) * 0.1
+        x = rng.standard_normal((30, 5))
+        uq = quantize_rtn(w, RTNConfig(bits=4, granularity=granularity,
+                                       group_size=group_size))
+        engine = FIGNAEngine(activation_format=fmt)
+        y = engine.gemm(uq, x)
+        x_cast = engine._quantize_activations(np.asarray(x, dtype=np.float64))
+        y_ref = _reference_figna_gemm(uq, x_cast, engine.activation_format)
+        np.testing.assert_array_equal(y, y_ref)
+
+    def test_work_dtype_threshold(self):
+        from repro.core.engines import _figna_work_dtype
+
+        # fp16 mantissas (10 bits) + small centred codes stay exact in
+        # float64 BLAS for any realistic width; wide mantissas or zero-point
+        # inflated codes must fall back.
+        assert _figna_work_dtype(10, 15, 1 << 20) == np.dtype(np.float64)
+        assert _figna_work_dtype(52, 15, 4096) == np.dtype(np.int64)
+        # fp32 activations with a ~2**20 zero-point-centred code and n=2**17:
+        # 24 + 21 + 18 >= 53 → the fast path would lose bit-exactness.
+        assert _figna_work_dtype(23, 1 << 20, 1 << 17) == np.dtype(np.int64)
+
+    def test_large_zero_point_stays_bit_exact(self, rng):
+        # A narrow all-positive block gives asymmetric RTN a huge zero point
+        # (~ -lo/scale), so centred codes are far larger than 2**bits; the
+        # work-dtype bound must account for that, not the nominal bit width.
+        from repro.core.engines import _reference_figna_gemm
+
+        w = 1.0 + 1e-5 * rng.random((8, 4096))
+        x = rng.standard_normal((4096, 3))
+        uq = quantize_rtn(w, RTNConfig(bits=4, granularity="channel"))
+        assert float(np.abs(uq.zero_points).max()) > 1e4  # the hostile regime
+        engine = FIGNAEngine(activation_format="fp32")
+        y = engine.gemm(uq, x)
+        x_cast = engine._quantize_activations(np.asarray(x, dtype=np.float64))
+        y_ref = _reference_figna_gemm(uq, x_cast, engine.activation_format)
+        np.testing.assert_array_equal(y, y_ref)
+
+    def test_int64_fallback_matches_float64_path(self, rng, monkeypatch):
+        # Both work dtypes compute the same exact integer sums; force the
+        # fallback and compare against the BLAS fast path bit-for-bit.
+        import repro.core.engines as engines_mod
+
+        w = rng.standard_normal((16, 24)) * 0.1
+        x = rng.standard_normal((24, 3))
+        uq = quantize_rtn(w, RTNConfig(bits=4, granularity="group", group_size=8))
+        y_fast = FIGNAEngine(activation_format="fp16").gemm(uq, x)
+        monkeypatch.setattr(engines_mod, "_figna_work_dtype",
+                            lambda *a: np.dtype(np.int64))
+        y_int = FIGNAEngine(activation_format="fp16").gemm(uq, x)
+        np.testing.assert_array_equal(y_fast, y_int)
+
+
 class TestGEMMAPI:
     def test_prepare_weights_bcq(self, small_weight):
         packed = prepare_weights(small_weight, bits=3, method="bcq")

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.numerics.floats import cast_to_format, get_format
-from repro.numerics.prealign import aligned_dot, prealign, prealign_matrix, reconstruct
+from repro.numerics.prealign import aligned_dot, prealign, prealign_blocks, reconstruct
 
 
 class TestPrealign:
@@ -71,23 +71,31 @@ class TestAlignedDot:
             aligned_dot(block, np.array([0.5, 1.5]))
 
 
-class TestPrealignMatrix:
-    def test_one_block_per_row(self, rng):
+class TestPrealignMatrixRetirement:
+    """prealign_matrix (a Python list of per-row blocks) was retired; its
+    per-row semantics live on as prealign_blocks rows."""
+
+    def test_prealign_matrix_is_gone(self):
+        import repro.numerics.prealign as prealign_mod
+
+        assert not hasattr(prealign_mod, "prealign_matrix")
+
+    def test_one_block_per_row_via_blocks(self, rng):
         matrix = rng.standard_normal((6, 16))
-        blocks = prealign_matrix(matrix, fmt="fp16", axis=-1)
-        assert len(blocks) == 6
-        for row, block in zip(matrix, blocks):
+        batched = prealign_blocks(matrix, fmt="fp16")
+        assert batched.mantissas.shape == matrix.shape
+        for k, row in enumerate(matrix):
             cast_row = cast_to_format(row, "fp16")
-            np.testing.assert_allclose(reconstruct(block), cast_row, atol=block.scale)
+            real = batched.mantissas[k].astype(np.float64) * batched.scales[k]
+            np.testing.assert_allclose(real, cast_row, atol=batched.scales[k])
 
-    def test_axis_zero_aligns_columns(self, rng):
+    def test_column_blocks_via_transpose(self, rng):
         matrix = rng.standard_normal((4, 3))
-        blocks = prealign_matrix(matrix, fmt="fp32", axis=0)
-        assert len(blocks) == 3
-
-    def test_rejects_non_2d(self):
-        with pytest.raises(ValueError):
-            prealign_matrix(np.zeros(5), fmt="fp16")
+        batched = prealign_blocks(np.ascontiguousarray(matrix.T), fmt="fp32")
+        assert batched.mantissas.shape == (3, 4)
+        for c in range(3):
+            single = prealign(matrix[:, c], fmt="fp32")
+            np.testing.assert_array_equal(batched.mantissas[c], single.mantissas)
 
 
 class TestPrealignBlocks:
