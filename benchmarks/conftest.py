@@ -8,15 +8,22 @@ the printed data is the reproduction artefact.
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
+
+# Repo-root cache shared with tests/conftest.py (same path expression there).
+TESTBED_CACHE_DIR = Path(__file__).resolve().parent.parent / ".testbed_cache"
 
 
 @pytest.fixture(scope="session")
 def accuracy_testbed():
-    """One trained LM shared by all accuracy benchmarks (Table IV, VI, Fig. 17)."""
+    """One trained LM shared by all accuracy benchmarks (Table IV, VI, Fig. 17);
+    trained weights cached on disk keyed by the testbed configuration."""
     from repro.eval.accuracy import build_testbed
 
-    return build_testbed(epochs=4, num_paragraphs=160, max_batches=4)
+    return build_testbed(epochs=4, num_paragraphs=160, max_batches=4,
+                         cache_dir=TESTBED_CACHE_DIR)
 
 
 def run_once(benchmark, fn, *args, **kwargs):

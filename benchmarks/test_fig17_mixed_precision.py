@@ -1,8 +1,10 @@
 """Fig. 17 — TOPS/W versus perplexity for mixed-precision OPT-6.7B-shaped inference."""
 
 from benchmarks.conftest import run_once
+from repro.eval.efficiency import mixed_precision_efficiency_point
 from repro.eval.pareto import mixed_precision_pareto
 from repro.eval.tables import format_table
+from repro.quant.mixed_precision import measure_layer_sensitivity
 
 
 def test_fig17_mixed_precision_pareto(benchmark, accuracy_testbed):
@@ -36,3 +38,30 @@ def test_fig17_mixed_precision_pareto(benchmark, accuracy_testbed):
     fp_ppl = accuracy_testbed.fp_perplexity()
     for p in points:
         assert p.perplexity < fp_ppl * 1.5
+
+
+def test_fig17_q24_plan_driven_operating_point(benchmark, accuracy_testbed):
+    """The Q2.4 point end-to-end: sensitivities → greedy allocator → per-row-
+    band schedule → plan-driven cycles/energy/traffic (no fractional-bits
+    shortcut anywhere)."""
+    model = accuracy_testbed.model
+    sensitivities = [
+        measure_layer_sensitivity(name, model.params[name],
+                                  candidate_bits=(2, 3, 4), bcq_iterations=2)
+        for name in model.weight_matrix_names()
+    ]
+    result = run_once(benchmark, mixed_precision_efficiency_point, 2.4,
+                      "opt-6.7b", 32, "figlut-i", sensitivities)
+    q2 = mixed_precision_efficiency_point(2.0, "opt-6.7b", 32)
+    q3 = mixed_precision_efficiency_point(3.0, "opt-6.7b", 32)
+    print(f"\n[Fig. 17] FIGLUT-I plan-driven TOPS/W @ allocated mean "
+          f"{result.weight_bits:.3f} bits: {result.tops_per_watt:.3f} "
+          f"(Q2 {q2.tops_per_watt:.3f}, Q3 {q3.tops_per_watt:.3f})")
+
+    # The allocator lands at or below the 2.4-bit budget, and the scheduled
+    # operating point sits between the uniform Q2 and Q3 points.
+    assert 2.0 <= result.weight_bits <= 2.4 + 1e-9
+    assert q3.tops_per_watt < result.tops_per_watt <= q2.tops_per_watt
+    # DRAM weight traffic scales with the achieved mean bits versus Q3's
+    # uniform 3 planes (plane bits and per-plane scales alike).
+    assert result.dram_time_s < q3.dram_time_s

@@ -41,6 +41,7 @@ from repro.core.dataflow import (
     TilingConfig,
     TileCoordinates,
     ColumnSegment,
+    RowBand,
     TileStep,
     TileExecutionPlan,
     plan_bcq_tile_execution,
@@ -82,6 +83,7 @@ __all__ = [
     "TilingConfig",
     "TileCoordinates",
     "ColumnSegment",
+    "RowBand",
     "TileStep",
     "TileExecutionPlan",
     "plan_bcq_tile_execution",

@@ -25,12 +25,22 @@ Two layers live here:
   partial sum go through the LUT/accumulator numerics (the seed's
   multi-group tiles silently bypassed ``accumulate_dtype`` with a float64
   matmul fallback).
+
+The planner also carries **mixed precision**: ``per_row_bits`` assigns each
+output row its own BCQ plane count (ShiftAddLLM-style allocation, the
+"FIGLUT-Q2.4" configurations of Fig. 17).  Each ``tile_m`` row band becomes
+a :class:`RowBand` whose ``planes`` is the widest row it contains — on a
+bit-serial array the band's systolic pass must run once per plane of its
+widest row — while rows whose planes are exhausted sit out the remaining
+passes (their RACs are gated).  Every derived count (``num_steps``,
+:meth:`TileExecutionPlan.steps`, the analytic MPU stats and the plan-driven
+memory traffic) is therefore a plan-weighted sum over bands, not ``× bits``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Iterator, Sequence
 
 import numpy as np
 
@@ -38,6 +48,7 @@ __all__ = [
     "TileCoordinates",
     "TilingConfig",
     "ColumnSegment",
+    "RowBand",
     "TileStep",
     "TileExecutionPlan",
     "plan_bcq_tile_execution",
@@ -126,16 +137,56 @@ class ColumnSegment:
 
 
 @dataclass(frozen=True)
+class RowBand:
+    """A ``tile_m`` band of output rows together with its bit-plane budget.
+
+    Attributes
+    ----------
+    row_slice:
+        The band's output rows.
+    band_index:
+        Index of the geometric ``tile_m`` band.
+    planes:
+        Bit planes the band executes: the maximum ``per_row_bits`` of its
+        rows.  A bit-serial pass streams the whole band, so the widest row
+        sets the pass count.
+    active_rows_per_plane:
+        For each plane ``p`` (length ``planes``), how many of the band's
+        rows still have planes to process (``per_row_bits > p``).  Rows
+        whose planes are exhausted are gated: they read no LUT entry and
+        accumulate nothing, which the analytic stats reflect.
+    """
+
+    row_slice: slice
+    band_index: int
+    planes: int
+    active_rows_per_plane: tuple[int, ...]
+
+    @property
+    def rows(self) -> int:
+        return self.row_slice.stop - self.row_slice.start
+
+    @property
+    def plane_row_total(self) -> int:
+        """Σ over the band's rows of their plane counts (= Σ per-row bits)."""
+        return sum(self.active_rows_per_plane)
+
+
+@dataclass(frozen=True)
 class TileStep:
-    """One executed step of the planned schedule: a (row tile, column
+    """One executed step of the planned schedule: a (row band, column
     segment, bit plane) triple.  ``tile_index`` is the geometric (row band,
     column band) tile the step belongs to, matching
     :class:`TileCoordinates` numbering."""
 
-    row_slice: slice
+    band: RowBand
     segment: ColumnSegment
     bit_plane: int
     tile_index: int
+
+    @property
+    def row_slice(self) -> slice:
+        return self.band.row_slice
 
     @property
     def col_slice(self) -> slice:
@@ -150,7 +201,10 @@ class TileExecutionPlan:
     The plan is purely geometric — no weight or activation data — so the
     stats counters of an MPU run can be derived from it analytically
     (:meth:`lut_group_total`, :meth:`num_steps`, …) and a run can be costed
-    without executing it.
+    without executing it.  ``bits`` is the plane-array depth of the tensor
+    the plan was built for (the *maximum* per-row plane count); all derived
+    counts weight each :class:`RowBand` by its own ``planes``, so a
+    mixed-precision plan costs what its schedule actually executes.
     """
 
     m: int
@@ -159,19 +213,24 @@ class TileExecutionPlan:
     mu: int
     group_size: int
     tiling: TilingConfig
-    row_slices: tuple[slice, ...]
+    row_bands: tuple[RowBand, ...]
     segments: tuple[ColumnSegment, ...]
     num_bands: int
 
     @property
+    def row_slices(self) -> tuple[slice, ...]:
+        """Row slices of the ``tile_m`` bands (kept for geometric consumers)."""
+        return tuple(band.row_slice for band in self.row_bands)
+
+    @property
     def num_tiles(self) -> int:
         """Geometric (row band × column band) tiles, as in the Fig. 5 schedule."""
-        return len(self.row_slices) * self.num_bands
+        return len(self.row_bands) * self.num_bands
 
     @property
     def num_steps(self) -> int:
-        """Executed (row tile, segment, bit plane) steps."""
-        return len(self.row_slices) * len(self.segments) * self.bits
+        """Executed (row band, segment, bit plane) steps, plan-weighted."""
+        return len(self.segments) * sum(band.planes for band in self.row_bands)
 
     @property
     def lut_group_total(self) -> int:
@@ -182,19 +241,42 @@ class TileExecutionPlan:
     def num_scale_groups(self) -> int:
         return max((self.n + self.group_size - 1) // self.group_size, 1)
 
+    @property
+    def plane_passes(self) -> int:
+        """Σ over row bands of their plane counts (row-band × plane pairs)."""
+        return sum(band.planes for band in self.row_bands)
+
+    @property
+    def plane_bits_total(self) -> int:
+        """Σ over rows of their per-row plane counts.
+
+        Multiplying by ``n`` gives the stored (and streamed) binary-plane
+        bits of the whole weight matrix — ``m × bits`` only when the plan is
+        uniform.
+        """
+        return sum(band.plane_row_total for band in self.row_bands)
+
+    @property
+    def mean_bits(self) -> float:
+        """Row-averaged plane count (the "Q2.4" in FIGLUT-Q2.4)."""
+        return self.plane_bits_total / self.m if self.m else float(self.bits)
+
     def steps(self) -> Iterator[TileStep]:
-        """Plan steps in execution order: row tiles outermost, then column
-        segments (ascending columns), then bit planes innermost (Fig. 5b)."""
-        for r_idx, rsl in enumerate(self.row_slices):
+        """Plan steps in execution order: row bands outermost, then column
+        segments (ascending columns), then bit planes innermost (Fig. 5b);
+        each band iterates only its own ``planes``."""
+        for band in self.row_bands:
             for seg in self.segments:
-                tile_index = r_idx * self.num_bands + seg.band_index
-                for plane in range(self.bits):
-                    yield TileStep(rsl, seg, plane, tile_index)
+                tile_index = band.band_index * self.num_bands + seg.band_index
+                for plane in range(band.planes):
+                    yield TileStep(band, seg, plane, tile_index)
 
 
 def plan_bcq_tile_execution(m: int, n: int, bits: int, config: TilingConfig,
                             mu: int = 1,
-                            group_size: int | None = None) -> TileExecutionPlan:
+                            group_size: int | None = None,
+                            per_row_bits: "Sequence[int] | np.ndarray | None" = None
+                            ) -> TileExecutionPlan:
     """Plan the BCQ weight-stationary schedule with scale-group splitting.
 
     Every ``tile_n`` column band is cut at the boundaries of the
@@ -203,6 +285,12 @@ def plan_bcq_tile_execution(m: int, n: int, bits: int, config: TilingConfig,
     whose width is not a multiple of ``mu`` occupy a padded final LUT group
     (the hardware pads the key with −1 weights and the stream with zero
     activations, which contributes exactly zero).
+
+    ``per_row_bits`` (length ``m``, each in ``[1, bits]``) assigns each
+    output row its own plane count; omitted, every row uses all ``bits``
+    planes.  Each :class:`RowBand` then executes ``max(per_row_bits)`` of
+    its rows' planes, with the per-plane active-row counts recorded for the
+    analytic cost models.
     """
     if bits < 1:
         raise ValueError("bits must be >= 1")
@@ -212,7 +300,22 @@ def plan_bcq_tile_execution(m: int, n: int, bits: int, config: TilingConfig,
         raise ValueError("group_size must be >= 1 or None")
     group_size = group_size or max(n, 1)
 
-    row_slices = tuple(_tile_slices(m, config.tile_m))
+    if per_row_bits is None:
+        row_bits = np.full(m, bits, dtype=np.int64)
+    else:
+        row_bits = np.asarray(per_row_bits, dtype=np.int64)
+        if row_bits.shape != (m,):
+            raise ValueError(f"per_row_bits must have shape ({m},), got {row_bits.shape}")
+        if row_bits.size and (row_bits.min() < 1 or row_bits.max() > bits):
+            raise ValueError("per_row_bits entries must lie in [1, bits]")
+
+    row_bands: list[RowBand] = []
+    for band_index, rsl in enumerate(_tile_slices(m, config.tile_m)):
+        band_bits = row_bits[rsl]
+        planes = int(band_bits.max()) if band_bits.size else 0
+        active = tuple(int((band_bits > p).sum()) for p in range(planes))
+        row_bands.append(RowBand(row_slice=rsl, band_index=band_index,
+                                 planes=planes, active_rows_per_plane=active))
     segments: list[ColumnSegment] = []
     for band_index, band in enumerate(_tile_slices(n, config.tile_n)):
         start = band.start
@@ -229,7 +332,7 @@ def plan_bcq_tile_execution(m: int, n: int, bits: int, config: TilingConfig,
             start = stop
     num_bands = max((n + config.tile_n - 1) // config.tile_n, 0)
     return TileExecutionPlan(m=m, n=n, bits=bits, mu=mu, group_size=group_size,
-                             tiling=config, row_slices=row_slices,
+                             tiling=config, row_bands=tuple(row_bands),
                              segments=tuple(segments), num_bands=num_bands)
 
 

@@ -33,11 +33,19 @@ group) walk of the *same* plan, incrementing every counter as the loops run;
 the batched executor is bit-exact against it (including the counters), which
 the equivalence tests pin down.  :meth:`MatrixProcessingUnit.plan_stats`
 returns the counters alone, without touching any activation data.
+
+Mixed precision (``BCQTensor.per_row_bits``) is honoured end to end: the
+plan's :class:`~repro.core.dataflow.RowBand` entries carry per-band plane
+counts, both executors walk only each band's planes (a row whose planes are
+exhausted is gated — it reads no LUT entry, accumulates nothing, and its
+remaining scales are never touched), and every counter is a plan-weighted
+sum, so a Q2.4-style model costs ``mean(per_row_bits)`` passes rather than
+``bitplanes.shape[0]``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 import numpy as np
 
@@ -120,6 +128,11 @@ class MPURunStats:
     def total_table_lookups(self) -> int:
         return self.lut_reads
 
+    def merge(self, other: "MPURunStats") -> "MPURunStats":
+        """Counter-wise sum of two runs (e.g. the layers of a model)."""
+        return MPURunStats(*(getattr(self, f.name) + getattr(other, f.name)
+                             for f in fields(self)))
+
 
 class MatrixProcessingUnit:
     """Planner/executor simulation of the FIGLUT MPU."""
@@ -135,7 +148,8 @@ class MatrixProcessingUnit:
         return plan_bcq_tile_execution(
             m, n, weights.bits,
             TilingConfig(tile_m=cfg.tile_m, tile_n=cfg.tile_n),
-            mu=cfg.mu, group_size=weights.group_size)
+            mu=cfg.mu, group_size=weights.group_size,
+            per_row_bits=weights.per_row_bits)
 
     def plan_stats(self, weights: BCQTensor, batch: int) -> MPURunStats:
         """Analytic run counters for a GEMM of ``weights`` against ``batch``
@@ -149,24 +163,27 @@ class MatrixProcessingUnit:
         stats = MPURunStats()
         stats.tiles = plan.num_tiles
         # A geometric tile's segments ride through the array together: one
-        # systolic pass per (tile, bit plane), exactly the Fig. 5b schedule.
-        # Splitting at scale-group boundaries changes the numerics, not the
-        # streaming cost.
-        tile_plane_passes = plan.num_tiles * plan.bits
+        # systolic pass per (row band, column band, bit plane), exactly the
+        # Fig. 5b schedule — a band executes only its own plane count, so a
+        # mixed-precision plan takes fewer passes.  Splitting at scale-group
+        # boundaries changes the numerics, not the streaming cost.
+        tile_plane_passes = plan.plane_passes * plan.num_bands
         stats.bit_planes_processed = tile_plane_passes
         stats.cycles = tile_plane_passes * (batch + cfg.pe_rows + cfg.pe_cols)
-        # Per segment pass: one LUT generation per (µ-group, batch column);
-        # one read and one accumulation per (output row, µ-group, batch
-        # column); one α multiplication per (output row, batch column).  A
+        # Per segment pass: one LUT generation per (µ-group, batch column) —
+        # the generator runs for the whole pass regardless of which rows are
+        # still active; one read and one accumulation per (*active* output
+        # row, µ-group, batch column) — a row whose planes are exhausted is
+        # gated; one α multiplication per (active row, batch column).  A
         # scale-group boundary that is not µ-aligned starts a fresh padded
         # µ-group (α is applied per LUT read, so a µ-group must be
         # group-pure), which the per-segment group counts reflect.
-        rows_total = plan.m  # Σ over row tiles of their heights
         per_band_groups = plan.lut_group_total
-        stats.lut_generations = plan.bits * batch * len(plan.row_slices) * per_band_groups
-        stats.lut_reads = plan.bits * batch * rows_total * per_band_groups
+        row_planes = plan.plane_bits_total  # Σ over rows of per-row bits
+        stats.lut_generations = batch * plan.plane_passes * per_band_groups
+        stats.lut_reads = batch * row_planes * per_band_groups
         stats.accumulations = stats.lut_reads
-        stats.scale_multiplications = plan.bits * batch * rows_total * len(plan.segments)
+        stats.scale_multiplications = batch * row_planes * len(plan.segments)
         stats.offset_additions = plan.m * batch * plan.num_scale_groups
         stats.generator_additions = (
             stats.lut_generations * generator_addition_count(cfg.mu))
@@ -258,6 +275,15 @@ class MatrixProcessingUnit:
         y = np.zeros((m, batch), dtype=np.float64)
         powers = 1 << np.arange(cfg.mu - 1, -1, -1, dtype=np.int64)
 
+        # Per-plane active rows: in a mixed-precision tensor a row sits out
+        # every plane at or beyond its own bit count.  Uniform tensors take
+        # the unmasked path (no fancy indexing on the hot loop).
+        row_bits = np.asarray(weights.per_row_bits, dtype=np.int64)
+        max_planes = int(row_bits.max()) if row_bits.size else 0
+        uniform = bool(row_bits.size) and bool((row_bits == max_planes).all())
+        if not uniform:
+            active_rows = [np.flatnonzero(row_bits > p) for p in range(max_planes)]
+
         for seg in plan.segments:
             # One LUT table per (µ-group, batch column), built once for the
             # segment and reused by every bit plane and every row tile (the
@@ -266,17 +292,27 @@ class MatrixProcessingUnit:
             xg = self._segment_groups(x, seg, cfg.mu)          # (G, µ, B)
             luts = build_lut_tables(xg.transpose(0, 2, 1), dtype=acc_dtype)
             # luts: (G, B, 2^µ)
-            for plane in range(plan.bits):
-                plane_w = weights.bitplanes[plane][:, seg.col_slice].astype(np.int64)
-                keys = self._segment_keys(plane_w, seg, cfg.mu, powers)  # (m, G)
-                partial = np.zeros((batch, m), dtype=acc_dtype)
+            for plane in range(max_planes):
+                if uniform:
+                    plane_w = weights.bitplanes[plane][:, seg.col_slice].astype(np.int64)
+                else:
+                    rows_idx = active_rows[plane]
+                    # Column-slice first (a view), then gather the active
+                    # rows, so only the segment's width is ever copied.
+                    plane_w = weights.bitplanes[plane][:, seg.col_slice][rows_idx].astype(np.int64)
+                keys = self._segment_keys(plane_w, seg, cfg.mu, powers)  # (rows, G)
+                partial = np.zeros((batch, keys.shape[0]), dtype=acc_dtype)
                 for g in range(seg.lut_groups):
                     # Gather the RAC reads for every (batch, row) pair and
                     # accumulate in the accumulator dtype; the group order
                     # matches the scalar reference's inner loop.
                     partial += np.take(luts[g], keys[:, g], axis=1)
-                alpha = weights.scales[plane][:, seg.scale_group]  # (m,)
-                y += alpha[:, None] * partial.T.astype(np.float64)
+                if uniform:
+                    alpha = weights.scales[plane][:, seg.scale_group]  # (m,)
+                    y += alpha[:, None] * partial.T.astype(np.float64)
+                else:
+                    alpha = weights.scales[plane][rows_idx, seg.scale_group]
+                    y[rows_idx] += alpha[:, None] * partial.T.astype(np.float64)
 
         self._add_offset_terms(weights, x, y)
 
@@ -305,12 +341,12 @@ class MatrixProcessingUnit:
         stats = MPURunStats()
         y = np.zeros((m, batch), dtype=np.float64)
         powers = 1 << np.arange(cfg.mu - 1, -1, -1, dtype=np.int64)
+        row_bits = np.asarray(weights.per_row_bits, dtype=np.int64)
 
         seen_tiles: set[int] = set()
         for step in plan.steps():
             seg = step.segment
             rsl = step.row_slice
-            rows = rsl.stop - rsl.start
             if step.tile_index not in seen_tiles:
                 seen_tiles.add(step.tile_index)
                 stats.tiles += 1
@@ -323,7 +359,12 @@ class MatrixProcessingUnit:
                 stats.bit_planes_processed += 1
                 stats.cycles += batch + cfg.pe_rows + cfg.pe_cols
 
-            plane_w = weights.bitplanes[step.bit_plane][rsl, seg.col_slice]
+            # Rows of the band still holding planes on this pass; the rest
+            # are gated (no LUT read, no accumulation, no α multiply).
+            active = np.flatnonzero(row_bits[rsl] > step.bit_plane) + rsl.start
+            rows = active.size
+
+            plane_w = weights.bitplanes[step.bit_plane][active][:, seg.col_slice]
             keys = self._segment_keys(plane_w.astype(np.int64), seg, cfg.mu,
                                       powers)
             xg = self._segment_groups(x, seg, cfg.mu)  # (G, µ, B)
@@ -337,8 +378,8 @@ class MatrixProcessingUnit:
                     stats.lut_reads += rows
                     stats.accumulations += rows
 
-            alpha = weights.scales[step.bit_plane][rsl, seg.scale_group]
-            y[rsl, :] += alpha[:, None] * tile_partial.astype(np.float64)
+            alpha = weights.scales[step.bit_plane][active, seg.scale_group]
+            y[active, :] += alpha[:, None] * tile_partial.astype(np.float64)
             stats.scale_multiplications += rows * batch
 
         self._add_offset_terms(weights, x, y)

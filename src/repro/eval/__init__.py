@@ -22,6 +22,7 @@ from repro.eval.efficiency import (
     energy_breakdown_by_precision,
     tops_per_watt_by_model,
     accelerator_comparison_table,
+    mixed_precision_efficiency_point,
 )
 from repro.eval.pareto import ParetoPoint, mixed_precision_pareto
 from repro.eval.headline import headline_efficiency_ratios, PAPER_HEADLINE_RATIOS
@@ -38,6 +39,7 @@ __all__ = [
     "energy_breakdown_by_precision",
     "tops_per_watt_by_model",
     "accelerator_comparison_table",
+    "mixed_precision_efficiency_point",
     "ParetoPoint",
     "mixed_precision_pareto",
     "headline_efficiency_ratios",

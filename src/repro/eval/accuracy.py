@@ -15,7 +15,10 @@ same rows the paper reports.
 
 from __future__ import annotations
 
+import hashlib
+import os
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
@@ -94,10 +97,38 @@ class AccuracyTestbed:
                                    self.batch_size, max_batches=self.max_batches).perplexity
 
 
+# Bump to invalidate cached trained weights when the corpus generator,
+# tokenizer, model, or training loop changes behaviourally.
+_TESTBED_CACHE_VERSION = 1
+
+
+def _load_cached_params(cache_file: Path, model: TransformerLM) -> bool:
+    """Load trained weights into ``model`` in place; False on any mismatch."""
+    try:
+        with np.load(cache_file) as data:
+            cached = {name: data[name] for name in data.files}
+    except Exception:  # corrupt / truncated cache: retrain
+        return False
+    if set(cached) != set(model.params):
+        return False
+    if any(cached[k].shape != model.params[k].shape for k in cached):
+        return False
+    model.params.update(cached)
+    return True
+
+
 def build_testbed(d_model: int = 48, n_layers: int = 2, n_heads: int = 4, d_ff: int = 128,
                   epochs: int = 4, num_paragraphs: int = 160, seed: int = 0,
-                  max_batches: int | None = 4) -> AccuracyTestbed:
-    """Train the small LM on the synthetic corpus and return the shared testbed."""
+                  max_batches: int | None = 4,
+                  cache_dir: "str | Path | None" = None) -> AccuracyTestbed:
+    """Train the small LM on the synthetic corpus and return the shared testbed.
+
+    ``cache_dir`` enables a disk cache of the *trained weights*, keyed by a
+    hash of every input that shapes them (architecture, corpus, and
+    training hyperparameters).  Corpus generation and tokenization are
+    cheap and always rerun; only the training loop — which dominates the
+    test suite's runtime — is skipped on a hit.
+    """
     corpus = generate_corpus(SyntheticCorpusConfig(num_paragraphs=num_paragraphs, seed=seed))
     tokenizer = WordTokenizer(max_vocab=256).fit(corpus)
     ids = tokenizer.encode(corpus)
@@ -106,9 +137,30 @@ def build_testbed(d_model: int = 48, n_layers: int = 2, n_heads: int = 4, d_ff: 
                                d_model=d_model, n_heads=n_heads, n_layers=n_layers,
                                d_ff=d_ff, seed=seed)
     model = TransformerLM(config)
-    train_language_model(model, train_tokens,
-                         TrainingConfig(epochs=epochs, batch_size=16, seq_len=32,
-                                        learning_rate=3e-3, seed=seed))
+    training = TrainingConfig(epochs=epochs, batch_size=16, seq_len=32,
+                              learning_rate=3e-3, seed=seed)
+
+    cache_file = None
+    if cache_dir is not None:
+        key_source = repr((
+            _TESTBED_CACHE_VERSION, d_model, n_layers, n_heads, d_ff,
+            tokenizer.vocab_size, num_paragraphs, seed, training.epochs,
+            training.batch_size, training.seq_len, training.learning_rate,
+        ))
+        key = hashlib.sha256(key_source.encode()).hexdigest()[:16]
+        cache_file = Path(cache_dir) / f"testbed-{key}.npz"
+
+    if cache_file is None or not (cache_file.is_file()
+                                  and _load_cached_params(cache_file, model)):
+        train_language_model(model, train_tokens, training)
+        if cache_file is not None:
+            cache_file.parent.mkdir(parents=True, exist_ok=True)
+            # np.savez appends ".npz" unless already present; keep it so the
+            # rename target below actually exists.
+            tmp = cache_file.with_name(f"{cache_file.stem}.tmp{os.getpid()}.npz")
+            np.savez_compressed(tmp, **model.params)
+            os.replace(tmp, cache_file)  # atomic: parallel runs never see partial files
+
     return AccuracyTestbed(model=model, valid_tokens=valid_tokens, tokenizer=tokenizer,
                            train_tokens=train_tokens, max_batches=max_batches)
 

@@ -9,8 +9,14 @@ from __future__ import annotations
 from repro.hw.engines import all_engine_models, engine_model
 from repro.hw.gpu import A100, H100, gpu_fp16_gemm, gpu_lutgemm_q4
 from repro.hw.memory import MemorySystemModel
-from repro.hw.performance import compare_engines, evaluate_workload
+from repro.hw.performance import (
+    WorkloadResult,
+    compare_engines,
+    evaluate_workload,
+    plans_for_workload,
+)
 from repro.models.opt import decoder_gemm_shapes
+from repro.quant.mixed_precision import LayerSensitivity, allocate_mixed_precision
 
 __all__ = [
     "area_breakdown_by_format",
@@ -18,6 +24,7 @@ __all__ = [
     "energy_breakdown_by_precision",
     "tops_per_watt_by_model",
     "accelerator_comparison_table",
+    "mixed_precision_efficiency_point",
 ]
 
 _DEFAULT_MODELS = ("opt-125m", "opt-350m", "opt-1.3b", "opt-2.7b", "opt-6.7b", "opt-13b", "opt-30b")
@@ -92,6 +99,38 @@ def tops_per_watt_by_model(precisions: tuple[int, ...] = (2, 3, 4), batch: int =
             per_precision[f"q{bits}"] = comparison.normalized_tops_per_watt()
         result[model_name] = per_precision
     return result
+
+
+def mixed_precision_efficiency_point(target_average_bits: float = 2.4,
+                                     model_name: str = "opt-6.7b", batch: int = 32,
+                                     engine_name: str = "figlut-i",
+                                     sensitivities: "list[LayerSensitivity] | None" = None,
+                                     min_bits: int = 2, max_bits: int = 4,
+                                     memory: MemorySystemModel | None = None
+                                     ) -> WorkloadResult:
+    """Fig. 17's efficiency axis for one mixed-precision FIGLUT point,
+    end-to-end from the bit allocator.
+
+    With ``sensitivities`` (from :func:`repro.quant.mixed_precision.
+    measure_layer_sensitivity` on a real model), the greedy allocator picks
+    the per-layer widths and the *achieved* average is realised on the
+    workload; otherwise the target average is realised directly.  Either
+    way the schedule is a per-row-band plane split costed through
+    ``evaluate_workload(..., plans=...)`` — cycles, energy, and DRAM/SRAM
+    traffic all follow Σ per-row stored bits, not a fractional
+    ``weight_bits`` scalar.
+    """
+    memory = memory or MemorySystemModel()
+    if sensitivities:
+        plan = allocate_mixed_precision(sensitivities, target_average_bits,
+                                        min_bits=min_bits, max_bits=max_bits)
+        average_bits = plan.average_bits
+    else:
+        average_bits = float(target_average_bits)
+    shapes = decoder_gemm_shapes(model_name, batch=batch)
+    plans = plans_for_workload(shapes, average_bits, group_size=memory.group_size)
+    engine = engine_model(engine_name, "fp16", 4)
+    return evaluate_workload(engine, shapes, average_bits, memory, plans=plans)
 
 
 def accelerator_comparison_table(model_name: str = "opt-6.7b", batch: int = 32,

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from repro.hw.engines import engine_model
 from repro.hw.memory import MemorySystemModel
-from repro.hw.performance import evaluate_workload
+from repro.hw.performance import evaluate_workload, plans_for_workload
 from repro.models.opt import decoder_gemm_shapes
 
 __all__ = ["headline_efficiency_ratios", "PAPER_HEADLINE_RATIOS"]
@@ -40,12 +40,22 @@ def headline_efficiency_ratios(model_name: str = "opt-6.7b", batch: int = 32,
     def tops_per_watt(engine, bits: float) -> float:
         return evaluate_workload(engine, shapes, bits, memory).tops_per_watt
 
+    def figlut_tops_per_watt(bits: float) -> float:
+        # Bit-serial points run plan-driven: the (possibly fractional)
+        # average is realised as a per-row-band plane schedule and costed
+        # from the actual TileExecutionPlans — for integer widths this
+        # coincides with the geometric estimate, for Q2.4 it is the real
+        # mixed-precision schedule rather than a fractional approximation.
+        plans = plans_for_workload(shapes, bits, group_size=memory.group_size)
+        return evaluate_workload(figlut, shapes, bits, memory,
+                                 plans=plans).tops_per_watt
+
     figna_q4 = tops_per_watt(figna, 4)
     figna_q3 = tops_per_watt(figna, 3)
     figna_q2 = tops_per_watt(figna, 2)
     return {
-        "q4_vs_figna_q4": tops_per_watt(figlut, 4) / figna_q4,
-        "q3_vs_figna_q3": tops_per_watt(figlut, 3) / figna_q3,
-        "q2.4_vs_figna_q3": tops_per_watt(figlut, 2.4) / figna_q3,
-        "q2_vs_figna_q2": tops_per_watt(figlut, 2) / figna_q2,
+        "q4_vs_figna_q4": figlut_tops_per_watt(4) / figna_q4,
+        "q3_vs_figna_q3": figlut_tops_per_watt(3) / figna_q3,
+        "q2.4_vs_figna_q3": figlut_tops_per_watt(2.4) / figna_q3,
+        "q2_vs_figna_q2": figlut_tops_per_watt(2) / figna_q2,
     }

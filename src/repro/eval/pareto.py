@@ -23,10 +23,14 @@ import numpy as np
 from repro.eval.accuracy import AccuracyTestbed
 from repro.hw.engines import engine_model
 from repro.hw.memory import MemorySystemModel
-from repro.hw.performance import evaluate_workload
+from repro.hw.performance import evaluate_workload, plans_for_workload
 from repro.models.opt import decoder_gemm_shapes
-from repro.models.quantized_model import QuantizationRecipe
-from repro.quant.mixed_precision import allocate_mixed_precision, measure_layer_sensitivity
+from repro.models.quantized_model import QuantizationRecipe, recipe_from_mixed_precision
+from repro.quant.mixed_precision import (
+    MixedPrecisionPlan,
+    allocate_mixed_precision,
+    measure_layer_sensitivity,
+)
 
 __all__ = ["ParetoPoint", "mixed_precision_pareto"]
 
@@ -43,7 +47,8 @@ class ParetoPoint:
 
 
 def _mixed_precision_recipe(testbed: AccuracyTestbed, target_bits: float,
-                            min_bits: int = 2, max_bits: int = 4) -> QuantizationRecipe:
+                            min_bits: int = 2, max_bits: int = 4
+                            ) -> tuple[QuantizationRecipe, MixedPrecisionPlan]:
     """Allocate per-layer BCQ bit widths hitting the target average."""
     model = testbed.model
     sensitivities = [
@@ -54,8 +59,7 @@ def _mixed_precision_recipe(testbed: AccuracyTestbed, target_bits: float,
     ]
     plan = allocate_mixed_precision(sensitivities, target_bits,
                                     min_bits=min_bits, max_bits=max_bits)
-    return QuantizationRecipe(method="bcq", bits=min_bits,
-                              bits_per_layer=plan.bits_per_layer)
+    return recipe_from_mixed_precision(plan), plan
 
 
 def mixed_precision_pareto(testbed: AccuracyTestbed,
@@ -78,15 +82,24 @@ def mixed_precision_pareto(testbed: AccuracyTestbed,
 
     # FIGLUT: bit-serial BCQ hardware, ShiftAddLLM-style quantization
     # (with mixed-precision allocation for fractional average bit widths).
+    # All points are costed plan-driven from their per-row-band schedule;
+    # the fractional ones realise the allocator's *achieved* average, so
+    # the Q2.4 point is end-to-end: allocate → quantize (accuracy axis) →
+    # schedule → evaluate_workload(plans=...) (efficiency axis).
     figlut = engine_model("figlut-i", "fp16", 4)
     for bits in figlut_bits:
-        efficiency = evaluate_workload(figlut, shapes, float(bits), memory).tops_per_watt
         if float(bits).is_integer():
             recipe = QuantizationRecipe(method="shiftadd", bits=int(bits))
             label = f"bcq-q{int(bits)}"
+            scheduled_bits = float(bits)
         else:
-            recipe = _mixed_precision_recipe(testbed, float(bits))
+            recipe, mp_plan = _mixed_precision_recipe(testbed, float(bits))
             label = f"bcq-q{bits}"
+            scheduled_bits = mp_plan.average_bits
+        plans = plans_for_workload(shapes, scheduled_bits,
+                                   group_size=memory.group_size)
+        efficiency = evaluate_workload(figlut, shapes, scheduled_bits, memory,
+                                       plans=plans).tops_per_watt
         ppl = testbed.quantized_perplexity(recipe, engine=None)
         points.append(ParetoPoint("figlut", label, float(bits), efficiency, ppl))
     return points

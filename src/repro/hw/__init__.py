@@ -41,6 +41,8 @@ from repro.hw.performance import (
     evaluate_workload,
     EngineComparison,
     compare_engines,
+    plans_for_workload,
+    per_row_bits_for_average,
 )
 from repro.hw.bank_conflict import (
     BankConflictConfig,
@@ -77,6 +79,8 @@ __all__ = [
     "evaluate_workload",
     "EngineComparison",
     "compare_engines",
+    "plans_for_workload",
+    "per_row_bits_for_average",
     "BankConflictConfig",
     "BankConflictResult",
     "simulate_lut_reads",

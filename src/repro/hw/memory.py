@@ -12,14 +12,26 @@ the figures need:
 * energy = traffic × per-bit access energy (SRAM and DRAM),
 * DRAM-side latency = traffic / bandwidth, which the performance model
   overlaps with compute (double buffering) by taking the max.
+
+Two traffic paths exist: the *geometric* :meth:`MemorySystemModel.
+traffic_for_gemm` estimates from a shape and a (possibly fractional) weight
+bit width, while the *plan-driven* :meth:`MemorySystemModel.traffic_for_plan`
+reads the actual :class:`~repro.core.dataflow.TileExecutionPlan` — stored
+plane bits are Σ per-row bits, scale groups are the plan's (ceil-divided)
+groups, and activation re-reads follow the plan's row bands — so
+mixed-precision (Q2.4-style) schedules are costed exactly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.hw.tech import CMOS28, TechnologyLibrary
 from repro.numerics.floats import get_format
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.dataflow import TileExecutionPlan
 
 __all__ = ["GEMMWorkloadShape", "MemoryTraffic", "MemorySystemModel"]
 
@@ -109,7 +121,10 @@ class MemorySystemModel:
             raise ValueError("weight_bits must be positive")
         act_bits = get_format(activation_format).total_bits
 
-        n_groups = max(shape.n // self.group_size, 1)
+        # Ceil-divide: a ragged trailing group (or n < group_size) still
+        # stores a full scale/offset column, matching
+        # TileExecutionPlan.num_scale_groups.
+        n_groups = max(-(-shape.n // self.group_size), 1)
         scale_overhead = shape.m * n_groups * self.scale_bits * (weight_bits if bcq else 1.0)
         offset_overhead = shape.m * n_groups * self.scale_bits if bcq else 0.0
 
@@ -128,10 +143,61 @@ class MemorySystemModel:
             sram_output_bits=output_bits_total,
         )
 
+    def traffic_for_plan(self, plan: "TileExecutionPlan", batch: int,
+                         activation_format: str = "fp16") -> MemoryTraffic:
+        """Traffic of one BCQ GEMM derived from its tile-execution plan.
+
+        Unlike :meth:`traffic_for_gemm`, every count comes from the actual
+        schedule: stored weight-plane bits are ``Σ per_row_bits × n`` (a
+        mixed-precision row fetches only its own planes), each stored plane
+        carries one FP16 scale per (row, scale group) with the plan's
+        ceil-divided group count, offsets are one per (row, group), and
+        activations are re-read from SRAM once per plan row band.
+        """
+        if batch < 1:
+            raise ValueError("batch must be >= 1")
+        act_bits = get_format(activation_format).total_bits
+
+        n_groups = plan.num_scale_groups
+        plane_bits = plan.plane_bits_total * plan.n
+        scale_overhead = plan.plane_bits_total * n_groups * self.scale_bits
+        offset_overhead = plan.m * n_groups * self.scale_bits
+
+        weight_bits_total = plane_bits + scale_overhead + offset_overhead
+        activation_bits_total = plan.n * batch * act_bits
+        output_bits_total = plan.m * batch * act_bits
+        row_tiles = max(len(plan.row_bands), 1)
+
+        return MemoryTraffic(
+            dram_weight_bits=weight_bits_total,
+            dram_activation_bits=activation_bits_total,
+            dram_output_bits=output_bits_total,
+            sram_weight_bits=weight_bits_total,
+            sram_activation_bits=activation_bits_total * row_tiles,
+            sram_output_bits=output_bits_total,
+        )
+
     def traffic_for_workload(self, shapes: list[GEMMWorkloadShape], weight_bits: float,
-                             activation_format: str = "fp16", bcq: bool = True) -> MemoryTraffic:
-        """Aggregate traffic over a list of GEMMs."""
+                             activation_format: str = "fp16", bcq: bool = True,
+                             plans: "list[TileExecutionPlan] | None" = None) -> MemoryTraffic:
+        """Aggregate traffic over a list of GEMMs.
+
+        With ``plans`` (one :class:`TileExecutionPlan` per shape) each GEMM
+        is costed through the plan-driven :meth:`traffic_for_plan` instead
+        of the geometric estimate.
+        """
         total = MemoryTraffic()
+        if plans is not None:
+            if len(plans) != len(shapes):
+                raise ValueError("plans must align one-to-one with shapes")
+            for shape, plan in zip(shapes, plans):
+                if (plan.m, plan.n) != (shape.m, shape.n):
+                    raise ValueError(
+                        f"plan shape ({plan.m}, {plan.n}) does not match "
+                        f"workload GEMM ({shape.m}, {shape.n})")
+                total = total.merge(self.traffic_for_plan(plan, shape.batch,
+                                                          activation_format))
+            return total
         for shape in shapes:
             total = total.merge(self.traffic_for_gemm(shape, weight_bits,
                                                       activation_format, bcq))

@@ -9,16 +9,28 @@ list of GEMM shapes, typically one transformer decoding step of an OPT model
 * achieved TOPS,
 * energy broken down into compute (MPU + VPU), SRAM and DRAM,
 * TOPS/W and TOPS/mm².
+
+Bit-serial engines can additionally be evaluated **plan-driven**: pass
+``plans=`` (one :class:`~repro.core.dataflow.TileExecutionPlan` per GEMM,
+e.g. from :func:`plans_for_workload` or ``QuantizedLM.layer_plan``) and the
+compute cycles, energy, and memory traffic all derive from the scheduled
+per-row plane counts — the path that makes mixed-precision (FIGLUT-Q2.4)
+numbers real instead of a fractional ``weight_bits`` approximation.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
+import numpy as np
+
+from repro.core.dataflow import TileExecutionPlan, TilingConfig, plan_bcq_tile_execution
 from repro.hw.engines import HardwareEngineModel
 from repro.hw.memory import GEMMWorkloadShape, MemorySystemModel, MemoryTraffic
 
-__all__ = ["WorkloadResult", "evaluate_workload", "EngineComparison", "compare_engines"]
+__all__ = ["WorkloadResult", "evaluate_workload", "EngineComparison",
+           "compare_engines", "plans_for_workload", "per_row_bits_for_average"]
 
 
 @dataclass
@@ -74,11 +86,58 @@ class WorkloadResult:
         }
 
 
+def per_row_bits_for_average(m: int, average_bits: float) -> np.ndarray:
+    """Per-row plane counts whose mean is (as close as rounding allows to)
+    ``average_bits``: ``ceil(average)`` planes for the leading rows and
+    ``floor(average)`` for the rest — the row-band split a bit-serial engine
+    executes for a fractional "Q2.4"-style operating point."""
+    if m < 1:
+        raise ValueError("m must be >= 1")
+    if average_bits < 1:
+        raise ValueError("average_bits must be >= 1")
+    lo = int(average_bits)
+    frac = average_bits - lo
+    hi_rows = int(round(frac * m))
+    row_bits = np.full(m, lo, dtype=np.int64)
+    row_bits[:hi_rows] = lo + 1
+    return row_bits
+
+
+def plans_for_workload(shapes: Sequence[GEMMWorkloadShape],
+                       weight_bits: "float | Sequence[float]",
+                       tiling: TilingConfig | None = None,
+                       mu: int = 4,
+                       group_size: int | None = 128) -> list[TileExecutionPlan]:
+    """Tile-execution plans for a workload's GEMMs at the requested precision.
+
+    ``weight_bits`` is a single (possibly fractional) average bit width, or
+    one per shape; fractional values are realised as a per-row-band split
+    via :func:`per_row_bits_for_average`.  The default 64×64 tiling matches
+    the MPU geometry of :class:`repro.core.mpu.MPUConfig` (2×32 output
+    channels × 16×4 input channels).
+    """
+    tiling = tiling or TilingConfig(tile_m=64, tile_n=64)
+    if np.isscalar(weight_bits):
+        per_shape = [float(weight_bits)] * len(shapes)
+    else:
+        per_shape = [float(b) for b in weight_bits]
+        if len(per_shape) != len(shapes):
+            raise ValueError("weight_bits must be scalar or align with shapes")
+    plans = []
+    for shape, bits in zip(shapes, per_shape):
+        row_bits = per_row_bits_for_average(shape.m, bits)
+        plans.append(plan_bcq_tile_execution(
+            shape.m, shape.n, int(row_bits.max()), tiling, mu=mu,
+            group_size=group_size, per_row_bits=row_bits))
+    return plans
+
+
 def evaluate_workload(engine: HardwareEngineModel,
                       shapes: list[GEMMWorkloadShape],
                       weight_bits: float,
                       memory: MemorySystemModel | None = None,
-                      utilization: float = 1.0) -> WorkloadResult:
+                      utilization: float = 1.0,
+                      plans: "Sequence[TileExecutionPlan] | None" = None) -> WorkloadResult:
     """Run the analytical model of one engine over a GEMM workload.
 
     Parameters
@@ -89,12 +148,20 @@ def evaluate_workload(engine: HardwareEngineModel,
         The workload's GEMMs.
     weight_bits:
         Requested weight precision (may be fractional for mixed-precision
-        BCQ on bit-serial engines).
+        BCQ on bit-serial engines).  Ignored when ``plans`` is given — the
+        plans' per-row plane counts govern, and the result reports their
+        weight-element-weighted mean.
     memory:
         Memory-system model; a default 32 GB/s DRAM + 28nm SRAM if omitted.
     utilization:
         Fraction of peak MAC throughput sustained by the MPU (models tiling
         edge effects); 1.0 reproduces the paper's iso-peak comparison.
+    plans:
+        Optional tile-execution plans, one per shape (bit-serial engines
+        only).  Compute cycles and energy then count the scheduled binary
+        plane operations (Σ per-row bits × n × batch) and memory traffic
+        comes from :meth:`MemorySystemModel.traffic_for_plan`, so mixed-
+        precision schedules are costed exactly.
     """
     if not shapes:
         raise ValueError("workload must contain at least one GEMM")
@@ -105,21 +172,42 @@ def evaluate_workload(engine: HardwareEngineModel,
     total_macs = float(sum(s.macs for s in shapes))
     total_outputs = float(sum(s.m * s.batch for s in shapes))
 
-    hardware_bits = engine.effective_weight_bits(weight_bits)
-    cycles = engine.cycles_for_macs(total_macs, hardware_bits) / utilization
+    if plans is not None:
+        if not engine.is_bit_serial:
+            raise ValueError(
+                f"{engine.name} is fixed-precision: it pads every weight to its "
+                "datapath width and cannot execute a per-row-plane schedule")
+        if len(plans) != len(shapes):
+            raise ValueError("plans must align one-to-one with shapes")
+        # Scheduled binary weight operations: each row streams only its own
+        # planes, Σ_r per_row_bits[r] × n per batch column.
+        binary_ops = float(sum(p.plane_bits_total * p.n * s.batch
+                               for p, s in zip(plans, shapes)))
+        weight_elems = float(sum(s.m * s.n for s in shapes))
+        mean_bits = sum(p.plane_bits_total * p.n for p in plans) / weight_elems
+        cycles = binary_ops / engine.binary_weight_lanes() / utilization
+        compute_energy = engine.compute_energy_per_binary_op(mean_bits) * binary_ops
+        traffic: MemoryTraffic = memory.traffic_for_workload(
+            shapes, mean_bits, engine.activation_format,
+            bcq=engine.supports_bcq, plans=list(plans))
+        reported_bits = mean_bits
+    else:
+        hardware_bits = engine.effective_weight_bits(weight_bits)
+        cycles = engine.cycles_for_macs(total_macs, hardware_bits) / utilization
+        compute_energy = engine.compute_energy_per_mac(hardware_bits) * total_macs
+        # Bit-serial engines fetch exactly the stored bit-planes; fixed-
+        # precision engines consume (and therefore fetch) weights padded to
+        # their datapath width, so sub-4-bit models do not reduce their
+        # memory traffic.
+        stored_bits = hardware_bits if not engine.is_bit_serial else float(weight_bits)
+        traffic = memory.traffic_for_workload(
+            shapes, stored_bits, engine.activation_format, bcq=engine.supports_bcq)
+        reported_bits = float(weight_bits)
+
     compute_time = cycles / engine.frequency_hz
-
-    # Bit-serial engines fetch exactly the stored bit-planes; fixed-precision
-    # engines consume (and therefore fetch) weights padded to their datapath
-    # width, so sub-4-bit models do not reduce their memory traffic.
-    stored_bits = hardware_bits if not engine.is_bit_serial else float(weight_bits)
-    traffic: MemoryTraffic = memory.traffic_for_workload(
-        shapes, stored_bits, engine.activation_format, bcq=engine.supports_bcq)
-
     dram_time = memory.dram_time_s(traffic)
     latency = max(compute_time, dram_time)
 
-    compute_energy = engine.compute_energy_per_mac(hardware_bits) * total_macs
     vpu_energy = engine.vpu_energy_per_output() * total_outputs
     sram_energy = memory.sram_energy_pj(traffic)
     dram_energy = memory.dram_energy_pj(traffic)
@@ -127,7 +215,7 @@ def evaluate_workload(engine: HardwareEngineModel,
     return WorkloadResult(
         engine=engine.name,
         activation_format=engine.activation_format,
-        weight_bits=float(weight_bits),
+        weight_bits=reported_bits,
         total_macs=total_macs,
         compute_cycles=cycles,
         compute_time_s=compute_time,

@@ -31,6 +31,7 @@ from repro.models.transformer import TransformerConfig, TransformerLM, cross_ent
 from repro.models.training import AdamOptimizer, TrainingConfig, train_language_model
 from repro.models.quantized_model import (
     QuantizationRecipe,
+    recipe_from_mixed_precision,
     QuantizedLM,
     quantize_model_weights,
 )
@@ -55,6 +56,7 @@ __all__ = [
     "TrainingConfig",
     "train_language_model",
     "QuantizationRecipe",
+    "recipe_from_mixed_precision",
     "QuantizedLM",
     "quantize_model_weights",
     "PerplexityResult",

@@ -22,11 +22,12 @@ from repro.core.engines import GEMMEngine, make_engine
 from repro.quant.bcq import BCQConfig, BCQTensor, quantize_bcq, uniform_to_bcq
 from repro.quant.optq import OPTQConfig, quantize_optq
 from repro.quant.rtn import RTNConfig, UniformQuantizedTensor, quantize_rtn
+from repro.quant.mixed_precision import MixedPrecisionPlan
 from repro.quant.shiftadd import ShiftAddConfig, quantize_shiftadd
 from repro.models.transformer import TransformerLM
 
 __all__ = ["QuantizationRecipe", "QuantizedLM", "quantize_model_weights",
-           "capture_calibration_activations"]
+           "capture_calibration_activations", "recipe_from_mixed_precision"]
 
 
 @dataclass(frozen=True)
@@ -64,6 +65,28 @@ class QuantizationRecipe:
         if self.bits_per_layer and name in self.bits_per_layer:
             return self.bits_per_layer[name]
         return self.bits
+
+
+def recipe_from_mixed_precision(plan: "MixedPrecisionPlan", method: str = "bcq",
+                                group_size: int | None = None) -> QuantizationRecipe:
+    """Turn a :class:`~repro.quant.mixed_precision.MixedPrecisionPlan` into a
+    quantization recipe.
+
+    The allocator's per-layer plane counts become ``bits_per_layer``; every
+    layer then quantizes at its own width, so each resulting
+    :class:`~repro.quant.bcq.BCQTensor` carries the matching
+    ``per_row_bits`` and :meth:`QuantizedLM.layer_mpu_stats` /
+    the plan-driven traffic models cost the mixed (Q2.4-style) model
+    cycle-accurately rather than at the padded plane-array depth.
+    """
+    bits_per_layer = dict(plan.bits_per_layer)
+    if not bits_per_layer:
+        raise ValueError("mixed-precision plan allocates no layers")
+    if method not in ("bcq", "shiftadd"):
+        raise ValueError("mixed-precision recipes require a BCQ method "
+                         "('bcq' or 'shiftadd')")
+    return QuantizationRecipe(method=method, bits=min(bits_per_layer.values()),
+                              bits_per_layer=bits_per_layer, group_size=group_size)
 
 
 def quantize_model_weights(model: TransformerLM, recipe: QuantizationRecipe,
@@ -190,6 +213,31 @@ class QuantizedLM:
             raise KeyError(f"{name!r} is not a quantized weight matrix")
         return MatrixProcessingUnit(mpu_config or MPUConfig()).plan_stats(
             self._bcq_view(name), batch)
+
+    def layer_plan(self, name: str, mpu_config: "MPUConfig | None" = None):
+        """The layer's :class:`~repro.core.dataflow.TileExecutionPlan`.
+
+        Carries the layer's ``per_row_bits``, so the plan-driven memory/
+        performance models (:meth:`repro.hw.memory.MemorySystemModel.
+        traffic_for_plan`, ``evaluate_workload(..., plans=...)``) cost a
+        mixed-precision model from its actual schedule.
+        """
+        from repro.core.mpu import MatrixProcessingUnit, MPUConfig
+
+        if name not in self.quantized_weights:
+            raise KeyError(f"{name!r} is not a quantized weight matrix")
+        return MatrixProcessingUnit(mpu_config or MPUConfig()).plan(
+            self._bcq_view(name))
+
+    def model_mpu_stats(self, batch: int,
+                        mpu_config: "MPUConfig | None" = None) -> "MPURunStats":
+        """Summed analytic MPU counters over every quantized weight GEMM."""
+        from repro.core.mpu import MPURunStats
+
+        total = MPURunStats()
+        for name in self.quantized_weights:
+            total = total.merge(self.layer_mpu_stats(name, batch, mpu_config))
+        return total
 
     def matmul(self, name: str, x: np.ndarray, weight: np.ndarray) -> np.ndarray:
         """The transformer forward hook: ``x @ W.T`` through the engine.

@@ -27,6 +27,7 @@ from repro.quant.bcq import (
     BCQConfig,
     BCQTensor,
     quantize_bcq,
+    quantize_bcq_mixed,
     dequantize_bcq,
     uniform_to_bcq,
 )
@@ -54,6 +55,7 @@ __all__ = [
     "BCQConfig",
     "BCQTensor",
     "quantize_bcq",
+    "quantize_bcq_mixed",
     "dequantize_bcq",
     "uniform_to_bcq",
     "OPTQConfig",

@@ -41,6 +41,7 @@ __all__ = [
     "BCQConfig",
     "BCQTensor",
     "quantize_bcq",
+    "quantize_bcq_mixed",
     "dequantize_bcq",
     "uniform_to_bcq",
 ]
@@ -97,6 +98,17 @@ class BCQTensor:
         Number of columns per group (the last group may be smaller).
     shape:
         Original (rows, cols) of the weight matrix.
+    per_row_bits:
+        int64 array of shape ``(rows,)``: the plane count of each output
+        row.  **Invariant** (mixed-precision contract): for every row ``r``
+        and plane ``p >= per_row_bits[r]``, ``scales[p, r, :] == 0`` while
+        ``bitplanes[p, r, :]`` holds arbitrary ±1 padding.  Consumers that
+        blindly walk all ``bits`` planes (``dequantize``, the functional
+        GEMM engines) therefore stay exact — the padded planes contribute
+        ``0 × ±1`` — while plan-aware consumers (the MPU planner/executor,
+        :meth:`storage_bits`, the plan-driven traffic models) skip them and
+        charge only ``Σ per_row_bits``.  Omitted at construction, it is
+        derived as uniformly ``bitplanes.shape[0]``.
     """
 
     bitplanes: np.ndarray
@@ -127,9 +139,16 @@ class BCQTensor:
         return dequantize_bcq(self)
 
     def storage_bits(self) -> int:
-        """Bits to store bit-planes (1 bit each) plus FP16 scales/offsets."""
-        plane_bits = self.bitplanes.size
-        meta_bits = (self.scales.size + self.offsets.size) * 16
+        """Bits to store bit-planes (1 bit each) plus FP16 scales/offsets.
+
+        Mixed-precision tensors store only each row's own planes and scales
+        (``Σ per_row_bits``), not the zero-padded plane-array depth, so
+        Q2.4-style compression ratios come out right; for uniform tensors
+        this equals the padded counts exactly.
+        """
+        stored_planes = int(np.sum(self.per_row_bits))
+        plane_bits = stored_planes * self.shape[1]
+        meta_bits = (stored_planes * self.n_groups + self.offsets.size) * 16
         return int(plane_bits + meta_bits)
 
     def column_groups(self) -> list[slice]:
@@ -439,6 +458,49 @@ def quantize_bcq(weight: np.ndarray, config: BCQConfig | None = None) -> BCQTens
     return BCQTensor(bitplanes=bitplanes, scales=scales, offsets=offsets,
                      group_size=group_size, shape=(rows, cols),
                      per_row_bits=per_row_bits)
+
+
+def quantize_bcq_mixed(weight: np.ndarray, per_row_bits: np.ndarray,
+                       config: BCQConfig | None = None) -> BCQTensor:
+    """Quantize a weight matrix with a different BCQ plane count per row.
+
+    Rows sharing a bit width are quantized together through the batched
+    :func:`quantize_bcq` kernel, then assembled into one tensor padded to
+    the widest row: padded planes carry +1 bits and **zero scales**, the
+    invariant documented on :class:`BCQTensor.per_row_bits`.  ``config.bits``
+    is ignored; the per-row widths govern.
+    """
+    config = config or BCQConfig()
+    w = np.asarray(weight, dtype=np.float64)
+    if w.ndim != 2:
+        raise ValueError("quantize_bcq_mixed expects a 2-D weight matrix")
+    rows, cols = w.shape
+    row_bits = np.asarray(per_row_bits, dtype=np.int64)
+    if row_bits.shape != (rows,):
+        raise ValueError(f"per_row_bits must have shape ({rows},), got {row_bits.shape}")
+    if rows and row_bits.min() < 1:
+        raise ValueError("per_row_bits entries must be >= 1")
+
+    bits_max = int(row_bits.max()) if rows else config.bits
+    group_size = config.group_size or cols
+    group_size = min(group_size, cols) if cols else 1
+    n_groups = max((cols + group_size - 1) // group_size, 1)
+
+    bitplanes = np.ones((bits_max, rows, cols), dtype=np.int8)
+    scales = np.zeros((bits_max, rows, n_groups), dtype=np.float64)
+    offsets = np.zeros((rows, n_groups), dtype=np.float64)
+    for bits in np.unique(row_bits):
+        idx = np.flatnonzero(row_bits == bits)
+        sub = quantize_bcq(w[idx], BCQConfig(bits=int(bits),
+                                             use_offset=config.use_offset,
+                                             group_size=config.group_size,
+                                             iterations=config.iterations))
+        bitplanes[:bits, idx] = sub.bitplanes
+        scales[:bits, idx] = sub.scales
+        offsets[idx] = sub.offsets
+    return BCQTensor(bitplanes=bitplanes, scales=scales, offsets=offsets,
+                     group_size=group_size, shape=(rows, cols),
+                     per_row_bits=row_bits.copy())
 
 
 def _reference_quantize_bcq(weight: np.ndarray,

@@ -120,7 +120,11 @@ def allocate_mixed_precision(sensitivities: list[LayerSensitivity],
     Greedy algorithm: start every layer at ``min_bits``, then repeatedly give
     one more bit to the layer with the largest error-reduction per additional
     stored bit, until the weight-weighted average reaches
-    ``target_average_bits``.
+    ``target_average_bits`` or no candidate offers a positive gain (BCQ's
+    alternating optimization is not strictly monotonic in bits, so an extra
+    plane can *raise* the proxy error — spending budget on it would waste
+    storage for nothing).  Gain ties break lexicographically by layer name,
+    so the allocation is independent of the input list's order.
     """
     if not sensitivities:
         raise ValueError("at least one layer sensitivity is required")
@@ -150,7 +154,11 @@ def allocate_mixed_precision(sensitivities: list[LayerSensitivity],
             candidates.append((s.marginal_gain(b, b + 1), s))
         if not candidates:
             break
-        _, best = max(candidates, key=lambda item: item[0])
+        # Largest gain wins; among equal gains the lexicographically first
+        # layer name (min over (-gain, name)) keeps the result deterministic.
+        gain, best = min(candidates, key=lambda item: (-item[0], item[1].name))
+        if gain <= 0.0:
+            break
         bits[best.name] += 1
 
     average = used_bits() / total_weights

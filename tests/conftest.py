@@ -2,8 +2,16 @@
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import numpy as np
 import pytest
+
+# Trained-weight cache for the session testbed: training the small LM
+# dominates suite runtime, so the weights are cached on disk keyed by a
+# config hash (see repro.eval.accuracy.build_testbed).  Lives at the repo
+# root so the tests/ and benchmarks/ suites share one cache location.
+TESTBED_CACHE_DIR = Path(__file__).resolve().parent.parent / ".testbed_cache"
 
 
 @pytest.fixture
@@ -26,7 +34,9 @@ def small_activations(rng) -> np.ndarray:
 
 @pytest.fixture(scope="session")
 def trained_testbed():
-    """A small trained LM shared by the accuracy-oriented tests (built once)."""
+    """A small trained LM shared by the accuracy-oriented tests (built once,
+    trained weights cached on disk across sessions)."""
     from repro.eval.accuracy import build_testbed
 
-    return build_testbed(epochs=2, num_paragraphs=80, max_batches=2)
+    return build_testbed(epochs=2, num_paragraphs=80, max_batches=2,
+                         cache_dir=TESTBED_CACHE_DIR)

@@ -1,0 +1,302 @@
+"""Mixed-precision (``per_row_bits``) tile execution and plan-driven costs.
+
+The Fig. 17 "FIGLUT-Q2.4" configurations rest on the bit-serial property
+that a row band quantized with ``q`` planes takes ``q`` passes.  These tests
+pin that down end to end: the planner emits per-row-band plane counts, the
+batched executor stays bit-exact against the scalar reference — outputs AND
+``MPURunStats`` — on ragged ``per_row_bits`` spanning several row bands,
+``plan_stats`` matches executed stats, cycles/LUT reads scale with
+``mean(per_row_bits)`` rather than the padded plane-array depth, and the
+plan-driven memory traffic equals Σ per-row stored bits plus ceil-divided
+scale-group overhead.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.dataflow import TilingConfig, plan_bcq_tile_execution
+from repro.core.mpu import MPUConfig, MatrixProcessingUnit
+from repro.hw.engines import engine_model
+from repro.hw.memory import GEMMWorkloadShape, MemorySystemModel
+from repro.hw.performance import (
+    evaluate_workload,
+    per_row_bits_for_average,
+    plans_for_workload,
+)
+from repro.quant.bcq import BCQConfig, quantize_bcq, quantize_bcq_mixed
+
+
+def _mixed_case(rng, m, n, group_size, bits_choices=(1, 2, 3, 4), iterations=2):
+    w = rng.standard_normal((m, n)) * 0.1
+    row_bits = rng.choice(bits_choices, size=m)
+    return quantize_bcq_mixed(w, row_bits,
+                              BCQConfig(group_size=group_size,
+                                        iterations=iterations))
+
+
+class TestMixedPlanner:
+    def test_row_bands_carry_band_max_planes(self):
+        # tile_m = 4 → bands [0:4) and [4:6); planes = the band's widest row.
+        row_bits = [1, 3, 2, 1, 2, 2]
+        plan = plan_bcq_tile_execution(6, 8, bits=3,
+                                       config=TilingConfig(tile_m=4, tile_n=8),
+                                       mu=4, group_size=None,
+                                       per_row_bits=row_bits)
+        assert [band.planes for band in plan.row_bands] == [3, 2]
+        # Active rows per plane: rows with per_row_bits > p.
+        assert plan.row_bands[0].active_rows_per_plane == (4, 2, 1)
+        assert plan.row_bands[1].active_rows_per_plane == (2, 2)
+        assert plan.plane_bits_total == sum(row_bits)
+        assert plan.mean_bits == pytest.approx(sum(row_bits) / 6)
+
+    def test_num_steps_is_plan_weighted(self):
+        plan = plan_bcq_tile_execution(6, 8, bits=3,
+                                       config=TilingConfig(tile_m=4, tile_n=4),
+                                       mu=4, group_size=None,
+                                       per_row_bits=[1, 3, 2, 1, 2, 2])
+        # Two column bands → two segments; bands execute 3 and 2 planes.
+        assert plan.num_steps == 2 * (3 + 2)
+        steps = list(plan.steps())
+        assert len(steps) == plan.num_steps
+        # A band's steps never exceed its own plane count.
+        for step in steps:
+            assert step.bit_plane < step.band.planes
+
+    def test_uniform_plan_unchanged(self):
+        explicit = plan_bcq_tile_execution(8, 8, bits=2,
+                                           config=TilingConfig(tile_m=4, tile_n=4),
+                                           mu=4, per_row_bits=[2] * 8)
+        implicit = plan_bcq_tile_execution(8, 8, bits=2,
+                                           config=TilingConfig(tile_m=4, tile_n=4),
+                                           mu=4)
+        assert explicit == implicit
+        assert implicit.num_steps == implicit.num_tiles * 2
+        assert implicit.plane_bits_total == 8 * 2
+
+    def test_rejects_bad_per_row_bits(self):
+        cfg = TilingConfig(tile_m=4, tile_n=4)
+        with pytest.raises(ValueError):
+            plan_bcq_tile_execution(4, 4, bits=2, config=cfg, per_row_bits=[2, 2])
+        with pytest.raises(ValueError):
+            plan_bcq_tile_execution(4, 4, bits=2, config=cfg,
+                                    per_row_bits=[0, 2, 2, 2])
+        with pytest.raises(ValueError):
+            plan_bcq_tile_execution(4, 4, bits=2, config=cfg,
+                                    per_row_bits=[3, 2, 2, 2])
+
+
+class TestMixedQuantizer:
+    def test_padded_planes_have_zero_scales(self, rng):
+        bcq = _mixed_case(rng, 10, 16, group_size=5)
+        for r in range(10):
+            b = int(bcq.per_row_bits[r])
+            assert np.all(bcq.scales[b:, r, :] == 0.0)
+            assert np.all(np.isin(bcq.bitplanes[:, r, :], (-1, 1)))
+
+    def test_rows_match_uniform_quantization(self, rng):
+        # A row quantized at q bits inside a mixed tensor is identical to the
+        # same row quantized through the uniform path at q bits.
+        w = rng.standard_normal((6, 12)) * 0.1
+        row_bits = np.array([2, 3, 2, 3, 2, 3])
+        mixed = quantize_bcq_mixed(w, row_bits, BCQConfig(group_size=4, iterations=2))
+        for bits in (2, 3):
+            idx = np.flatnonzero(row_bits == bits)
+            uni = quantize_bcq(w[idx], BCQConfig(bits=bits, group_size=4, iterations=2))
+            np.testing.assert_array_equal(mixed.bitplanes[:bits, idx], uni.bitplanes)
+            np.testing.assert_array_equal(mixed.scales[:bits, idx], uni.scales)
+            np.testing.assert_array_equal(mixed.offsets[idx], uni.offsets)
+
+    def test_storage_bits_counts_only_stored_planes(self, rng):
+        w = rng.standard_normal((8, 16)) * 0.1
+        row_bits = np.array([1, 2, 3, 4, 1, 2, 3, 4])
+        bcq = quantize_bcq_mixed(w, row_bits, BCQConfig(group_size=8))
+        stored = int(row_bits.sum())
+        expected = stored * 16 + (stored * bcq.n_groups + bcq.offsets.size) * 16
+        assert bcq.storage_bits() == expected
+        # The padded plane array would overcount by (4*8 - 20) planes.
+        assert bcq.storage_bits() < bcq.bitplanes.size + (
+            bcq.scales.size + bcq.offsets.size) * 16
+
+    def test_dequantize_ignores_padded_planes(self, rng):
+        bcq = _mixed_case(rng, 9, 14, group_size=6)
+        w_hat = bcq.dequantize()
+        # Recompute per row from only the row's own planes.
+        for r in range(9):
+            b = int(bcq.per_row_bits[r])
+            for g, csl in enumerate(bcq.column_groups()):
+                manual = (bcq.bitplanes[:b, r, csl].astype(np.float64)
+                          * bcq.scales[:b, r, g][:, None]).sum(axis=0) + bcq.offsets[r, g]
+                np.testing.assert_allclose(w_hat[r, csl], manual)
+
+
+class TestMixedExecutorEquivalence:
+    CASES = [
+        # (m, n, group_size) — row bands, ragged edges, µ padding all mixed
+        (24, 32, None),
+        (20, 30, 6),
+        (17, 29, 5),
+        (24, 32, 16),
+    ]
+
+    @pytest.mark.parametrize("m,n,group_size", CASES)
+    @pytest.mark.parametrize("acc", [np.float32, np.float64])
+    def test_bit_exact_with_identical_stats(self, rng, m, n, group_size, acc):
+        bcq = _mixed_case(rng, m, n, group_size)
+        assert len(np.unique(bcq.per_row_bits)) > 1  # genuinely mixed
+        x = rng.standard_normal((n, 4))
+        mpu = MatrixProcessingUnit(MPUConfig(pe_rows=2, pe_cols=2, mu=4, k=8))
+        y, stats = mpu.gemm(bcq, x, accumulate_dtype=acc)
+        y_ref, stats_ref = mpu.gemm_reference(bcq, x, accumulate_dtype=acc)
+        np.testing.assert_array_equal(y, y_ref)
+        assert stats == stats_ref
+
+    def test_matches_dequantized_reference(self, rng):
+        bcq = _mixed_case(rng, 20, 30, 6)
+        x = rng.standard_normal((30, 5))
+        mpu = MatrixProcessingUnit(MPUConfig(pe_rows=2, pe_cols=2, mu=4, k=8))
+        y, _ = mpu.gemm(bcq, x)
+        np.testing.assert_allclose(y, bcq.dequantize() @ x, rtol=1e-9, atol=1e-9)
+
+    def test_plan_stats_match_executed_stats(self, rng):
+        bcq = _mixed_case(rng, 20, 30, 6)
+        x = rng.standard_normal((30, 7))
+        mpu = MatrixProcessingUnit(MPUConfig(pe_rows=2, pe_cols=2, mu=4, k=8))
+        _, executed = mpu.gemm(bcq, x)
+        assert mpu.plan_stats(bcq, batch=7) == executed
+
+
+class TestMixedCostsScaleWithMeanBits:
+    def test_cycles_and_lut_reads_follow_mean_bits(self, rng):
+        # A Q2.4-style tensor: 40% of rows at 3 planes, 60% at 2, padded
+        # plane-array depth 3.  Costs must follow the 2.4-bit mean, not the
+        # depth-3 array.
+        m, n = 40, 32
+        w = rng.standard_normal((m, n)) * 0.1
+        row_bits = per_row_bits_for_average(m, 2.4)
+        mixed = quantize_bcq_mixed(w, row_bits, BCQConfig(group_size=8, iterations=1))
+        uniform3 = quantize_bcq(w, BCQConfig(bits=3, group_size=8, iterations=1))
+        mpu = MatrixProcessingUnit(MPUConfig(pe_rows=2, pe_cols=2, mu=4, k=8))
+
+        s_mixed = mpu.plan_stats(mixed, batch=4)
+        s_uni = mpu.plan_stats(uniform3, batch=4)
+        assert mixed.bits == uniform3.bits == 3
+        # LUT reads / accumulations / α multiplies are exactly mean-bits
+        # weighted: Σ per-row bits = 2.4·m versus 3·m.
+        assert s_mixed.lut_reads / s_uni.lut_reads == pytest.approx(2.4 / 3)
+        assert s_mixed.accumulations / s_uni.accumulations == pytest.approx(2.4 / 3)
+        assert s_mixed.scale_multiplications / s_uni.scale_multiplications == \
+            pytest.approx(2.4 / 3)
+        # Cycles follow the per-band pass counts (band max planes); with
+        # 3-plane rows leading each band this stays below uniform-3.
+        assert s_mixed.cycles < s_uni.cycles
+        assert s_mixed.bit_planes_processed < s_uni.bit_planes_processed
+
+    def test_quantized_lm_layer_stats_honour_mixed_recipe(self):
+        from repro.models.quantized_model import (
+            QuantizedLM,
+            recipe_from_mixed_precision,
+        )
+        from repro.models.transformer import TransformerConfig, TransformerLM
+        from repro.quant.mixed_precision import MixedPrecisionPlan
+
+        model = TransformerLM(TransformerConfig(vocab_size=13, max_seq_len=8,
+                                                d_model=8, n_heads=2,
+                                                n_layers=1, d_ff=16))
+        names = model.weight_matrix_names()
+        bits_per_layer = {name: (2 if i % 2 == 0 else 4)
+                          for i, name in enumerate(names)}
+        plan = MixedPrecisionPlan(bits_per_layer=bits_per_layer,
+                                  average_bits=3.0, total_error=0.0)
+        recipe = recipe_from_mixed_precision(plan)
+        qlm = QuantizedLM.build(model, recipe, engine="figlut-f")
+        cfg = MPUConfig(pe_rows=2, pe_cols=1, mu=4, k=4)
+        # Per-layer counters scale with the layer's allocated bits.
+        for name in names:
+            stats = qlm.layer_mpu_stats(name, batch=3, mpu_config=cfg)
+            tensor = qlm.quantized_weights[name]
+            assert np.all(tensor.per_row_bits == bits_per_layer[name])
+            m = tensor.shape[0]
+            groups_total = qlm.layer_plan(name, cfg).lut_group_total
+            assert stats.lut_reads == 3 * bits_per_layer[name] * m * groups_total
+        total = qlm.model_mpu_stats(batch=3, mpu_config=cfg)
+        assert total.lut_reads == sum(
+            qlm.layer_mpu_stats(name, 3, cfg).lut_reads for name in names)
+
+
+class TestPlanDrivenTraffic:
+    def test_traffic_for_gemm_ceils_scale_groups(self):
+        memory = MemorySystemModel(group_size=128)
+        ragged = memory.traffic_for_gemm(GEMMWorkloadShape(64, 129, 1), 4)
+        exact = memory.traffic_for_gemm(GEMMWorkloadShape(64, 256, 1), 4)
+        # 129 columns span 2 scale groups, same overhead as 256 columns.
+        ragged_overhead = ragged.dram_weight_bits - 64 * 129 * 4
+        exact_overhead = exact.dram_weight_bits - 64 * 256 * 4
+        assert ragged_overhead == exact_overhead
+        # n < group_size keeps the single-group floor.
+        small = memory.traffic_for_gemm(GEMMWorkloadShape(64, 100, 1), 4)
+        assert small.dram_weight_bits - 64 * 100 * 4 == \
+            64 * 1 * 16 * 4 + 64 * 1 * 16
+
+    def test_plan_traffic_equals_stored_bits_plus_ceil_overhead(self):
+        memory = MemorySystemModel(group_size=128)
+        shape = GEMMWorkloadShape(m=96, n=200, batch=8)
+        [plan] = plans_for_workload([shape], 2.5, group_size=memory.group_size)
+        traffic = memory.traffic_for_plan(plan, shape.batch)
+        stored = int(np.sum(per_row_bits_for_average(96, 2.5)))
+        n_groups = -(-200 // 128)  # ceil: ragged n still stores both groups
+        expected = stored * 200 + stored * n_groups * 16 + 96 * n_groups * 16
+        assert traffic.dram_weight_bits == expected
+        assert traffic.sram_weight_bits == expected
+        # Activations re-read once per plan row band.
+        assert traffic.sram_activation_bits == \
+            traffic.dram_activation_bits * len(plan.row_bands)
+
+    def test_uniform_plan_traffic_matches_geometric_estimate(self):
+        memory = MemorySystemModel(group_size=128)
+        shape = GEMMWorkloadShape(m=128, n=256, batch=4)
+        [plan] = plans_for_workload([shape], 4, group_size=memory.group_size)
+        plan_traffic = memory.traffic_for_plan(plan, shape.batch)
+        geo_traffic = memory.traffic_for_gemm(shape, 4)
+        assert plan_traffic.dram_weight_bits == geo_traffic.dram_weight_bits
+        assert plan_traffic.dram_activation_bits == geo_traffic.dram_activation_bits
+
+    def test_q24_vs_q4_weight_traffic_ratio(self):
+        # Acceptance pin: Q2.4 DRAM weight traffic / uniform Q4 = 2.4/4 for
+        # plane bits and per-plane scales alike (offsets are bit-independent).
+        memory = MemorySystemModel(group_size=128)
+        shapes = [GEMMWorkloadShape(m=256, n=512, batch=8),
+                  GEMMWorkloadShape(m=640, n=256, batch=8)]
+        engine = engine_model("figlut-i", "fp16", 4)
+        q24 = evaluate_workload(engine, shapes, 2.4, memory,
+                                plans=plans_for_workload(shapes, 2.4,
+                                                         group_size=128))
+        q4 = evaluate_workload(engine, shapes, 4, memory,
+                               plans=plans_for_workload(shapes, 4,
+                                                        group_size=128))
+        t24 = memory.traffic_for_workload(shapes, 0, plans=plans_for_workload(
+            shapes, 2.4, group_size=128))
+        t4 = memory.traffic_for_workload(shapes, 0, plans=plans_for_workload(
+            shapes, 4, group_size=128))
+        offsets = sum(s.m * -(-s.n // 128) * 16 for s in shapes)
+        ratio = (t24.dram_weight_bits - offsets) / (t4.dram_weight_bits - offsets)
+        assert ratio == pytest.approx(2.4 / 4, rel=1e-3)
+        # Scheduled cycles follow the same mean-bits ratio, and the
+        # reported weight precision is the realised mean.
+        assert q24.compute_cycles / q4.compute_cycles == pytest.approx(2.4 / 4, rel=1e-3)
+        assert q24.weight_bits == pytest.approx(2.4, rel=1e-3)
+
+    def test_plans_reject_fixed_precision_engines(self):
+        memory = MemorySystemModel()
+        shapes = [GEMMWorkloadShape(m=64, n=128, batch=2)]
+        plans = plans_for_workload(shapes, 2.4, group_size=128)
+        with pytest.raises(ValueError):
+            evaluate_workload(engine_model("figna", "fp16", 4), shapes, 2.4,
+                              memory, plans=plans)
+
+    def test_plan_shape_mismatch_raises(self):
+        memory = MemorySystemModel()
+        shapes = [GEMMWorkloadShape(m=64, n=128, batch=2)]
+        plans = plans_for_workload([GEMMWorkloadShape(m=32, n=128, batch=2)],
+                                   3, group_size=128)
+        with pytest.raises(ValueError):
+            memory.traffic_for_workload(shapes, 3, plans=plans)
