@@ -15,6 +15,20 @@ import pytest
 # Repo-root cache shared with tests/conftest.py (same path expression there).
 TESTBED_CACHE_DIR = Path(__file__).resolve().parent.parent / ".testbed_cache"
 
+_BENCH_DIR = Path(__file__).resolve().parent
+
+
+def pytest_collection_modifyitems(config, items):
+    """Mark everything under benchmarks/ with ``bench`` (see pytest.ini), so
+    ``-m "not bench"`` runs the unit suite alone; a plain run is unchanged."""
+    for item in items:
+        try:
+            path = Path(str(item.fspath)).resolve()
+        except (OSError, ValueError):  # pragma: no cover - exotic items
+            continue
+        if _BENCH_DIR in path.parents:
+            item.add_marker(pytest.mark.bench)
+
 
 @pytest.fixture(scope="session")
 def accuracy_testbed():

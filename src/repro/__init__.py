@@ -11,7 +11,9 @@ FP-INT GEMM Using Look-Up Tables"* (HPCA 2025), including:
 * an LLM workload substrate with OPT-family shapes and a small NumPy
   transformer for accuracy experiments (:mod:`repro.models`),
 * evaluation drivers that regenerate every table and figure of the paper
-  (:mod:`repro.eval`).
+  (:mod:`repro.eval`),
+* a sharded, async-batched inference serving subsystem over the
+  tile-execution core (:mod:`repro.serve`).
 
 Quickstart::
 

@@ -99,12 +99,18 @@ def _prealigned_bcq_gemm(bcq: BCQTensor, x: np.ndarray,
     elementwise operation match the scalar per-(batch, group, plane) loops
     bit-for-bit; mantissas ride in float64 through BLAS, which is exact
     because every partial sum is an integer far below 2**53.
+
+    Mixed tensors walk only each row's own planes: a zero-scale padded
+    (row, plane) would contribute ``0 × acc``, so restricting the sign
+    product to the plane's active rows leaves every output bit unchanged
+    while skipping the padded work.
     """
     m, n = bcq.shape
     batch = x.shape[1]
     y = np.zeros((m, batch), dtype=np.float64)
     if n == 0 or batch == 0:
         return y
+    max_planes, active_rows = bcq.plane_activity()
     pre = prealign_grouped(x, bcq.group_size, fmt=fmt)
     mantissas = pre.mantissas.astype(np.float64)
     # Row sums per (batch, group) block for the offset term; the transposed
@@ -113,10 +119,16 @@ def _prealigned_bcq_gemm(bcq: BCQTensor, x: np.ndarray,
     for g, sl in enumerate(bcq.column_groups()):
         mant = mantissas[sl]                      # (group, batch)
         scale = pre.scales[g]                     # (batch,)
-        for plane in range(bcq.bits):
-            signs = bcq.bitplanes[plane][:, sl].astype(np.float64)
-            acc = signs @ mant                    # integer-valued, exact
-            y += bcq.scales[plane][:, g][:, None] * (acc * scale[None, :])
+        for plane in range(max_planes):
+            if active_rows is None:
+                signs = bcq.bitplanes[plane][:, sl].astype(np.float64)
+                acc = signs @ mant                # integer-valued, exact
+                y += bcq.scales[plane][:, g][:, None] * (acc * scale[None, :])
+            else:
+                idx = active_rows[plane]
+                signs = bcq.bitplanes[plane][:, sl][idx].astype(np.float64)
+                acc = signs @ mant
+                y[idx] += bcq.scales[plane][idx, g][:, None] * (acc * scale[None, :])
         y += bcq.offsets[:, g][:, None] * xt[:, sl].sum(axis=1)[None, :]
     return y
 
@@ -205,11 +217,14 @@ class IFPUEngine(GEMMEngine):
 
         y = _prealigned_bcq_gemm(bcq, x, self.activation_format)
 
+        # Mixed tensors execute only Σ per-row bits plane-rows (padded
+        # zero-scale planes are skipped); uniform tensors give m · bits.
+        row_planes = int(np.sum(bcq.per_row_bits))
         n_groups = bcq.n_groups
         self.stats.prealignments += n * batch
-        self.stats.int_additions += m * n * batch * bcq.bits
-        self.stats.fp_multiplications += m * batch * bcq.bits * n_groups
-        self.stats.fp_additions += m * batch * (bcq.bits + 1) * n_groups
+        self.stats.int_additions += row_planes * n * batch
+        self.stats.fp_multiplications += row_planes * batch * n_groups
+        self.stats.fp_additions += (row_planes + m) * batch * n_groups
         return y[:, 0] if squeeze else y
 
 
@@ -352,11 +367,16 @@ class _FIGLUTBase(GEMMEngine):
             raise ValueError("mu must be >= 1")
         self.mu = mu
 
-    def _count_lut_ops(self, m: int, n: int, batch: int, bits: int) -> None:
+    def _count_lut_ops(self, m: int, n: int, batch: int, bits: int,
+                       row_planes: int | None = None) -> None:
+        """LUT op counters; ``row_planes`` (Σ per-row bits, default
+        ``m · bits``) charges mixed tensors only their executed plane-rows."""
+        if row_planes is None:
+            row_planes = m * bits
         groups = (n + self.mu - 1) // self.mu
         self.stats.lut_generations += groups * batch * bits
-        self.stats.lut_reads += m * groups * batch * bits
-        self.stats.int_additions += m * groups * batch * bits  # accumulations
+        self.stats.lut_reads += row_planes * groups * batch
+        self.stats.int_additions += row_planes * groups * batch  # accumulations
 
 
 class FIGLUTFloatEngine(_FIGLUTBase):
@@ -374,20 +394,30 @@ class FIGLUTFloatEngine(_FIGLUTBase):
         acc = self._acc_dtype()
         y = np.zeros((m, batch), dtype=np.float64)
 
+        max_planes, active_rows = bcq.plane_activity()
         group_slices = bcq.column_groups()
         for g, sl in enumerate(group_slices):
             xg = x[sl, :].astype(acc)
-            for plane in range(bcq.bits):
-                signs = bcq.bitplanes[plane][:, sl].astype(acc)
+            for plane in range(max_planes):
                 # The LUT read + accumulate path is algebraically B_plane @ x
                 # accumulated in `acc` precision; LUT indexing is bit-exact
                 # with this (verified against MatrixProcessingUnit in tests).
-                partial = (signs @ xg).astype(np.float64)
-                y += (bcq.scales[plane][:, g][:, None] * partial)
+                # Mixed tensors restrict the product to the plane's active
+                # rows — padded rows would add an exact 0 · acc.
+                if active_rows is None:
+                    signs = bcq.bitplanes[plane][:, sl].astype(acc)
+                    partial = (signs @ xg).astype(np.float64)
+                    y += (bcq.scales[plane][:, g][:, None] * partial)
+                else:
+                    idx = active_rows[plane]
+                    signs = bcq.bitplanes[plane][:, sl][idx].astype(acc)
+                    partial = (signs @ xg).astype(np.float64)
+                    y[idx] += (bcq.scales[plane][idx, g][:, None] * partial)
             y += bcq.offsets[:, g][:, None] * x[sl, :].sum(axis=0, keepdims=True).astype(np.float64)
-        self._count_lut_ops(m, n, batch, bcq.bits)
-        self.stats.fp_multiplications += m * batch * bcq.bits * len(group_slices)
-        self.stats.fp_additions += m * batch * (bcq.bits + 1) * len(group_slices)
+        row_planes = int(np.sum(bcq.per_row_bits))
+        self._count_lut_ops(m, n, batch, bcq.bits, row_planes)
+        self.stats.fp_multiplications += row_planes * batch * len(group_slices)
+        self.stats.fp_additions += (row_planes + m) * batch * len(group_slices)
         return y[:, 0] if squeeze else y
 
 
@@ -406,11 +436,12 @@ class FIGLUTIntEngine(_FIGLUTBase):
 
         y = _prealigned_bcq_gemm(bcq, x, self.activation_format)
 
+        row_planes = int(np.sum(bcq.per_row_bits))
         n_groups = bcq.n_groups
         self.stats.prealignments += n * batch
-        self._count_lut_ops(m, n, batch, bcq.bits)
-        self.stats.fp_multiplications += m * batch * bcq.bits * n_groups
-        self.stats.fp_additions += m * batch * (bcq.bits + 1) * n_groups
+        self._count_lut_ops(m, n, batch, bcq.bits, row_planes)
+        self.stats.fp_multiplications += row_planes * batch * n_groups
+        self.stats.fp_additions += (row_planes + m) * batch * n_groups
         return y[:, 0] if squeeze else y
 
 

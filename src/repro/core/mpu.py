@@ -41,6 +41,20 @@ exhausted is gated — it reads no LUT entry, accumulates nothing, and its
 remaining scales are never touched), and every counter is a plan-weighted
 sum, so a Q2.4-style model costs ``mean(per_row_bits)`` passes rather than
 ``bitplanes.shape[0]``.
+
+Two serving-oriented extensions sit on top (used by :mod:`repro.serve`):
+
+* :meth:`MatrixProcessingUnit.prepare` precomputes the per-(segment, bit
+  plane) RAC key matrices once — they depend only on the weights, which a
+  serving worker keeps stationary — so repeated :meth:`gemm` calls skip the
+  key packing entirely (keys are integers, so the prepared path is
+  bit-identical to the unprepared one);
+* :meth:`gemm` can execute a :class:`~repro.core.dataflow.PlanShard`
+  (``shard=``): row-axis shards run the shard's row bands only (bit-exact
+  against the same rows of an unsharded run), segment-axis shards run a
+  column-segment subset plus the offset terms of the shard's *owned* scale
+  groups.  :meth:`shard_stats` costs a shard analytically; the counters of
+  a shard partition sum exactly to the unsharded run's.
 """
 
 from __future__ import annotations
@@ -50,6 +64,7 @@ from dataclasses import dataclass, field, fields
 import numpy as np
 
 from repro.core.dataflow import (
+    PlanShard,
     TileExecutionPlan,
     TilingConfig,
     plan_bcq_tile_execution,
@@ -58,7 +73,7 @@ from repro.core.lut import build_lut_tables, build_lut_values
 from repro.core.lut_generator import generator_addition_count
 from repro.quant.bcq import BCQTensor
 
-__all__ = ["MPUConfig", "MPURunStats", "MatrixProcessingUnit"]
+__all__ = ["MPUConfig", "MPURunStats", "MatrixProcessingUnit", "PreparedWeights"]
 
 
 @dataclass(frozen=True)
@@ -134,6 +149,39 @@ class MPURunStats:
                              for f in fields(self)))
 
 
+@dataclass(frozen=True)
+class PreparedWeights:
+    """Weight-stationary state of one BCQ tensor, precomputed for serving.
+
+    The RAC key matrices depend only on the weight bit-planes and the plan's
+    segment geometry — exactly the state a weight-stationary worker keeps
+    resident — so a serving pool packs them once per (worker, layer) and
+    every subsequent GEMM skips the key computation.  Keys are integers, so
+    :meth:`MatrixProcessingUnit.gemm` on a prepared tensor is bit-identical
+    to running the raw tensor.
+
+    Attributes
+    ----------
+    weights, plan:
+        The tensor and its tile-execution plan (plan construction is also
+        amortised away).
+    keys:
+        ``keys[segment_index][plane]`` is the ``(rows, lut_groups)`` int32
+        key matrix of that segment's bit plane; for mixed tensors the rows
+        are the plane's *active* rows only.
+    active_rows:
+        Per-plane active-row indices (``None`` for uniform tensors).
+    max_planes:
+        Planes the executor walks (``max(per_row_bits)``).
+    """
+
+    weights: BCQTensor
+    plan: TileExecutionPlan
+    keys: tuple[tuple[np.ndarray, ...], ...]
+    active_rows: tuple[np.ndarray, ...] | None
+    max_planes: int
+
+
 class MatrixProcessingUnit:
     """Planner/executor simulation of the FIGLUT MPU."""
 
@@ -189,6 +237,35 @@ class MatrixProcessingUnit:
             stats.lut_generations * generator_addition_count(cfg.mu))
         return stats
 
+    def shard_stats(self, shard: PlanShard, batch: int) -> MPURunStats:
+        """Analytic run counters for one shard of a plan.
+
+        Every counter is the shard's own share of the unsharded formulas in
+        :meth:`_stats_from_plan` — row-axis shards keep their bands' passes
+        and rows, segment-axis shards keep their segments' µ-groups, column
+        bands, and *owned* scale groups — so the counters of any shard
+        partition (either axis) sum exactly to the unsharded run's.
+        """
+        if batch < 0:
+            raise ValueError("batch must be >= 0")
+        cfg = self.config
+        stats = MPURunStats()
+        num_cbands = shard.num_column_bands
+        stats.tiles = len(shard.row_bands) * num_cbands
+        tile_plane_passes = shard.plane_passes * num_cbands
+        stats.bit_planes_processed = tile_plane_passes
+        stats.cycles = tile_plane_passes * (batch + cfg.pe_rows + cfg.pe_cols)
+        groups = shard.lut_group_total
+        row_planes = shard.plane_bits_total
+        stats.lut_generations = batch * shard.plane_passes * groups
+        stats.lut_reads = batch * row_planes * groups
+        stats.accumulations = stats.lut_reads
+        stats.scale_multiplications = batch * row_planes * len(shard.segments)
+        stats.offset_additions = shard.rows * batch * len(shard.owned_scale_groups)
+        stats.generator_additions = (
+            stats.lut_generations * generator_addition_count(cfg.mu))
+        return stats
+
     # -- shared input handling --------------------------------------------
     def _check_inputs(self, weights: BCQTensor,
                       activations: np.ndarray) -> tuple[np.ndarray, bool]:
@@ -233,21 +310,62 @@ class MatrixProcessingUnit:
         return (((patt + 1) // 2) * powers[None, None, :]).sum(axis=2)
 
     def _add_offset_terms(self, weights: BCQTensor, x: np.ndarray,
-                          y: np.ndarray) -> None:
-        """y += z_rg · Σ(x over group g), once per output (shared by both paths)."""
+                          y: np.ndarray,
+                          groups: "tuple[int, ...] | None" = None) -> None:
+        """y += z_rg · Σ(x over group g), once per output (shared by both paths).
+
+        ``groups`` restricts the sum to a shard's owned scale groups (always
+        walked in ascending group order, like the unsharded loop).
+        """
+        owned = None if groups is None else set(groups)
         for g, sl in enumerate(weights.column_groups()):
+            if owned is not None and g not in owned:
+                continue
             group_sum = x[sl, :].sum(axis=0, keepdims=True)  # (1, batch)
             y += weights.offsets[:, g][:, None] * group_sum
 
+    # -- weight-stationary preparation -------------------------------------
+    def prepare(self, weights: BCQTensor) -> PreparedWeights:
+        """Precompute the per-(segment, plane) RAC key matrices for serving.
+
+        A weight-stationary worker latches the weight tile's µ-bit patterns
+        into the RAC key registers once; this models that by packing every
+        segment's keys (and the plan itself) up front so repeated
+        :meth:`gemm` calls only touch activations.  Bit-identical to the
+        unprepared path — keys are integers.
+        """
+        cfg = self.config
+        plan = self.plan(weights)
+        powers = 1 << np.arange(cfg.mu - 1, -1, -1, dtype=np.int64)
+        max_planes, active_list = weights.plane_activity()
+        active = None if active_list is None else tuple(active_list)
+        keys: list[tuple[np.ndarray, ...]] = []
+        for seg in plan.segments:
+            per_plane = []
+            for plane in range(max_planes):
+                plane_w = weights.bitplanes[plane][:, seg.col_slice]
+                if active is not None:
+                    plane_w = plane_w[active[plane]]
+                per_plane.append(self._segment_keys(
+                    plane_w.astype(np.int64), seg, cfg.mu,
+                    powers).astype(np.int32))
+            keys.append(tuple(per_plane))
+        return PreparedWeights(weights=weights, plan=plan, keys=tuple(keys),
+                               active_rows=active, max_planes=max_planes)
+
     # -- batched executor --------------------------------------------------
-    def gemm(self, weights: BCQTensor, activations: np.ndarray,
-             accumulate_dtype: np.dtype | type = np.float64) -> tuple[np.ndarray, MPURunStats]:
+    def gemm(self, weights: "BCQTensor | PreparedWeights",
+             activations: np.ndarray,
+             accumulate_dtype: np.dtype | type = np.float64,
+             shard: PlanShard | None = None) -> tuple[np.ndarray, MPURunStats]:
         """Compute ``Y = W X`` where ``W`` is BCQ-quantized.
 
         Parameters
         ----------
         weights:
-            BCQ weight tensor of logical shape ``(M, N)``.
+            BCQ weight tensor of logical shape ``(M, N)``, or the
+            :class:`PreparedWeights` from :meth:`prepare` (bit-identical,
+            skips plan/key construction).
         activations:
             Activation matrix of shape ``(N,)`` or ``(N, batch)``.
         accumulate_dtype:
@@ -256,6 +374,14 @@ class MatrixProcessingUnit:
             uses; float64 gives a reference result).  The α scaling and the
             cross-tile/offset accumulation stay in float64, as in the seed
             model.
+        shard:
+            Optional :class:`~repro.core.dataflow.PlanShard` restricting
+            execution to one worker's slice of the plan.  A row-axis shard
+            returns the shard's rows only, ``(shard.rows, batch)``,
+            bit-exact against the same rows of the unsharded result; a
+            segment-axis shard returns a dense ``(M, batch)`` partial
+            covering its column segments plus its owned offset terms.
+            Either way ``stats`` is the shard's exact additive share.
 
         Returns
         -------
@@ -264,27 +390,76 @@ class MatrixProcessingUnit:
             ``stats`` is derived analytically from the execution plan and is
             identical to the counters :meth:`gemm_reference` increments.
         """
-        cfg = self.config
+        prepared: PreparedWeights | None = None
+        if isinstance(weights, PreparedWeights):
+            prepared, weights = weights, weights.weights
         x, squeeze = self._check_inputs(weights, activations)
         m, _ = weights.shape
         batch = x.shape[1]
         acc_dtype = np.dtype(accumulate_dtype)
 
-        plan = self.plan(weights)
-        stats = self._stats_from_plan(plan, batch)
+        if shard is not None:
+            if (shard.plan.m, shard.plan.n) != weights.shape:
+                raise ValueError(
+                    f"shard plan shape ({shard.plan.m}, {shard.plan.n}) does "
+                    f"not match weights {weights.shape}")
+            if shard.axis == "rows":
+                # A row-band shard is exactly the plan of the row-sliced
+                # tensor (bands are independent), so execute that: the
+                # per-element addition sequences — and hence the bits — are
+                # identical to the same rows of an unsharded run.
+                if prepared is not None:
+                    raise ValueError(
+                        "row-axis shards execute a row-sliced tensor; "
+                        "prepare() the slice held by the worker instead")
+                y, stats = self.gemm(weights.take_rows(shard.row_indices), x,
+                                     accumulate_dtype=accumulate_dtype)
+                return (y[:, 0], stats) if squeeze else (y, stats)
+            stats = self.shard_stats(shard, batch)
+            segments = shard.segments
+            segment_indices = shard.segment_indices
+            offset_groups: tuple[int, ...] | None = shard.owned_scale_groups
+        else:
+            plan = prepared.plan if prepared is not None else self.plan(weights)
+            stats = self._stats_from_plan(plan, batch)
+            segments = plan.segments
+            segment_indices = tuple(range(len(plan.segments)))
+            offset_groups = None
+
         y = np.zeros((m, batch), dtype=np.float64)
+        self._execute_segments(weights, x, segments, segment_indices,
+                               acc_dtype, y, prepared)
+        self._add_offset_terms(weights, x, y, groups=offset_groups)
+
+        if squeeze:
+            return y[:, 0], stats
+        return y, stats
+
+    def _execute_segments(self, weights: BCQTensor, x: np.ndarray,
+                          segments, segment_indices, acc_dtype: np.dtype,
+                          y: np.ndarray,
+                          prepared: PreparedWeights | None) -> None:
+        """Accumulate the given column segments' contributions into ``y``.
+
+        Shared by the full executor and the segment-shard path; the segment
+        order (ascending columns) and every elementwise operation match the
+        scalar reference, so per-element results depend only on *which*
+        segments run, not on how they were dispatched.
+        """
+        cfg = self.config
+        batch = x.shape[1]
         powers = 1 << np.arange(cfg.mu - 1, -1, -1, dtype=np.int64)
 
         # Per-plane active rows: in a mixed-precision tensor a row sits out
         # every plane at or beyond its own bit count.  Uniform tensors take
         # the unmasked path (no fancy indexing on the hot loop).
-        row_bits = np.asarray(weights.per_row_bits, dtype=np.int64)
-        max_planes = int(row_bits.max()) if row_bits.size else 0
-        uniform = bool(row_bits.size) and bool((row_bits == max_planes).all())
-        if not uniform:
-            active_rows = [np.flatnonzero(row_bits > p) for p in range(max_planes)]
+        if prepared is not None:
+            max_planes, active_rows = prepared.max_planes, prepared.active_rows
+        else:
+            max_planes, active_rows = weights.plane_activity()
+        uniform = active_rows is None
 
-        for seg in plan.segments:
+        for seg_pos, seg in zip(segment_indices, segments):
             # One LUT table per (µ-group, batch column), built once for the
             # segment and reused by every bit plane and every row tile (the
             # table contents depend only on the activations; the hardware
@@ -293,14 +468,17 @@ class MatrixProcessingUnit:
             luts = build_lut_tables(xg.transpose(0, 2, 1), dtype=acc_dtype)
             # luts: (G, B, 2^µ)
             for plane in range(max_planes):
-                if uniform:
+                if prepared is not None:
+                    keys = prepared.keys[seg_pos][plane]       # (rows, G)
+                elif uniform:
                     plane_w = weights.bitplanes[plane][:, seg.col_slice].astype(np.int64)
+                    keys = self._segment_keys(plane_w, seg, cfg.mu, powers)
                 else:
                     rows_idx = active_rows[plane]
                     # Column-slice first (a view), then gather the active
                     # rows, so only the segment's width is ever copied.
                     plane_w = weights.bitplanes[plane][:, seg.col_slice][rows_idx].astype(np.int64)
-                keys = self._segment_keys(plane_w, seg, cfg.mu, powers)  # (rows, G)
+                    keys = self._segment_keys(plane_w, seg, cfg.mu, powers)
                 partial = np.zeros((batch, keys.shape[0]), dtype=acc_dtype)
                 for g in range(seg.lut_groups):
                     # Gather the RAC reads for every (batch, row) pair and
@@ -311,14 +489,9 @@ class MatrixProcessingUnit:
                     alpha = weights.scales[plane][:, seg.scale_group]  # (m,)
                     y += alpha[:, None] * partial.T.astype(np.float64)
                 else:
+                    rows_idx = active_rows[plane]
                     alpha = weights.scales[plane][rows_idx, seg.scale_group]
                     y[rows_idx] += alpha[:, None] * partial.T.astype(np.float64)
-
-        self._add_offset_terms(weights, x, y)
-
-        if squeeze:
-            return y[:, 0], stats
-        return y, stats
 
     # -- retained scalar reference ----------------------------------------
     def gemm_reference(self, weights: BCQTensor, activations: np.ndarray,

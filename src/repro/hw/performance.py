@@ -15,7 +15,11 @@ Bit-serial engines can additionally be evaluated **plan-driven**: pass
 e.g. from :func:`plans_for_workload` or ``QuantizedLM.layer_plan``) and the
 compute cycles, energy, and memory traffic all derive from the scheduled
 per-row plane counts — the path that makes mixed-precision (FIGLUT-Q2.4)
-numbers real instead of a fractional ``weight_bits`` approximation.
+numbers real instead of a fractional ``weight_bits`` approximation.  On
+that path the MPU utilization is likewise derived from the schedule by
+default (:func:`plan_utilization`: ragged edge tiles, padded final
+µ-groups, band-max plane passes versus Σ per-row bits); the scalar
+``utilization`` knob remains as an explicit override.
 """
 
 from __future__ import annotations
@@ -30,7 +34,8 @@ from repro.hw.engines import HardwareEngineModel
 from repro.hw.memory import GEMMWorkloadShape, MemorySystemModel, MemoryTraffic
 
 __all__ = ["WorkloadResult", "evaluate_workload", "EngineComparison",
-           "compare_engines", "plans_for_workload", "per_row_bits_for_average"]
+           "compare_engines", "plans_for_workload", "per_row_bits_for_average",
+           "plan_utilization"]
 
 
 @dataclass
@@ -50,6 +55,7 @@ class WorkloadResult:
     sram_energy_pj: float
     dram_energy_pj: float
     mpu_area_mm2: float
+    utilization: float = 1.0
 
     @property
     def total_energy_pj(self) -> float:
@@ -132,11 +138,42 @@ def plans_for_workload(shapes: Sequence[GEMMWorkloadShape],
     return plans
 
 
+def plan_utilization(plans: Sequence[TileExecutionPlan],
+                     shapes: Sequence[GEMMWorkloadShape]) -> float:
+    """MAC-slot utilization implied by a workload's tile-execution plans.
+
+    A systolic pass occupies the full ``tile_m`` output rows and all of a
+    column band's (µ-padded) LUT groups for every plane a row *band*
+    executes, so the scheduled slots are::
+
+        Σ_plan  plane_passes × tile_m × lut_group_total × µ × batch
+
+    while the useful binary weight operations are only
+    ``Σ plane_bits_total × n × batch``.  The ratio folds in the three
+    schedule overheads the scalar ``utilization`` knob used to approximate:
+    ragged edge tiles (a short row band still occupies ``tile_m`` rows),
+    padded final µ-groups (a segment's last LUT group streams µ columns
+    regardless of width), and band-max plane passes (every row of a band
+    rides its widest row's passes, contributing only its own planes).
+    """
+    if len(plans) != len(shapes):
+        raise ValueError("plans must align one-to-one with shapes")
+    useful = 0.0
+    slots = 0.0
+    for plan, shape in zip(plans, shapes):
+        useful += plan.plane_bits_total * plan.n * shape.batch
+        slots += (plan.plane_passes * plan.tiling.tile_m
+                  * plan.lut_group_total * plan.mu * shape.batch)
+    if slots <= 0:
+        return 1.0
+    return useful / slots
+
+
 def evaluate_workload(engine: HardwareEngineModel,
                       shapes: list[GEMMWorkloadShape],
                       weight_bits: float,
                       memory: MemorySystemModel | None = None,
-                      utilization: float = 1.0,
+                      utilization: float | None = None,
                       plans: "Sequence[TileExecutionPlan] | None" = None) -> WorkloadResult:
     """Run the analytical model of one engine over a GEMM workload.
 
@@ -154,8 +191,13 @@ def evaluate_workload(engine: HardwareEngineModel,
     memory:
         Memory-system model; a default 32 GB/s DRAM + 28nm SRAM if omitted.
     utilization:
-        Fraction of peak MAC throughput sustained by the MPU (models tiling
-        edge effects); 1.0 reproduces the paper's iso-peak comparison.
+        Fraction of peak MAC throughput sustained by the MPU.  ``None``
+        (the default) derives it from the schedule when ``plans`` is given
+        (:func:`plan_utilization`: ragged edge tiles, padded final
+        µ-groups, band-max plane passes) and otherwise uses 1.0, the
+        paper's iso-peak comparison.  Pass an explicit scalar to override
+        either path (e.g. ``utilization=1.0`` for iso-peak plan-driven
+        numbers).
     plans:
         Optional tile-execution plans, one per shape (bit-serial engines
         only).  Compute cycles and energy then count the scheduled binary
@@ -165,7 +207,7 @@ def evaluate_workload(engine: HardwareEngineModel,
     """
     if not shapes:
         raise ValueError("workload must contain at least one GEMM")
-    if not 0.0 < utilization <= 1.0:
+    if utilization is not None and not 0.0 < utilization <= 1.0:
         raise ValueError("utilization must be in (0, 1]")
     memory = memory or MemorySystemModel(tech=engine.tech)
 
@@ -179,21 +221,24 @@ def evaluate_workload(engine: HardwareEngineModel,
                 "datapath width and cannot execute a per-row-plane schedule")
         if len(plans) != len(shapes):
             raise ValueError("plans must align one-to-one with shapes")
+        used_utilization = (plan_utilization(plans, shapes)
+                            if utilization is None else utilization)
         # Scheduled binary weight operations: each row streams only its own
         # planes, Σ_r per_row_bits[r] × n per batch column.
         binary_ops = float(sum(p.plane_bits_total * p.n * s.batch
                                for p, s in zip(plans, shapes)))
         weight_elems = float(sum(s.m * s.n for s in shapes))
         mean_bits = sum(p.plane_bits_total * p.n for p in plans) / weight_elems
-        cycles = binary_ops / engine.binary_weight_lanes() / utilization
+        cycles = binary_ops / engine.binary_weight_lanes() / used_utilization
         compute_energy = engine.compute_energy_per_binary_op(mean_bits) * binary_ops
         traffic: MemoryTraffic = memory.traffic_for_workload(
             shapes, mean_bits, engine.activation_format,
             bcq=engine.supports_bcq, plans=list(plans))
         reported_bits = mean_bits
     else:
+        used_utilization = 1.0 if utilization is None else utilization
         hardware_bits = engine.effective_weight_bits(weight_bits)
-        cycles = engine.cycles_for_macs(total_macs, hardware_bits) / utilization
+        cycles = engine.cycles_for_macs(total_macs, hardware_bits) / used_utilization
         compute_energy = engine.compute_energy_per_mac(hardware_bits) * total_macs
         # Bit-serial engines fetch exactly the stored bit-planes; fixed-
         # precision engines consume (and therefore fetch) weights padded to
@@ -226,6 +271,7 @@ def evaluate_workload(engine: HardwareEngineModel,
         sram_energy_pj=sram_energy,
         dram_energy_pj=dram_energy,
         mpu_area_mm2=engine.area_breakdown().total_mm2,
+        utilization=used_utilization,
     )
 
 

@@ -239,6 +239,46 @@ class QuantizedLM:
             total = total.merge(self.layer_mpu_stats(name, batch, mpu_config))
         return total
 
+    def bcq_views(self) -> dict[str, BCQTensor]:
+        """BCQ view of every quantized weight matrix, keyed by layer name.
+
+        This is the weight set a sharded serving pool
+        (:class:`repro.serve.workers.ShardedMPUPool`) pins across its
+        workers; uniform tensors are converted at most once through the
+        shared :meth:`_bcq_view` memo.
+        """
+        return {name: self._bcq_view(name) for name in self.quantized_weights}
+
+    def matmul_via(self, gemm) -> "callable":
+        """A transformer ``matmul`` hook routing weight GEMMs through ``gemm``.
+
+        ``gemm(name, flat)`` receives the layer name and activations of
+        shape ``(in_features, batch)`` and returns ``(out_features,
+        batch)`` — e.g. a sharded pool dispatch.  Matrices that were not
+        quantized fall back to the dense product, exactly like
+        :meth:`matmul`.  This is the sharded forward path: ``model.forward
+        (tokens, matmul=qlm.matmul_via(pool_gemm))``.
+        """
+        def hook(name: str, x: np.ndarray, weight: np.ndarray) -> np.ndarray:
+            if name not in self.quantized_weights:
+                return x @ weight.T
+            lead_shape = x.shape[:-1]
+            flat = x.reshape(-1, x.shape[-1]).T  # (in_features, batch*seq)
+            out = gemm(name, flat)               # (out_features, batch*seq)
+            return out.T.reshape(*lead_shape, -1)
+        return hook
+
+    def logits(self, tokens: np.ndarray, matmul=None) -> np.ndarray:
+        """Forward-pass logits ``(batch, seq, vocab)`` through the engine.
+
+        ``matmul`` overrides the GEMM hook (defaults to :meth:`matmul`),
+        letting a serving front-end route the same model through a sharded
+        pool via :meth:`matmul_via`.
+        """
+        logits, _ = self.model.forward(np.asarray(tokens, dtype=np.int64),
+                                       matmul=matmul or self.matmul)
+        return logits
+
     def matmul(self, name: str, x: np.ndarray, weight: np.ndarray) -> np.ndarray:
         """The transformer forward hook: ``x @ W.T`` through the engine.
 

@@ -157,6 +157,49 @@ class BCQTensor:
         return [slice(g * self.group_size, min((g + 1) * self.group_size, cols))
                 for g in range(self.n_groups)]
 
+    def plane_activity(self) -> "tuple[int, list[np.ndarray] | None]":
+        """Executed plane count and per-plane active rows.
+
+        Returns ``(max_planes, active_rows)`` where ``active_rows`` is
+        ``None`` for uniform tensors (every row holds every plane — consumers
+        take their unmasked hot path) and otherwise lists, per plane ``p``,
+        the rows with ``per_row_bits > p``.  This is the single source of
+        the mixed-precision row gating shared by the functional engines and
+        the MPU executor: by the zero-scale padding invariant a skipped
+        (row, plane) would contribute exactly ``0 × ±1``.
+        """
+        row_bits = np.asarray(self.per_row_bits, dtype=np.int64)
+        max_planes = int(row_bits.max()) if row_bits.size else 0
+        if row_bits.size and bool((row_bits == max_planes).all()):
+            return max_planes, None
+        return max_planes, [np.flatnonzero(row_bits > p) for p in range(max_planes)]
+
+    def take_rows(self, rows: "np.ndarray | Sequence[int] | slice") -> "BCQTensor":
+        """A new tensor holding only the given output rows.
+
+        The row axis of a BCQ tensor is fully independent — bit planes,
+        scales, offsets and ``per_row_bits`` all slice along it without
+        touching the column/group structure — so a row slice quantizes,
+        dequantizes and executes exactly like the same rows inside the full
+        tensor.  Sliced arrays are materialised contiguously: this is the
+        per-worker weight pinning primitive of the sharded serving pool.
+        """
+        if isinstance(rows, slice):
+            rows = np.arange(*rows.indices(self.shape[0]), dtype=np.int64)
+        else:
+            rows = np.asarray(rows)
+            if rows.dtype == bool:
+                rows = np.flatnonzero(rows)
+            rows = rows.astype(np.int64, copy=False)
+        return BCQTensor(
+            bitplanes=np.ascontiguousarray(self.bitplanes[:, rows, :]),
+            scales=np.ascontiguousarray(self.scales[:, rows, :]),
+            offsets=np.ascontiguousarray(self.offsets[rows, :]),
+            group_size=self.group_size,
+            shape=(int(rows.size), self.shape[1]),
+            per_row_bits=np.asarray(self.per_row_bits)[rows].copy(),
+        )
+
 
 def _greedy_bcq(block: np.ndarray, bits: int) -> tuple[np.ndarray, np.ndarray]:
     """Greedy residual BCQ for a 1-D block: returns (B, alpha).

@@ -1,0 +1,43 @@
+"""Sharded, async-batched inference serving over the tile-execution core.
+
+The scale-out leg of the reproduction: the functional FIGLUT model becomes a
+servable engine by (1) partitioning each layer's tile-execution plan into
+balanced per-worker shards (:mod:`repro.serve.sharding`), (2) pinning the
+sharded weights — and their weight-stationary RAC keys — in a concurrent
+worker pool (:mod:`repro.serve.workers`), (3) coalescing single-request
+traffic into micro-batches that share one engine pass
+(:mod:`repro.serve.batching`), and (4) gluing it together over a
+:class:`~repro.models.quantized_model.QuantizedLM` with per-request latency
+and plan-exact modelled-cycle accounting (:mod:`repro.serve.server`).
+
+Quickstart (see ``examples/serve_quickstart.py`` for the full client)::
+
+    import asyncio
+    from repro.serve import BatchPolicy, InferenceServer
+
+    server = InferenceServer(qlm, num_shards=2,
+                             policy=BatchPolicy(max_batch=8, max_wait_us=500))
+
+    async def client(tokens):
+        result = await server.submit(tokens)
+        return result.logits
+
+    asyncio.run(client(my_tokens))
+"""
+
+from repro.serve.batching import AsyncBatcher, BatcherStats, BatchPolicy
+from repro.serve.server import InferenceResult, InferenceServer, ServerMetrics
+from repro.serve.sharding import merge_shard_outputs, shard_plan
+from repro.serve.workers import ShardedMPUPool
+
+__all__ = [
+    "AsyncBatcher",
+    "BatcherStats",
+    "BatchPolicy",
+    "InferenceResult",
+    "InferenceServer",
+    "ServerMetrics",
+    "ShardedMPUPool",
+    "merge_shard_outputs",
+    "shard_plan",
+]

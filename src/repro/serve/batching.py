@@ -1,0 +1,164 @@
+"""Async micro-batching: coalesce single-row requests into engine passes.
+
+LUT-based weight-stationary execution amortises best when many small
+requests share one engine pass — the LUT tables and the per-segment Python
+dispatch are built once per pass no matter how many batch columns ride it.
+:class:`AsyncBatcher` provides the serving-side half of that bargain: an
+:mod:`asyncio` front-end that queues incoming requests, dispatches a batch
+as soon as either ``max_batch`` requests are waiting or the oldest request
+has waited ``max_wait_us``, runs the user's batch function in a thread
+executor (keeping the event loop free to accept more requests), and fans
+the per-request results back to their awaiting futures.
+
+The batcher is deliberately generic — items are opaque and ``run_batch``
+maps a list of items to an equal-length list of results — so the same
+machinery batches raw GEMM rows in tests and token sequences in
+:class:`repro.serve.server.InferenceServer`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+__all__ = ["BatchPolicy", "BatcherStats", "AsyncBatcher"]
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """When to close a micro-batch.
+
+    Attributes
+    ----------
+    max_batch:
+        Dispatch as soon as this many requests are queued.
+    max_wait_us:
+        Dispatch a partial batch once the oldest queued request has waited
+        this long (microseconds).  ``0`` dispatches every request
+        immediately (batching disabled).
+    """
+
+    max_batch: int = 8
+    max_wait_us: float = 1000.0
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.max_wait_us < 0:
+            raise ValueError("max_wait_us must be >= 0")
+
+
+@dataclass
+class BatcherStats:
+    """Dispatch accounting of one :class:`AsyncBatcher` (O(1) memory)."""
+
+    requests: int = 0
+    batches: int = 0
+    max_batch_size: int = 0
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.requests / self.batches if self.batches else 0.0
+
+
+class AsyncBatcher:
+    """Coalesce awaited ``submit`` calls into ``run_batch`` invocations.
+
+    Parameters
+    ----------
+    run_batch:
+        ``run_batch(items) -> results`` with ``len(results) == len(items)``;
+        executed in the event loop's default thread executor so NumPy-bound
+        batches overlap with request admission.
+    policy:
+        The ``max_batch`` / ``max_wait_us`` dispatch policy.
+
+    All methods must be called from a single running event loop; the
+    batcher binds no loop at construction, so one batcher can serve
+    successive ``asyncio.run`` invocations as long as it is drained
+    (:meth:`flush`) before each loop closes.
+    """
+
+    def __init__(self, run_batch: Callable[[list[Any]], Sequence[Any]],
+                 policy: BatchPolicy | None = None) -> None:
+        self._run_batch = run_batch
+        self.policy = policy or BatchPolicy()
+        self.stats = BatcherStats()
+        self._pending: list[tuple[Any, asyncio.Future]] = []
+        self._timer: asyncio.TimerHandle | None = None
+        self._inflight: set[asyncio.Task] = set()
+        self._closed = False
+
+    @property
+    def pending(self) -> int:
+        return len(self._pending)
+
+    async def submit(self, item: Any) -> Any:
+        """Queue one request and await its result."""
+        if self._closed:
+            raise RuntimeError("batcher is closed")
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._pending.append((item, future))
+        if len(self._pending) >= self.policy.max_batch or self.policy.max_wait_us == 0:
+            self._dispatch(loop)
+        elif self._timer is None:
+            self._timer = loop.call_later(self.policy.max_wait_us / 1e6,
+                                          self._dispatch, loop)
+        return await future
+
+    def _dispatch(self, loop: asyncio.AbstractEventLoop) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if not self._pending:
+            return
+        batch = self._pending[: self.policy.max_batch]
+        del self._pending[: len(batch)]
+        if self._pending:
+            # More than max_batch queued (timer fired late): keep draining.
+            self._timer = loop.call_later(0.0, self._dispatch, loop)
+        task = loop.create_task(self._run(batch))
+        self._inflight.add(task)
+        task.add_done_callback(self._inflight.discard)
+
+    async def _run(self, batch: list[tuple[Any, asyncio.Future]]) -> None:
+        loop = asyncio.get_running_loop()
+        items = [item for item, _ in batch]
+        try:
+            results = list(await loop.run_in_executor(None, self._run_batch, items))
+            if len(results) != len(items):
+                raise RuntimeError(
+                    f"run_batch returned {len(results)} results for "
+                    f"{len(items)} items")
+        except Exception as exc:
+            for _, future in batch:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        self.stats.requests += len(items)
+        self.stats.batches += 1
+        self.stats.max_batch_size = max(self.stats.max_batch_size, len(items))
+        for (_, future), result in zip(batch, results):
+            if not future.done():
+                future.set_result(result)
+
+    async def flush(self) -> None:
+        """Dispatch anything queued and wait for all in-flight batches."""
+        loop = asyncio.get_running_loop()
+        while self._pending or self._inflight:
+            self._dispatch(loop)
+            if self._inflight:
+                await asyncio.gather(*tuple(self._inflight),
+                                     return_exceptions=True)
+            else:  # pragma: no cover - pending without runnable batch
+                await asyncio.sleep(0)
+
+    async def aclose(self) -> None:
+        """Drain and refuse further submissions."""
+        await self.flush()
+        self._closed = True
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None

@@ -1,0 +1,218 @@
+"""Sharded, async-batched inference serving over a quantized LM.
+
+:class:`InferenceServer` is the top of the serving stack: requests (token
+sequences) are coalesced by an :class:`~repro.serve.batching.AsyncBatcher`
+into micro-batches, each micro-batch runs one transformer forward pass
+whose weight GEMMs are dispatched — layer by layer — across the pinned
+workers of a :class:`~repro.serve.workers.ShardedMPUPool`, and the
+per-request logits fan back out with per-request latency recorded.
+
+The pipeline ``submit → batch → per-layer sharded GEMM → de-batch`` is
+bit-transparent on the default row shard axis: the MPU executor is
+batch-column-independent and the transformer's elementwise/attention ops
+are per-sequence, so the logits a request receives are identical whether it
+rode a micro-batch or ran alone (:meth:`InferenceServer.run_solo`), and
+identical to an unsharded single-process run.
+
+Accounting reuses the analytic plan counters: every pooled GEMM returns its
+merged (exactly additive) :class:`~repro.core.mpu.MPURunStats`, so the
+server's aggregate modelled cycles equal the unsharded
+``QuantizedLM.model_mpu_stats`` totals for the batches it actually ran —
+plan-exact under sharding — alongside the measured wall-clock latency
+percentiles and throughput.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.mpu import MPUConfig, MPURunStats
+from repro.models.quantized_model import QuantizedLM
+from repro.serve.batching import AsyncBatcher, BatchPolicy
+from repro.serve.workers import ShardedMPUPool
+
+__all__ = ["InferenceResult", "ServerMetrics", "InferenceServer"]
+
+
+@dataclass(frozen=True)
+class InferenceResult:
+    """One served request: its logits and how the batch treated it."""
+
+    request_id: int
+    logits: np.ndarray          # (seq, vocab)
+    latency_s: float
+    batch_size: int             # requests sharing the forward pass
+
+
+# Latency samples retained for the percentile estimates; a bounded window
+# keeps a long-lived server's memory O(1) while p50/p99 track recent traffic.
+LATENCY_WINDOW = 4096
+
+
+@dataclass
+class ServerMetrics:
+    """Aggregate accounting across every request a server handled.
+
+    Counters are exact over the server's lifetime; ``latencies_s`` is a
+    sliding window of the most recent :data:`LATENCY_WINDOW` requests, so
+    the reported percentiles follow current traffic at bounded memory.
+    """
+
+    requests: int = 0
+    batches: int = 0
+    tokens: int = 0
+    latencies_s: "deque[float]" = field(
+        default_factory=lambda: deque(maxlen=LATENCY_WINDOW))
+    mpu_stats: MPURunStats = field(default_factory=MPURunStats)
+    started_at: float | None = None
+    finished_at: float | None = None
+
+    def latency_percentile(self, q: float) -> float:
+        if not self.latencies_s:
+            return 0.0
+        return float(np.percentile(np.asarray(self.latencies_s), q))
+
+    @property
+    def p50_latency_s(self) -> float:
+        return self.latency_percentile(50.0)
+
+    @property
+    def p99_latency_s(self) -> float:
+        return self.latency_percentile(99.0)
+
+    @property
+    def elapsed_s(self) -> float:
+        if self.started_at is None or self.finished_at is None:
+            return 0.0
+        return max(self.finished_at - self.started_at, 0.0)
+
+    @property
+    def tokens_per_second(self) -> float:
+        elapsed = self.elapsed_s
+        return self.tokens / elapsed if elapsed > 0 else 0.0
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.requests / self.batches if self.batches else 0.0
+
+
+class InferenceServer:
+    """Async-batched, sharded inference over a :class:`QuantizedLM`.
+
+    Parameters
+    ----------
+    qlm:
+        The quantized model; its BCQ weight views are pinned across the
+        pool's workers, its transformer runs the forward pass.
+    num_shards, mpu_config, backend, accumulate_dtype, pin_keys, axis:
+        Forwarded to :class:`~repro.serve.workers.ShardedMPUPool`.
+    policy:
+        Micro-batching policy (:class:`~repro.serve.batching.BatchPolicy`).
+    """
+
+    def __init__(self, qlm: QuantizedLM, num_shards: int = 2,
+                 policy: BatchPolicy | None = None,
+                 mpu_config: MPUConfig | None = None, backend: str = "thread",
+                 accumulate_dtype: "np.dtype | type" = np.float64,
+                 pin_keys: bool = True, axis: str = "rows") -> None:
+        self.qlm = qlm
+        self.pool = ShardedMPUPool(qlm.bcq_views(), num_shards=num_shards,
+                                   mpu_config=mpu_config, backend=backend,
+                                   accumulate_dtype=accumulate_dtype,
+                                   pin_keys=pin_keys, axis=axis)
+        self.metrics = ServerMetrics()
+        self.batcher = AsyncBatcher(self._run_batch, policy)
+        self._hook = qlm.matmul_via(self._pool_gemm)
+        self._lock = threading.Lock()
+        self._next_id = 0
+
+    # -- the sharded forward path -----------------------------------------
+    def _pool_gemm(self, name: str, flat: np.ndarray) -> np.ndarray:
+        y, stats = self.pool.gemm(name, flat)
+        with self._lock:
+            self.metrics.mpu_stats = self.metrics.mpu_stats.merge(stats)
+        return y
+
+    def forward(self, tokens: np.ndarray) -> np.ndarray:
+        """Logits ``(batch, seq, vocab)`` with every weight GEMM sharded."""
+        return self.qlm.logits(tokens, matmul=self._hook)
+
+    # -- batching ----------------------------------------------------------
+    def _run_batch(self, items: list[np.ndarray]) -> list[tuple[np.ndarray, int]]:
+        """One micro-batch: stack same-length requests, forward, de-batch.
+
+        Requests of different lengths fall into separate stacks (the
+        substrate transformer has no padding/attention-mask path), each
+        still amortising one forward per length.
+        """
+        results: list = [None] * len(items)
+        by_length: dict[int, list[int]] = {}
+        for i, tokens in enumerate(items):
+            by_length.setdefault(len(tokens), []).append(i)
+        total_tokens = 0
+        for _, indices in sorted(by_length.items()):
+            stacked = np.stack([items[i] for i in indices])
+            logits = self.forward(stacked)
+            total_tokens += stacked.size
+            for row, i in enumerate(indices):
+                results[i] = (logits[row], len(indices))
+        with self._lock:
+            self.metrics.batches += len(by_length)
+            self.metrics.tokens += total_tokens
+        return results
+
+    @staticmethod
+    def _check_request(tokens) -> np.ndarray:
+        arr = np.asarray(tokens, dtype=np.int64)
+        if arr.ndim != 1 or arr.size == 0:
+            raise ValueError("a request is a non-empty 1-D token sequence")
+        return arr
+
+    async def submit(self, tokens: np.ndarray) -> InferenceResult:
+        """Serve one request through the batcher; await its logits."""
+        arr = self._check_request(tokens)
+        with self._lock:
+            request_id = self._next_id
+            self._next_id += 1
+            if self.metrics.started_at is None:
+                self.metrics.started_at = time.perf_counter()
+        t0 = time.perf_counter()
+        logits, batch_size = await self.batcher.submit(arr)
+        latency = time.perf_counter() - t0
+        with self._lock:
+            self.metrics.requests += 1
+            self.metrics.latencies_s.append(latency)
+            self.metrics.finished_at = time.perf_counter()
+        return InferenceResult(request_id=request_id, logits=logits,
+                               latency_s=latency, batch_size=batch_size)
+
+    # -- baselines / lifecycle --------------------------------------------
+    def run_solo(self, tokens: np.ndarray) -> np.ndarray:
+        """One request through the same sharded pool, no batching.
+
+        The sequential baseline the throughput benchmark compares against;
+        returns logits ``(seq, vocab)`` bit-identical to what the same
+        request receives from :meth:`submit` inside any micro-batch.
+        Updates only the modelled GEMM counters, not the request metrics.
+        """
+        arr = self._check_request(tokens)
+        return self.forward(arr[None])[0]
+
+    async def aclose(self) -> None:
+        await self.batcher.aclose()
+        self.pool.close()
+
+    def close(self) -> None:
+        """Synchronous shutdown (pool only; call :meth:`aclose` in a loop)."""
+        self.pool.close()
+
+    def __enter__(self) -> "InferenceServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

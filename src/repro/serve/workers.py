@@ -1,0 +1,343 @@
+"""Sharded MPU worker pool: pinned per-worker weights, concurrent shards.
+
+A :class:`ShardedMPUPool` turns the single-process
+:class:`~repro.core.mpu.MatrixProcessingUnit` into a scale-out executor:
+every layer's tile-execution plan is cut into balanced
+:class:`~repro.core.dataflow.PlanShard` slices (:func:`repro.serve.sharding.
+shard_plan`) and each worker *pins* its slice of every layer — the
+row-sliced BCQ tensor plus, by default, the
+:class:`~repro.core.mpu.PreparedWeights` key matrices, the weight-stationary
+state a real accelerator would keep latched in its RAC key registers.  A
+``gemm(name, x)`` call broadcasts the activations, executes the shards
+concurrently, and reduces with :func:`repro.serve.sharding.
+merge_shard_outputs` — bit-exact against the unsharded MPU on the default
+row axis, with exactly additive :class:`~repro.core.mpu.MPURunStats`.
+
+Backends
+--------
+``"thread"`` (default)
+    A persistent :class:`concurrent.futures.ThreadPoolExecutor`, one worker
+    per shard.  The executor is NumPy-bound and the heavy kernels release
+    the GIL, so threads add concurrency without copying the activations.
+``"serial"``
+    In-line loop over the shards; deterministic and dependency-free, the
+    baseline the equivalence tests compare against.
+``"process"``
+    Opt-in :mod:`multiprocessing` workers holding their pinned weight
+    slices in :mod:`multiprocessing.shared_memory` buffers (one copy per
+    worker slice, zero-copy view inside the worker).  Row axis only;
+    activations travel by pickle per request.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.dataflow import PlanShard, TileExecutionPlan
+from repro.core.mpu import MatrixProcessingUnit, MPUConfig, MPURunStats, PreparedWeights
+from repro.quant.bcq import BCQTensor
+from repro.serve.sharding import merge_shard_outputs, shard_plan
+
+__all__ = ["ShardedMPUPool"]
+
+_PROCESS_TIMEOUT_S = 120.0
+
+
+@dataclass
+class _PinnedShard:
+    """One worker's resident state for one layer (thread/serial backends)."""
+
+    shard: PlanShard
+    weights: "BCQTensor | PreparedWeights"
+
+    def run(self, mpu: MatrixProcessingUnit, x: np.ndarray,
+            accumulate_dtype) -> tuple[np.ndarray, MPURunStats]:
+        if self.shard.axis == "rows":
+            # The pinned tensor is already the row slice; run it directly.
+            return mpu.gemm(self.weights, x, accumulate_dtype=accumulate_dtype)
+        return mpu.gemm(self.weights, x, accumulate_dtype=accumulate_dtype,
+                        shard=self.shard)
+
+
+def _shm_arrays(tensor: BCQTensor):
+    """The arrays a worker process needs to rebuild a BCQTensor."""
+    return {
+        "bitplanes": np.ascontiguousarray(tensor.bitplanes),
+        "scales": np.ascontiguousarray(tensor.scales),
+        "offsets": np.ascontiguousarray(tensor.offsets),
+        "per_row_bits": np.ascontiguousarray(
+            np.asarray(tensor.per_row_bits, dtype=np.int64)),
+    }
+
+
+def _process_worker_main(conn, layer_specs, mpu_config, acc_dtype_name,
+                         pin_keys) -> None:
+    """Worker-process loop: attach pinned slices, serve GEMM requests.
+
+    ``layer_specs`` maps layer name to ``(array_specs, group_size, shape)``
+    where each array spec is ``(shm_name, shape, dtype_str)``.  The worker
+    owns no shared-memory lifetime — the parent unlinks on close.
+    """
+    from multiprocessing import shared_memory
+
+    blocks = []
+    tensors: dict[str, BCQTensor] = {}
+    try:
+        for name, (array_specs, group_size, shape) in layer_specs.items():
+            arrays = {}
+            for field_name, (shm_name, arr_shape, dtype_str) in array_specs.items():
+                shm = shared_memory.SharedMemory(name=shm_name)
+                blocks.append(shm)
+                arrays[field_name] = np.ndarray(arr_shape, dtype=np.dtype(dtype_str),
+                                                buffer=shm.buf)
+            tensors[name] = BCQTensor(
+                bitplanes=arrays["bitplanes"], scales=arrays["scales"],
+                offsets=arrays["offsets"], group_size=group_size,
+                shape=tuple(shape), per_row_bits=arrays["per_row_bits"])
+        mpu = MatrixProcessingUnit(mpu_config)
+        acc_dtype = np.dtype(acc_dtype_name)
+        pinned: dict[str, "BCQTensor | PreparedWeights"] = (
+            {name: mpu.prepare(t) for name, t in tensors.items()}
+            if pin_keys else dict(tensors))
+        conn.send("ready")
+        while True:
+            msg = conn.recv()
+            if msg is None:
+                break
+            name, x = msg
+            try:
+                y, stats = mpu.gemm(pinned[name], x, accumulate_dtype=acc_dtype)
+                conn.send((y, stats))
+            except Exception as exc:  # surface worker errors to the parent
+                conn.send(exc)
+    finally:
+        for shm in blocks:
+            shm.close()
+        conn.close()
+
+
+class _ProcessWorker:
+    """Parent-side handle of one pinned worker process."""
+
+    def __init__(self, ctx, slices: dict[str, BCQTensor],
+                 mpu_config: MPUConfig, acc_dtype: np.dtype, pin_keys: bool) -> None:
+        from multiprocessing import shared_memory
+
+        self._shm: list = []
+        layer_specs = {}
+        for name, tensor in slices.items():
+            array_specs = {}
+            for field_name, arr in _shm_arrays(tensor).items():
+                shm = shared_memory.SharedMemory(create=True,
+                                                 size=max(arr.nbytes, 1))
+                view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
+                view[...] = arr
+                self._shm.append(shm)
+                array_specs[field_name] = (shm.name, arr.shape, arr.dtype.str)
+            layer_specs[name] = (array_specs, tensor.group_size, tensor.shape)
+        self._conn, child_conn = ctx.Pipe()
+        self._proc = ctx.Process(
+            target=_process_worker_main,
+            args=(child_conn, layer_specs, mpu_config, acc_dtype.name, pin_keys),
+            daemon=True)
+        self._proc.start()
+        child_conn.close()
+        try:
+            ready = (self._conn.poll(_PROCESS_TIMEOUT_S)
+                     and self._conn.recv() == "ready")
+        except (EOFError, OSError):  # worker died during startup
+            ready = False
+        if not ready:
+            self.close()
+            raise RuntimeError("shard worker process failed to start")
+
+    def submit(self, name: str, x: np.ndarray) -> None:
+        self._conn.send((name, x))
+
+    def collect(self) -> tuple[np.ndarray, MPURunStats]:
+        if not self._conn.poll(_PROCESS_TIMEOUT_S):
+            raise RuntimeError("shard worker process timed out")
+        result = self._conn.recv()
+        if isinstance(result, Exception):
+            raise result
+        return result
+
+    def close(self) -> None:
+        try:
+            if self._proc.is_alive():
+                self._conn.send(None)
+                self._proc.join(timeout=5.0)
+            if self._proc.is_alive():  # pragma: no cover - defensive
+                self._proc.terminate()
+                self._proc.join(timeout=5.0)
+        except (OSError, ValueError):  # pragma: no cover - already closed
+            pass
+        self._conn.close()
+        for shm in self._shm:
+            try:
+                shm.close()
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - double close
+                pass
+        self._shm.clear()
+
+
+class ShardedMPUPool:
+    """Execute every layer's GEMM across pinned per-worker plan shards.
+
+    Parameters
+    ----------
+    weights:
+        Layer name → BCQ tensor (e.g. ``QuantizedLM.bcq_views()``).  Every
+        layer is sharded with the same worker count so one worker serves
+        shard ``i`` of every layer.
+    num_shards:
+        Requested worker count; layers with fewer schedulable units get
+        fewer shards (see :func:`~repro.serve.sharding.shard_plan`).
+    mpu_config:
+        MPU geometry shared by all workers.
+    backend:
+        ``"thread"`` (default), ``"serial"``, or ``"process"`` (opt-in,
+        shared-memory weight buffers, row axis only).
+    accumulate_dtype:
+        Accumulator dtype forwarded to every worker's
+        :meth:`~repro.core.mpu.MatrixProcessingUnit.gemm`.
+    pin_keys:
+        Precompute each worker's RAC key matrices
+        (:meth:`~repro.core.mpu.MatrixProcessingUnit.prepare`); identical
+        results, repeated calls skip planning and key packing.
+    axis:
+        Shard axis, ``"rows"`` (bit-exact merge, default) or
+        ``"segments"`` (summing merge; thread/serial backends only).
+    """
+
+    def __init__(self, weights: "dict[str, BCQTensor]", num_shards: int = 2,
+                 mpu_config: MPUConfig | None = None, backend: str = "thread",
+                 accumulate_dtype: "np.dtype | type" = np.float64,
+                 pin_keys: bool = True, axis: str = "rows") -> None:
+        if backend not in ("serial", "thread", "process"):
+            raise ValueError("backend must be 'serial', 'thread' or 'process'")
+        if axis not in ("rows", "segments"):
+            raise ValueError("axis must be 'rows' or 'segments'")
+        if backend == "process" and axis != "rows":
+            raise ValueError("the process backend pins row slices; use axis='rows'")
+        if not weights:
+            raise ValueError("pool needs at least one layer")
+        self.mpu = MatrixProcessingUnit(mpu_config)
+        self.backend = backend
+        self.axis = axis
+        self.accumulate_dtype = np.dtype(accumulate_dtype)
+        self.plans: dict[str, TileExecutionPlan] = {
+            name: self.mpu.plan(tensor) for name, tensor in weights.items()}
+        self.shards: dict[str, list[PlanShard]] = {
+            name: shard_plan(plan, num_shards, axis=axis)
+            for name, plan in self.plans.items()}
+        self.num_workers = max(len(s) for s in self.shards.values())
+
+        # Worker w pins shard w of every layer that has one.  On the
+        # segments axis the prepared full-plan keys are read-only and every
+        # worker indexes its own segment subset, so one prep is shared.
+        shared_full: dict[str, "BCQTensor | PreparedWeights"] = {}
+        if axis == "segments":
+            shared_full = {name: (self.mpu.prepare(t) if pin_keys else t)
+                           for name, t in weights.items()}
+        self._pinned: list[dict[str, _PinnedShard]] = []
+        worker_slices: list[dict[str, BCQTensor]] = []
+        for w in range(self.num_workers):
+            resident: dict[str, _PinnedShard] = {}
+            slices: dict[str, BCQTensor] = {}
+            for name, tensor in weights.items():
+                if w >= len(self.shards[name]):
+                    continue
+                shard = self.shards[name][w]
+                if axis == "rows":
+                    sliced = tensor.take_rows(shard.row_indices)
+                    slices[name] = sliced
+                    pinned_weights: "BCQTensor | PreparedWeights" = (
+                        self.mpu.prepare(sliced) if pin_keys and backend != "process"
+                        else sliced)
+                else:
+                    pinned_weights = shared_full[name]
+                resident[name] = _PinnedShard(shard=shard, weights=pinned_weights)
+            self._pinned.append(resident)
+            worker_slices.append(slices)
+
+        self._executor: ThreadPoolExecutor | None = None
+        self._procs: list[_ProcessWorker] = []
+        # Each worker pipe carries one in-flight request; concurrent gemm()
+        # calls (e.g. overlapping micro-batches) must not interleave their
+        # submit/collect pairs on the shared connections.
+        self._proc_lock = threading.Lock()
+        if backend == "thread":
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.num_workers,
+                thread_name_prefix="mpu-shard")
+        elif backend == "process":
+            method = ("fork" if "fork" in multiprocessing.get_all_start_methods()
+                      else "spawn")
+            ctx = multiprocessing.get_context(method)
+            try:
+                for w in range(self.num_workers):
+                    self._procs.append(_ProcessWorker(
+                        ctx, worker_slices[w], self.mpu.config,
+                        self.accumulate_dtype, pin_keys))
+            except Exception:
+                self.close()
+                raise
+
+    # -- dispatch ----------------------------------------------------------
+    def layer_names(self) -> list[str]:
+        return list(self.plans)
+
+    def plan_stats(self, name: str, batch: int) -> MPURunStats:
+        """Unsharded analytic counters for one layer (merge-equal to a run)."""
+        return self.mpu._stats_from_plan(self.plans[name], batch)
+
+    def gemm(self, name: str,
+             activations: np.ndarray) -> tuple[np.ndarray, MPURunStats]:
+        """Sharded ``Y = W[name] X`` with exactly merged stats."""
+        if name not in self.plans:
+            raise KeyError(f"{name!r} is not a pooled layer")
+        shards = self.shards[name]
+        if self.backend == "process":
+            with self._proc_lock:
+                for w in range(len(shards)):
+                    self._procs[w].submit(name, activations)
+                results = [self._procs[w].collect() for w in range(len(shards))]
+        elif self.backend == "thread":
+            futures = [
+                self._executor.submit(self._pinned[w][name].run, self.mpu,
+                                      activations, self.accumulate_dtype)
+                for w in range(len(shards))]
+            results = [f.result() for f in futures]
+        else:
+            results = [self._pinned[w][name].run(self.mpu, activations,
+                                                 self.accumulate_dtype)
+                       for w in range(len(shards))]
+        return merge_shard_outputs(shards, results)
+
+    # -- lifecycle ---------------------------------------------------------
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        for proc in self._procs:
+            proc.close()
+        self._procs.clear()
+
+    def __enter__(self) -> "ShardedMPUPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter teardown
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -152,6 +152,77 @@ class TestEngines:
         assert y.shape == (bcq_weights.shape[0],)
 
 
+class TestMixedPrecisionEngines:
+    """Functional engines skip zero-scale (padded) planes per row.
+
+    Under the mixed-precision invariant a padded (row, plane) contributes
+    exactly ``0 × ±1``, so restricting each plane's work to its active rows
+    must leave every output bit unchanged while the op counters drop to
+    Σ per-row bits."""
+
+    @pytest.fixture
+    def mixed_weights(self, rng):
+        from repro.quant.bcq import quantize_bcq_mixed
+
+        w = rng.standard_normal((20, 24)) * 0.1
+        row_bits = rng.choice([1, 2, 3, 4], size=20)
+        assert len(np.unique(row_bits)) > 1
+        return quantize_bcq_mixed(w, row_bits,
+                                  BCQConfig(group_size=8, iterations=2))
+
+    @pytest.mark.parametrize("name", ["ifpu", "figlut-f", "figlut-i"])
+    def test_skipping_is_bit_exact(self, name, mixed_weights, rng):
+        from repro.quant.bcq import BCQTensor
+
+        x = rng.standard_normal((24, 5))
+        skipped = make_engine(name, activation_format="fp16").gemm(mixed_weights, x)
+        # The same arrays declared uniform walk every padded plane (the
+        # pre-skip behaviour): zero scales annihilate the padding, so the
+        # two paths must agree bit for bit.
+        padded = BCQTensor(
+            bitplanes=mixed_weights.bitplanes, scales=mixed_weights.scales,
+            offsets=mixed_weights.offsets, group_size=mixed_weights.group_size,
+            shape=mixed_weights.shape,
+            per_row_bits=np.full(mixed_weights.shape[0], mixed_weights.bits,
+                                 dtype=np.int64))
+        unskipped = make_engine(name, activation_format="fp16").gemm(padded, x)
+        np.testing.assert_array_equal(skipped, unskipped)
+
+    @pytest.mark.parametrize("name", ["ifpu", "figlut-f", "figlut-i"])
+    def test_matches_dequantized_reference(self, name, mixed_weights, rng):
+        x = rng.standard_normal((24, 5))
+        y = make_engine(name, activation_format="fp32").gemm(mixed_weights, x)
+        np.testing.assert_allclose(y, mixed_weights.dequantize() @ x,
+                                   rtol=1e-4, atol=1e-5)
+
+    def test_op_counts_follow_per_row_bits(self, mixed_weights, rng):
+        x = rng.standard_normal((24, 3))
+        row_planes = int(np.sum(mixed_weights.per_row_bits))
+        m = mixed_weights.shape[0]
+        assert row_planes < m * mixed_weights.bits  # genuinely mixed
+
+        engine = FIGLUTIntEngine(activation_format="fp16")
+        engine.gemm(mixed_weights, x)
+        groups_mu = (24 + engine.mu - 1) // engine.mu
+        assert engine.stats.lut_reads == row_planes * groups_mu * 3
+        assert engine.stats.fp_multiplications == \
+            row_planes * 3 * mixed_weights.n_groups
+
+        ifpu = IFPUEngine(activation_format="fp16")
+        ifpu.gemm(mixed_weights, x)
+        assert ifpu.stats.int_additions == row_planes * 24 * 3
+
+    def test_uniform_counts_unchanged(self, bcq_weights, small_activations):
+        # Σ per-row bits == m · bits for uniform tensors: the pre-skip op
+        # counts are reproduced exactly.
+        engine = FIGLUTFloatEngine(activation_format="fp16")
+        engine.gemm(bcq_weights, small_activations)
+        m, n = bcq_weights.shape
+        batch = small_activations.shape[1]
+        groups_mu = (n + engine.mu - 1) // engine.mu
+        assert engine.stats.lut_reads == m * bcq_weights.bits * groups_mu * batch
+
+
 class TestFIGNAEquivalence:
     """The batched FIGNA pass is pinned bit-exact against the retained
     scalar per-(batch column, scope) reference."""

@@ -263,14 +263,17 @@ class TestPlanDrivenTraffic:
     def test_q24_vs_q4_weight_traffic_ratio(self):
         # Acceptance pin: Q2.4 DRAM weight traffic / uniform Q4 = 2.4/4 for
         # plane bits and per-plane scales alike (offsets are bit-independent).
+        # Iso-peak (utilization=1.0) keeps the cycle ratio at the useful-ops
+        # ratio; the schedule-derived default folds in band-max plane
+        # passes, pinned separately in test_hw_engines_performance.py.
         memory = MemorySystemModel(group_size=128)
         shapes = [GEMMWorkloadShape(m=256, n=512, batch=8),
                   GEMMWorkloadShape(m=640, n=256, batch=8)]
         engine = engine_model("figlut-i", "fp16", 4)
-        q24 = evaluate_workload(engine, shapes, 2.4, memory,
+        q24 = evaluate_workload(engine, shapes, 2.4, memory, utilization=1.0,
                                 plans=plans_for_workload(shapes, 2.4,
                                                          group_size=128))
-        q4 = evaluate_workload(engine, shapes, 4, memory,
+        q4 = evaluate_workload(engine, shapes, 4, memory, utilization=1.0,
                                plans=plans_for_workload(shapes, 4,
                                                         group_size=128))
         t24 = memory.traffic_for_workload(shapes, 0, plans=plans_for_workload(

@@ -186,3 +186,74 @@ class TestWorkloadEvaluation:
         full = evaluate_workload(engine, opt_shapes, 4, utilization=1.0)
         half = evaluate_workload(engine, opt_shapes, 4, utilization=0.5)
         assert half.compute_time_s == pytest.approx(2 * full.compute_time_s)
+
+
+class TestPlanDerivedUtilization:
+    """``evaluate_workload(..., plans=...)`` derives utilization from the
+    schedule by default; the scalar knob stays as an explicit override."""
+
+    def _evaluate(self, shapes, bits, **kwargs):
+        from repro.hw.performance import plans_for_workload
+
+        plans = plans_for_workload(shapes, bits, group_size=128)
+        engine = engine_model("figlut-i", "fp16", 4)
+        return evaluate_workload(engine, shapes, bits, plans=plans, **kwargs), plans
+
+    def test_perfectly_tiled_uniform_plan_has_full_utilization(self):
+        from repro.hw.memory import GEMMWorkloadShape
+
+        # m, n multiples of the 64×64 tiling, n multiple of µ=4 and of the
+        # 128-wide scale groups: no ragged tiles, no padded µ-groups, no
+        # band-max overhang.
+        shapes = [GEMMWorkloadShape(m=256, n=512, batch=4)]
+        result, _ = self._evaluate(shapes, 4)
+        assert result.utilization == pytest.approx(1.0)
+
+    def test_schedule_overheads_lower_utilization(self):
+        from repro.hw.memory import GEMMWorkloadShape
+        from repro.hw.performance import plan_utilization
+
+        # Ragged rows (m=100 → a 36-row edge band occupying 64 rows),
+        # ragged µ-groups (n=130 → a 2-wide final segment padded to µ=4).
+        shapes = [GEMMWorkloadShape(m=100, n=130, batch=4)]
+        result, plans = self._evaluate(shapes, 4)
+        assert result.utilization == pytest.approx(plan_utilization(plans, shapes))
+        assert result.utilization < 1.0
+        # Mixed precision adds band-max plane passes on top.
+        mixed, plans_m = self._evaluate(shapes, 2.4)
+        useful = plans_m[0].plane_bits_total * plans_m[0].n * 4
+        slots = (plans_m[0].plane_passes * 64 * plans_m[0].lut_group_total * 4 * 4)
+        assert mixed.utilization == pytest.approx(useful / slots)
+
+    def test_derived_utilization_scales_cycles(self):
+        from repro.hw.memory import GEMMWorkloadShape
+
+        shapes = [GEMMWorkloadShape(m=100, n=130, batch=4)]
+        derived, _ = self._evaluate(shapes, 4)
+        iso_peak, _ = self._evaluate(shapes, 4, utilization=1.0)
+        assert iso_peak.utilization == 1.0
+        assert derived.compute_cycles == pytest.approx(
+            iso_peak.compute_cycles / derived.utilization)
+
+    def test_scalar_override_still_honoured_with_plans(self):
+        from repro.hw.memory import GEMMWorkloadShape
+
+        shapes = [GEMMWorkloadShape(m=100, n=130, batch=4)]
+        half, _ = self._evaluate(shapes, 4, utilization=0.5)
+        full, _ = self._evaluate(shapes, 4, utilization=1.0)
+        assert half.compute_cycles == pytest.approx(2 * full.compute_cycles)
+        assert half.utilization == 0.5
+
+    def test_default_without_plans_remains_iso_peak(self, opt_shapes):
+        engine = engine_model("figna", "fp16", 4)
+        default = evaluate_workload(engine, opt_shapes, 4)
+        explicit = evaluate_workload(engine, opt_shapes, 4, utilization=1.0)
+        assert default.compute_cycles == explicit.compute_cycles
+        assert default.utilization == 1.0
+
+    def test_invalid_utilization_rejected(self, opt_shapes):
+        engine = engine_model("figna", "fp16", 4)
+        with pytest.raises(ValueError):
+            evaluate_workload(engine, opt_shapes, 4, utilization=0.0)
+        with pytest.raises(ValueError):
+            evaluate_workload(engine, opt_shapes, 4, utilization=1.5)
