@@ -1,0 +1,127 @@
+#!/usr/bin/env python
+"""Generate quickstart: continuous-batching KV-cached decoding over a
+quantized LM.
+
+Builds a small transformer, quantizes its weight GEMMs to BCQ, and stands
+up an :class:`repro.serve.InferenceServer`; N concurrent clients then each
+ask for a multi-token greedy generation.  The server's decode scheduler
+keeps every in-flight sequence in one shared KV cache, runs one stacked
+single-position decode step per iteration across the sharded worker pool,
+and admits newly arrived requests between iterations — so each emitted
+token costs one plan execution at flat batch = #active instead of a full
+re-prefill of the growing sequence.
+
+The script prints per-token p50/p99 latency, decode tokens/s, the batching
+profile, and the plan-exact modelled MPU counters — and verifies that a
+request's tokens are identical to a solo KV-cached run *and* to naive
+greedy decoding that re-runs the full forward per token.
+
+Run:  python examples/generate_quickstart.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import numpy as np
+
+from repro.core.mpu import MPUConfig
+from repro.models.quantized_model import QuantizationRecipe, QuantizedLM
+from repro.models.transformer import TransformerConfig, TransformerLM
+from repro.serve import BatchPolicy, InferenceServer
+
+NUM_REQUESTS = 12
+NEW_TOKENS = 12
+VOCAB = 211
+
+
+def build_server() -> InferenceServer:
+    model = TransformerLM(TransformerConfig(vocab_size=VOCAB, max_seq_len=32,
+                                            d_model=32, n_heads=4, n_layers=2,
+                                            d_ff=64, seed=0))
+    recipe = QuantizationRecipe(method="bcq", bits=2, group_size=32)
+    qlm = QuantizedLM.build(model, recipe, engine="figlut-f")
+    return InferenceServer(
+        qlm,
+        num_shards=2,                                  # pinned worker shards
+        policy=BatchPolicy(max_batch=8, max_wait_us=500),
+        mpu_config=MPUConfig(pe_rows=4, pe_cols=2, mu=4, k=4),
+        backend="thread",
+        decode_max_active=8,                           # in-flight sequences
+    )
+
+
+async def clients(server: InferenceServer, prompts: list[np.ndarray]):
+    """N concurrent generation clients; half arrive late (mid-decode)."""
+
+    async def one(tokens: np.ndarray, delay_s: float):
+        await asyncio.sleep(delay_s)
+        return await server.submit_generate(tokens, NEW_TOKENS)
+
+    return await asyncio.gather(*[
+        one(tokens, 0.0 if i % 2 == 0 else 0.02)
+        for i, tokens in enumerate(prompts)])
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    server = build_server()
+    prompts = [rng.integers(0, VOCAB, size=int(rng.integers(6, 17)))
+               for _ in range(NUM_REQUESTS)]
+
+    print("=" * 72)
+    print(f"1. {NUM_REQUESTS} concurrent generation requests "
+          f"({NEW_TOKENS} tokens each, half arriving mid-decode)")
+    print("=" * 72)
+    server.run_solo(prompts[0])  # warm the pinned workers
+    t0 = time.perf_counter()
+    results = asyncio.run(clients(server, prompts))
+    elapsed = time.perf_counter() - t0
+
+    metrics = server.decode_metrics
+    print(f"requests        : {metrics.requests}  "
+          f"({metrics.generated_tokens} tokens in {elapsed * 1e3:.1f} ms)")
+    print(f"decode loop     : {metrics.iterations} iterations, "
+          f"{metrics.admissions} admission waves, "
+          f"mean active {metrics.mean_active:.1f}")
+    print(f"token latency   : p50 {metrics.p50_token_latency_s * 1e3:.1f} ms   "
+          f"p99 {metrics.p99_token_latency_s * 1e3:.1f} ms")
+    print(f"request latency : p50 {metrics.request_latency_percentile(50) * 1e3:.1f} ms   "
+          f"p99 {metrics.request_latency_percentile(99) * 1e3:.1f} ms")
+    print(f"throughput      : {metrics.tokens_per_second:,.0f} tokens/s "
+          f"(decode-loop busy time)")
+
+    print()
+    print("=" * 72)
+    print("2. Continuous batching == solo KV-cached == naive re-prefill")
+    print("=" * 72)
+    first = results[0]
+    solo = server.generate_solo(prompts[0], NEW_TOKENS)
+    seq = prompts[0].copy()
+    naive = []
+    for _ in range(NEW_TOKENS):
+        token = int(np.argmax(server.run_solo(seq)[-1]))
+        naive.append(token)
+        seq = np.append(seq, token)
+    print(f"request 0 tokens      : {first.tokens.tolist()}")
+    print(f"solo KV-cached match  : {np.array_equal(first.tokens, solo.tokens)}")
+    print(f"naive re-prefill match: {np.array_equal(first.tokens, np.asarray(naive))}")
+
+    print()
+    print("=" * 72)
+    print("3. Plan-exact decode cost (per stacked step, not per re-prefill)")
+    print("=" * 72)
+    stats = metrics.mpu_stats
+    print(f"modelled cycles : {stats.cycles:,}")
+    print(f"LUT reads (RAC) : {stats.lut_reads:,}")
+    print(f"LUT generations : {stats.lut_generations:,}")
+    print(f"solo comparison : prefill({len(prompts[0])} tokens) + "
+          f"{len(solo.step_stats)} steps × batch-1 passes = "
+          f"{solo.mpu_stats.cycles:,} cycles for request 0 alone")
+
+    asyncio.run(server.aclose())
+
+
+if __name__ == "__main__":
+    main()

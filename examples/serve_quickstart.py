@@ -9,6 +9,10 @@ concurrent requests, then the script prints per-request p50/p99 latency,
 tokens/s, the batching profile, and the plan-exact modelled MPU counters —
 and verifies that a batched request's logits are bit-identical to a solo run.
 
+This covers the one-shot logits path; for multi-token generation through
+the continuous-batching decode scheduler (shared KV cache, per-token
+latency), see ``examples/generate_quickstart.py``.
+
 Run:  python examples/serve_quickstart.py
 """
 

@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# Repo verification entry point.
+#
+#   scripts/verify.sh         run the tier-1 suite (unit tests + benchmarks,
+#                             the command CI pins) and then the fast profile
+#   scripts/verify.sh fast    fast profile only: the unit suite with every
+#                             benchmark deselected (-m "not bench")
+#
+# Both profiles run from the repo root with src/ on PYTHONPATH, matching
+# ROADMAP.md's tier-1 command.
+set -eu
+
+cd "$(dirname "$0")/.."
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+export PYTHONPATH
+
+if [ "${1:-}" = "fast" ]; then
+    exec python -m pytest -q -m "not bench"
+fi
+
+python -m pytest -x -q
+python -m pytest -q -m "not bench"

@@ -204,9 +204,9 @@ class MatrixProcessingUnit:
         activation columns, derived from the plan without executing it."""
         if batch < 0:
             raise ValueError("batch must be >= 0")
-        return self._stats_from_plan(self.plan(weights), batch)
+        return self.stats_from_plan(self.plan(weights), batch)
 
-    def _stats_from_plan(self, plan: TileExecutionPlan, batch: int) -> MPURunStats:
+    def stats_from_plan(self, plan: TileExecutionPlan, batch: int) -> MPURunStats:
         cfg = self.config
         stats = MPURunStats()
         stats.tiles = plan.num_tiles
@@ -241,7 +241,7 @@ class MatrixProcessingUnit:
         """Analytic run counters for one shard of a plan.
 
         Every counter is the shard's own share of the unsharded formulas in
-        :meth:`_stats_from_plan` — row-axis shards keep their bands' passes
+        :meth:`stats_from_plan` — row-axis shards keep their bands' passes
         and rows, segment-axis shards keep their segments' µ-groups, column
         bands, and *owned* scale groups — so the counters of any shard
         partition (either axis) sum exactly to the unsharded run's.
@@ -325,17 +325,20 @@ class MatrixProcessingUnit:
             y += weights.offsets[:, g][:, None] * group_sum
 
     # -- weight-stationary preparation -------------------------------------
-    def prepare(self, weights: BCQTensor) -> PreparedWeights:
+    def prepare(self, weights: BCQTensor,
+                plan: TileExecutionPlan | None = None) -> PreparedWeights:
         """Precompute the per-(segment, plane) RAC key matrices for serving.
 
         A weight-stationary worker latches the weight tile's µ-bit patterns
         into the RAC key registers once; this models that by packing every
         segment's keys (and the plan itself) up front so repeated
         :meth:`gemm` calls only touch activations.  Bit-identical to the
-        unprepared path — keys are integers.
+        unprepared path — keys are integers.  ``plan`` lets a caller that
+        already planned the tensor (e.g. the :class:`~repro.models.
+        quantized_model.QuantizedLM` plan memo) skip re-planning.
         """
         cfg = self.config
-        plan = self.plan(weights)
+        plan = plan if plan is not None else self.plan(weights)
         powers = 1 << np.arange(cfg.mu - 1, -1, -1, dtype=np.int64)
         max_planes, active_list = weights.plane_activity()
         active = None if active_list is None else tuple(active_list)
@@ -421,7 +424,7 @@ class MatrixProcessingUnit:
             offset_groups: tuple[int, ...] | None = shard.owned_scale_groups
         else:
             plan = prepared.plan if prepared is not None else self.plan(weights)
-            stats = self._stats_from_plan(plan, batch)
+            stats = self.stats_from_plan(plan, batch)
             segments = plan.segments
             segment_indices = tuple(range(len(plan.segments)))
             offset_groups = None

@@ -27,9 +27,16 @@ from repro.models.dataset import (
     split_corpus,
     batchify,
 )
-from repro.models.transformer import TransformerConfig, TransformerLM, cross_entropy, softmax
+from repro.models.transformer import (
+    KVCache,
+    TransformerConfig,
+    TransformerLM,
+    cross_entropy,
+    softmax,
+)
 from repro.models.training import AdamOptimizer, TrainingConfig, train_language_model
 from repro.models.quantized_model import (
+    GenerationResult,
     QuantizationRecipe,
     recipe_from_mixed_precision,
     QuantizedLM,
@@ -48,6 +55,7 @@ __all__ = [
     "generate_corpus",
     "split_corpus",
     "batchify",
+    "KVCache",
     "TransformerConfig",
     "TransformerLM",
     "cross_entropy",
@@ -55,6 +63,7 @@ __all__ = [
     "AdamOptimizer",
     "TrainingConfig",
     "train_language_model",
+    "GenerationResult",
     "QuantizationRecipe",
     "recipe_from_mixed_precision",
     "QuantizedLM",

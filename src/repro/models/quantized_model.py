@@ -10,6 +10,16 @@ pass calls instead of ``x @ W.T``.
 Running the model through different engines with the same quantized weights
 reproduces Table IV (engine numerics); running it with different quantizers /
 bit widths reproduces Table VI and the accuracy axis of Fig. 17.
+
+Incremental decoding rides the same glue: :meth:`QuantizedLM.prefill`,
+:meth:`QuantizedLM.decode_step` and :meth:`QuantizedLM.generate` thread a
+:class:`~repro.models.transformer.KVCache` through the transformer's
+``step`` path with every weight GEMM executed on a
+:class:`~repro.core.mpu.MatrixProcessingUnit` over memoised tile plans and
+:class:`~repro.core.mpu.PreparedWeights` (attention score/context matmuls
+stay float, as in the full forward), accumulating per-step
+:class:`~repro.core.mpu.MPURunStats` so the modelled decode cost is
+plan-exact per emitted token instead of re-charging a full prefill.
 """
 
 from __future__ import annotations
@@ -19,15 +29,22 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.engines import GEMMEngine, make_engine
+from repro.core.mpu import (
+    MatrixProcessingUnit,
+    MPUConfig,
+    MPURunStats,
+    PreparedWeights,
+)
 from repro.quant.bcq import BCQConfig, BCQTensor, quantize_bcq, uniform_to_bcq
 from repro.quant.optq import OPTQConfig, quantize_optq
 from repro.quant.rtn import RTNConfig, UniformQuantizedTensor, quantize_rtn
 from repro.quant.mixed_precision import MixedPrecisionPlan
 from repro.quant.shiftadd import ShiftAddConfig, quantize_shiftadd
-from repro.models.transformer import TransformerLM
+from repro.models.transformer import KVCache, TransformerLM
 
-__all__ = ["QuantizationRecipe", "QuantizedLM", "quantize_model_weights",
-           "capture_calibration_activations", "recipe_from_mixed_precision"]
+__all__ = ["QuantizationRecipe", "QuantizedLM", "GenerationResult",
+           "quantize_model_weights", "capture_calibration_activations",
+           "recipe_from_mixed_precision"]
 
 
 @dataclass(frozen=True)
@@ -146,6 +163,55 @@ def capture_calibration_activations(model: TransformerLM, tokens: np.ndarray,
     return result
 
 
+@dataclass(frozen=True)
+class GenerationResult:
+    """One greedy autoregressive generation and its plan-exact decode cost.
+
+    Attributes
+    ----------
+    tokens:
+        The generated tokens (prompt excluded), in order.  The first entry
+        comes from the prefill logits, the rest from single-token decode
+        steps.
+    finish_reason:
+        ``"eos"`` or ``"length"``.
+    prefill_stats:
+        Modelled MPU counters of the prefill pass (flat batch = prompt
+        positions).
+    step_stats:
+        Per-decode-iteration counters (flat batch = 1 for a solo decode) —
+        their sum plus ``prefill_stats`` is :attr:`mpu_stats`, and each
+        entry equals the analytic plan stats for its batch, so the decode
+        cost provably scales per emitted token.
+    """
+
+    tokens: np.ndarray
+    finish_reason: str
+    prefill_stats: MPURunStats
+    step_stats: tuple[MPURunStats, ...]
+
+    @property
+    def mpu_stats(self) -> MPURunStats:
+        total = self.prefill_stats
+        for s in self.step_stats:
+            total = total.merge(s)
+        return total
+
+
+class _StatsSink:
+    """Accumulate the MPURunStats a GEMM hook reports (mutable cell)."""
+
+    def __init__(self) -> None:
+        self.total = MPURunStats()
+
+    def __call__(self, stats: MPURunStats) -> None:
+        self.total = self.total.merge(stats)
+
+    def take(self) -> MPURunStats:
+        total, self.total = self.total, MPURunStats()
+        return total
+
+
 @dataclass
 class QuantizedLM:
     """A trained LM whose weight GEMMs run on a functional engine.
@@ -159,6 +225,10 @@ class QuantizedLM:
     engine: GEMMEngine
     _converted: dict[str, object] = field(default_factory=dict)
     _bcq_converted: dict[str, BCQTensor] = field(default_factory=dict)
+    _plans: "dict[MPUConfig, dict[str, object]]" = field(default_factory=dict,
+                                                         repr=False)
+    _prepared: "dict[MPUConfig, dict[str, PreparedWeights]]" = field(
+        default_factory=dict, repr=False)
 
     @classmethod
     def build(cls, model: TransformerLM, recipe: QuantizationRecipe,
@@ -205,14 +275,14 @@ class QuantizedLM:
         Uses the tile-execution planner (no activation data needed), so a
         whole model's cycle/energy footprint can be costed without running
         it.  A uniform tensor is converted to BCQ at most once per layer,
-        through the same memo the engine dispatch uses.
+        through the same memo the engine dispatch uses, and the plan is
+        memoised per MPU geometry (see :meth:`layer_plan`).
         """
-        from repro.core.mpu import MatrixProcessingUnit, MPUConfig
-
-        if name not in self.quantized_weights:
-            raise KeyError(f"{name!r} is not a quantized weight matrix")
-        return MatrixProcessingUnit(mpu_config or MPUConfig()).plan_stats(
-            self._bcq_view(name), batch)
+        cfg = mpu_config or MPUConfig()
+        if batch < 0:
+            raise ValueError("batch must be >= 0")
+        return MatrixProcessingUnit(cfg).stats_from_plan(
+            self.layer_plan(name, cfg), batch)
 
     def layer_plan(self, name: str, mpu_config: "MPUConfig | None" = None):
         """The layer's :class:`~repro.core.dataflow.TileExecutionPlan`.
@@ -220,24 +290,178 @@ class QuantizedLM:
         Carries the layer's ``per_row_bits``, so the plan-driven memory/
         performance models (:meth:`repro.hw.memory.MemorySystemModel.
         traffic_for_plan`, ``evaluate_workload(..., plans=...)``) cost a
-        mixed-precision model from its actual schedule.
+        mixed-precision model from its actual schedule.  Plans are memoised
+        per MPU geometry — weights never change after quantization, so
+        repeated cost queries (and every decode step) skip re-planning.
         """
-        from repro.core.mpu import MatrixProcessingUnit, MPUConfig
-
         if name not in self.quantized_weights:
             raise KeyError(f"{name!r} is not a quantized weight matrix")
-        return MatrixProcessingUnit(mpu_config or MPUConfig()).plan(
-            self._bcq_view(name))
+        cfg = mpu_config or MPUConfig()
+        plans = self._plans.setdefault(cfg, {})
+        plan = plans.get(name)
+        if plan is None:
+            plan = MatrixProcessingUnit(cfg).plan(self._bcq_view(name))
+            plans[name] = plan
+        return plan
 
     def model_mpu_stats(self, batch: int,
                         mpu_config: "MPUConfig | None" = None) -> "MPURunStats":
         """Summed analytic MPU counters over every quantized weight GEMM."""
-        from repro.core.mpu import MPURunStats
-
         total = MPURunStats()
         for name in self.quantized_weights:
             total = total.merge(self.layer_mpu_stats(name, batch, mpu_config))
         return total
+
+    # -- weight-stationary prepared state ---------------------------------
+    def prepared_weights(self, mpu_config: "MPUConfig | None" = None
+                         ) -> dict[str, PreparedWeights]:
+        """Every layer's :class:`~repro.core.mpu.PreparedWeights`, memoised.
+
+        This is the weight-stationary state (tile plan + packed RAC keys) a
+        serving worker keeps resident.  It is memoised per MPU geometry so
+        the standalone decode path, repeated :meth:`generate` calls, and a
+        single-shard serving pool (:class:`repro.serve.workers.
+        ShardedMPUPool` with ``shared_prepared=``) all share one prepared
+        copy instead of re-planning and re-packing keys per call.
+        """
+        cfg = mpu_config or MPUConfig()
+        cached = self._prepared.get(cfg)
+        if cached is None:
+            mpu = MatrixProcessingUnit(cfg)
+            cached = {name: mpu.prepare(self._bcq_view(name),
+                                        plan=self.layer_plan(name, cfg))
+                      for name in self.quantized_weights}
+            self._prepared[cfg] = cached
+        return cached
+
+    def prepared_gemm(self, mpu_config: "MPUConfig | None" = None):
+        """``gemm(name, flat) -> (y, stats)`` over the prepared weights.
+
+        The standalone (unsharded) twin of a serving pool's ``gemm``
+        dispatch: activations of shape ``(in_features, batch)`` run on one
+        :class:`~repro.core.mpu.MatrixProcessingUnit` against the memoised
+        :meth:`prepared_weights`, returning the output and the plan-exact
+        :class:`~repro.core.mpu.MPURunStats`.  Bit-identical to a row-axis
+        sharded pool run of the same layer.
+        """
+        cfg = mpu_config or MPUConfig()
+        prepared = self.prepared_weights(cfg)
+        mpu = MatrixProcessingUnit(cfg)
+
+        def gemm(name: str, flat: np.ndarray):
+            return mpu.gemm(prepared[name], flat)
+
+        return gemm
+
+    def _decode_hook(self, gemm, sink: "_StatsSink"):
+        """A transformer ``matmul`` hook over ``gemm(name, flat) -> (y,
+        stats)``, feeding every GEMM's stats into ``sink``."""
+        def dispatch(name: str, flat: np.ndarray) -> np.ndarray:
+            y, stats = gemm(name, flat)
+            sink(stats)
+            return y
+        return self.matmul_via(dispatch)
+
+    # -- incremental decoding ---------------------------------------------
+    def prefill(self, tokens: np.ndarray, *, num_valid: np.ndarray | None = None,
+                capacity: int | None = None,
+                mpu_config: "MPUConfig | None" = None,
+                gemm=None) -> tuple[np.ndarray, KVCache, MPURunStats]:
+        """Run the prompt(s) through the cache-aware step path.
+
+        ``tokens`` is ``(seq,)`` or ``(batch, seq)`` (right-padded when
+        ``num_valid`` gives per-row valid counts).  Weight GEMMs run through
+        ``gemm(name, flat) -> (y, stats)`` — default: the memoised
+        :meth:`prepared_gemm` — while attention stays float, exactly like
+        the full forward.  Returns ``(logits, cache, stats)`` with the
+        populated :class:`~repro.models.transformer.KVCache` and the pass's
+        plan-exact counters.
+        """
+        arr = np.asarray(tokens, dtype=np.int64)
+        if arr.ndim == 1:
+            arr = arr[None, :]
+        if arr.ndim != 2 or arr.shape[1] == 0:
+            raise ValueError("tokens must be (seq,) or (batch, seq), non-empty")
+        sink = _StatsSink()
+        hook = self._decode_hook(gemm or self.prepared_gemm(mpu_config), sink)
+        cache = self.model.init_cache(arr.shape[0], capacity=capacity)
+        logits = self.model.step(arr, cache, matmul=hook, num_valid=num_valid)
+        return logits, cache, sink.take()
+
+    def decode_step(self, tokens: np.ndarray, cache: KVCache, *,
+                    mpu_config: "MPUConfig | None" = None,
+                    gemm=None) -> tuple[np.ndarray, MPURunStats]:
+        """One stacked decode iteration: ``(batch, t_new)`` new tokens.
+
+        Appends to ``cache`` and returns ``(logits, stats)``; the stats are
+        the iteration's plan-exact counters (flat batch = ``batch × t_new``
+        activation columns — independent of the cached sequence lengths, the
+        O(T) decode property the scheduler's accounting pins).
+        """
+        arr = np.asarray(tokens, dtype=np.int64)
+        if arr.ndim == 1:
+            arr = arr[:, None]
+        sink = _StatsSink()
+        hook = self._decode_hook(gemm or self.prepared_gemm(mpu_config), sink)
+        logits = self.model.step(arr, cache, matmul=hook)
+        return logits, sink.take()
+
+    def check_generation_request(self, tokens: np.ndarray,
+                                 max_new_tokens: int) -> np.ndarray:
+        """Validate one generation request; returns the prompt as int64.
+
+        The single capacity rule for every decode entry point (solo
+        :meth:`generate` and the serving scheduler): a non-empty 1-D prompt
+        whose cached length after ``max_new_tokens - 1`` decode steps still
+        fits ``max_seq_len`` (the last token is never fed back).
+        """
+        prompt = np.asarray(tokens, dtype=np.int64)
+        if prompt.ndim != 1 or prompt.size == 0:
+            raise ValueError("a prompt is a non-empty 1-D token sequence")
+        if max_new_tokens < 1:
+            raise ValueError("max_new_tokens must be >= 1")
+        max_len = self.model.config.max_seq_len
+        if prompt.size + max_new_tokens - 1 > max_len:
+            raise ValueError(
+                f"prompt ({prompt.size}) + max_new_tokens ({max_new_tokens}) "
+                f"- 1 exceeds max_seq_len {max_len}")
+        return prompt
+
+    def generate(self, tokens: np.ndarray, max_new_tokens: int, *,
+                 eos_token: int | None = None,
+                 mpu_config: "MPUConfig | None" = None,
+                 gemm=None) -> GenerationResult:
+        """Greedy autoregressive generation for one prompt (KV-cached).
+
+        Prefills the prompt once, then emits up to ``max_new_tokens`` tokens
+        through single-position :meth:`decode_step` calls — O(1) engine work
+        per token instead of the O(T) (and O(T²) attention) of re-running
+        the full forward.  Stops early when ``eos_token`` is produced (the
+        EOS itself is included in the output).
+        """
+        prompt = self.check_generation_request(tokens, max_new_tokens)
+        gemm = gemm or self.prepared_gemm(mpu_config)
+
+        logits, cache, prefill_stats = self.prefill(prompt, gemm=gemm)
+        next_token = int(np.argmax(logits[0, -1]))
+        generated = [next_token]
+        step_stats: list[MPURunStats] = []
+        finish_reason = "length"
+        while True:
+            if eos_token is not None and next_token == eos_token:
+                finish_reason = "eos"
+                break
+            if len(generated) >= max_new_tokens:
+                break
+            logits, stats = self.decode_step(
+                np.array([[next_token]], dtype=np.int64), cache, gemm=gemm)
+            step_stats.append(stats)
+            next_token = int(np.argmax(logits[0, -1]))
+            generated.append(next_token)
+        return GenerationResult(tokens=np.asarray(generated, dtype=np.int64),
+                                finish_reason=finish_reason,
+                                prefill_stats=prefill_stats,
+                                step_stats=tuple(step_stats))
 
     def bcq_views(self) -> dict[str, BCQTensor]:
         """BCQ view of every quantized weight matrix, keyed by layer name.

@@ -10,6 +10,28 @@ The weight matrices of the four attention projections, the two MLP
 projections and the LM head are exactly the GEMMs that weight-only
 quantization targets; :mod:`repro.models.quantized_model` swaps their
 ``x @ W.T`` products for quantized functional-engine GEMMs at inference time.
+
+Two forward entry points exist:
+
+* :meth:`TransformerLM.forward` — the stateless full pass used by training
+  and perplexity evaluation (unchanged numerics);
+* :meth:`TransformerLM.step` — the stateful incremental pass for
+  autoregressive decoding: Q/K/V are computed only for the new position(s),
+  K/V are appended to a :class:`KVCache`, and attention runs against every
+  cached position under a padding-aware additive mask.  Per-row cache
+  lengths make one stacked ``step`` serve a ragged batch of sequences, the
+  substrate the continuous-batching decode scheduler
+  (:mod:`repro.serve.scheduler`) drives.
+
+Running ``step`` on an empty cache over the whole prompt executes exactly
+the operations of ``forward`` (same GEMM shapes, same mask, same reduction
+orders), so a prefill is bit-identical to the full pass.  An incremental
+decode (prefill then single-token steps) changes the GEMM *shapes* — each
+matmul reduces over the same axis but BLAS may block it differently — so
+step logits match a full re-forward at every length to tight floating-point
+tolerance rather than bit-for-bit; ``DECODE_ATOL`` documents the bound the
+equivalence tests pin (attention against cached K/V is exact: masked
+positions contribute exact zeros, and adding 0.0 is exact in any order).
 """
 
 from __future__ import annotations
@@ -18,7 +40,16 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["TransformerConfig", "TransformerLM", "cross_entropy", "softmax"]
+__all__ = ["TransformerConfig", "TransformerLM", "KVCache", "cross_entropy",
+           "softmax", "DECODE_ATOL"]
+
+# Absolute logit tolerance for prefill-then-step decoding vs. re-running the
+# full forward at each length.  The incremental path performs the same
+# reductions over identically-valued operands, but with different matrix
+# shapes (t_new=1 GEMMs vs the full-sequence GEMM), so BLAS blocking may
+# reorder the K-loop; observed differences are < 1e-12 on float64 logits of
+# O(1) magnitude and this bound leaves an order-of-magnitude margin.
+DECODE_ATOL = 1e-9
 
 
 @dataclass(frozen=True)
@@ -103,6 +134,69 @@ def _linear_backward(dout: np.ndarray, cache):
     return dx, dw, db
 
 
+@dataclass
+class KVCache:
+    """Per-layer stacked K/V arrays plus a per-row occupancy vector.
+
+    Attributes
+    ----------
+    k, v:
+        float64 arrays of shape ``(n_layers, batch, n_heads, capacity,
+        d_head)``; slot ``[..., p, :]`` holds the key/value of cached
+        position ``p``.
+    lengths:
+        int64 array of shape ``(batch,)``: the number of *valid* cached
+        positions per row.  Rows are independent — a ragged batch of
+        sequences shares one cache, with each row attending only its own
+        ``lengths[r]`` prefix (slots at or beyond a row's length may hold
+        stale data and are never attended).
+    """
+
+    k: np.ndarray
+    v: np.ndarray
+    lengths: np.ndarray
+
+    @property
+    def n_layers(self) -> int:
+        return self.k.shape[0]
+
+    @property
+    def batch(self) -> int:
+        return self.k.shape[1]
+
+    @property
+    def capacity(self) -> int:
+        return self.k.shape[3]
+
+    def gather_rows(self, rows) -> "KVCache":
+        """A new cache holding only ``rows`` (copies; rows stay independent).
+
+        This is how the decode scheduler changes batch membership between
+        iterations: finished sequences leave by gathering the survivors.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        return KVCache(k=self.k[:, rows], v=self.v[:, rows],
+                       lengths=self.lengths[rows].copy())
+
+    @staticmethod
+    def concat(caches: "list[KVCache]") -> "KVCache":
+        """Stack caches along the batch axis (capacities must match).
+
+        New sequences join an in-flight decode batch this way: their
+        prefilled rows are concatenated onto the pool's cache and attend
+        through the shared padding-aware mask from the next step on.
+        """
+        if not caches:
+            raise ValueError("cannot concatenate an empty cache list")
+        cap = {c.capacity for c in caches}
+        if len(cap) != 1:
+            raise ValueError(f"cache capacities differ: {sorted(cap)}")
+        return KVCache(
+            k=np.concatenate([c.k for c in caches], axis=1),
+            v=np.concatenate([c.v for c in caches], axis=1),
+            lengths=np.concatenate([c.lengths for c in caches]))
+
+
 class TransformerLM:
     """Decoder-only transformer language model with manual backprop.
 
@@ -158,7 +252,8 @@ class TransformerLM:
         return int(sum(p.size for p in self.params.values()))
 
     # --------------------------------------------------------------- forward
-    def _attention_forward(self, x: np.ndarray, layer: int, matmul=None):
+    def _attention_forward(self, x: np.ndarray, layer: int, matmul=None,
+                           mask: np.ndarray | None = None):
         cfg = self.config
         p = self.params
         prefix = f"layer{layer}.attn."
@@ -175,7 +270,8 @@ class TransformerLM:
 
         qh, kh, vh = split(q), split(k), split(v)
         scores = qh @ kh.transpose(0, 1, 3, 2) / np.sqrt(dh)
-        mask = np.triu(np.ones((t, t), dtype=bool), k=1)
+        if mask is None:
+            mask = np.triu(np.ones((t, t), dtype=bool), k=1)
         scores = np.where(mask, -1e30, scores)
         attn = softmax(scores, axis=-1)
         ctx = attn @ vh  # (b, h, t, dh)
@@ -237,11 +333,15 @@ class TransformerLM:
         mm = matmul or (lambda name, inp, w: inp @ w.T)
 
         x = p["tok_emb"][tokens] + p["pos_emb"][:t][None, :, :]
+        # The causal mask depends only on the sequence length; build it once
+        # per forward instead of once per layer.
+        causal_mask = np.triu(np.ones((t, t), dtype=bool), k=1)
         caches = {"tokens": tokens, "layers": []}
         for layer in range(cfg.n_layers):
             prefix = f"layer{layer}."
             ln1_out, ln1_cache = _layer_norm_forward(x, p[prefix + "ln1.gamma"], p[prefix + "ln1.beta"])
-            attn_out, attn_cache = self._attention_forward(ln1_out, layer, matmul=mm)
+            attn_out, attn_cache = self._attention_forward(ln1_out, layer, matmul=mm,
+                                                           mask=causal_mask)
             x1 = x + attn_out
             ln2_out, ln2_cache = _layer_norm_forward(x1, p[prefix + "ln2.gamma"], p[prefix + "ln2.beta"])
             h_pre, lin1_cache = _linear_forward(ln2_out, p[prefix + "mlp.w1"], p[prefix + "mlp.b1"])
@@ -264,6 +364,158 @@ class TransformerLM:
         caches["ln_f"] = lnf_cache
         caches["lnf_out"] = lnf_out
         return logits, caches
+
+    # ------------------------------------------------- incremental decoding
+    def init_cache(self, batch: int, capacity: int | None = None) -> KVCache:
+        """An empty :class:`KVCache` for ``batch`` sequences.
+
+        ``capacity`` bounds the cached positions per row (default: the
+        model's ``max_seq_len``, which is also the hard upper bound — the
+        positional embedding table has no entries beyond it).
+        """
+        cfg = self.config
+        if batch < 1:
+            raise ValueError("batch must be >= 1")
+        capacity = cfg.max_seq_len if capacity is None else capacity
+        if not 1 <= capacity <= cfg.max_seq_len:
+            raise ValueError(
+                f"capacity must be in [1, {cfg.max_seq_len}], got {capacity}")
+        dh = cfg.d_model // cfg.n_heads
+        shape = (cfg.n_layers, batch, cfg.n_heads, capacity, dh)
+        return KVCache(k=np.zeros(shape), v=np.zeros(shape),
+                       lengths=np.zeros(batch, dtype=np.int64))
+
+    def _attention_step(self, x: np.ndarray, layer: int, cache: KVCache,
+                        write_rows: np.ndarray, write_cols: np.ndarray,
+                        write_pos: np.ndarray, kv_len: int,
+                        mask: np.ndarray, matmul=None) -> np.ndarray:
+        """Attention for new positions only, against all cached positions.
+
+        ``x`` is the layer-norm output for the new positions ``(b, t_new,
+        d)``; the freshly computed K/V are scattered into ``cache`` at the
+        (pre-validated) per-row slots ``write_pos`` for the valid ``(row,
+        col)`` pairs, then every query attends the first ``kv_len`` cache
+        slots under ``mask`` ``(b, t_new, kv_len)`` (True = blocked).
+        """
+        cfg = self.config
+        p = self.params
+        prefix = f"layer{layer}.attn."
+        b, t, d = x.shape
+        h, dh = cfg.n_heads, d // cfg.n_heads
+        mm = matmul or (lambda name, inp, w: inp @ w.T)
+
+        q = mm(prefix + "wq", x, p[prefix + "wq"])
+        k = mm(prefix + "wk", x, p[prefix + "wk"])
+        v = mm(prefix + "wv", x, p[prefix + "wv"])
+
+        # Position-major head split (b, t, h, dh) for the cache scatter; only
+        # the valid (row, col) pairs are written, so slots belonging to other
+        # (future) positions of short rows are never clobbered.
+        kh_t = k.reshape(b, t, h, dh)
+        vh_t = v.reshape(b, t, h, dh)
+        cache.k[layer][write_rows, :, write_pos] = kh_t[write_rows, write_cols]
+        cache.v[layer][write_rows, :, write_pos] = vh_t[write_rows, write_cols]
+
+        qh = q.reshape(b, t, h, dh).transpose(0, 2, 1, 3)      # (b, h, t, dh)
+        keys = cache.k[layer][:, :, :kv_len]                   # (b, h, kv, dh)
+        vals = cache.v[layer][:, :, :kv_len]
+        scores = qh @ keys.transpose(0, 1, 3, 2) / np.sqrt(dh)
+        scores = np.where(mask[:, None, :, :], -1e30, scores)
+        attn = softmax(scores, axis=-1)
+        ctx = attn @ vals                                      # (b, h, t, dh)
+        ctx_merged = ctx.transpose(0, 2, 1, 3).reshape(b, t, d)
+        return mm(prefix + "wo", ctx_merged, p[prefix + "wo"])
+
+    def step(self, tokens: np.ndarray, cache: KVCache, matmul=None,
+             num_valid: np.ndarray | None = None) -> np.ndarray:
+        """Incremental forward: run only the new position(s) against a cache.
+
+        Parameters
+        ----------
+        tokens:
+            ``(batch, t_new)`` new token ids.  With an empty cache and the
+            whole prompt as ``tokens`` this is a *prefill* (bit-identical to
+            :meth:`forward`); with ``t_new == 1`` it is one decode
+            iteration.
+        cache:
+            The :class:`KVCache` from :meth:`init_cache`; K/V of the valid
+            new positions are appended in place and ``cache.lengths``
+            advances by each row's valid count.
+        matmul:
+            Optional weight-GEMM hook, exactly as in :meth:`forward`.
+        num_valid:
+            Per-row count of valid leading tokens (``(batch,)``), enabling
+            one stacked pass over a *ragged* right-padded batch.  Rows are
+            independent: logits at a row's padded positions are garbage and
+            must be ignored (take row ``r``'s last logits at column
+            ``num_valid[r] - 1``).  Default: all ``t_new`` tokens valid.
+
+        Returns
+        -------
+        ``(batch, t_new, vocab)`` logits for the new positions.
+        """
+        cfg = self.config
+        p = self.params
+        tokens = np.asarray(tokens, dtype=np.int64)
+        if tokens.ndim != 2:
+            raise ValueError("tokens must have shape (batch, new_positions)")
+        b, t_new = tokens.shape
+        if t_new < 1:
+            raise ValueError("step needs at least one new position")
+        if b != cache.batch:
+            raise ValueError(f"batch {b} != cache batch {cache.batch}")
+        lengths = np.asarray(cache.lengths, dtype=np.int64)
+        if num_valid is None:
+            valid = np.full(b, t_new, dtype=np.int64)
+        else:
+            valid = np.asarray(num_valid, dtype=np.int64)
+            if valid.shape != (b,):
+                raise ValueError(f"num_valid must have shape ({b},)")
+            if (valid < 1).any() or (valid > t_new).any():
+                raise ValueError("num_valid entries must be in [1, t_new]")
+        end = lengths + valid
+        if (end > cache.capacity).any():
+            raise ValueError(
+                f"cache overflow: lengths + num_valid exceed capacity "
+                f"{cache.capacity}")
+        mm = matmul or (lambda name, inp, w: inp @ w.T)
+
+        positions = lengths[:, None] + np.arange(t_new)[None, :]  # (b, t_new)
+        # Padded columns of short rows may index past the table; clip them —
+        # their K/V are never written and their logits are discarded.
+        pos_idx = np.minimum(positions, cfg.max_seq_len - 1)
+        x = p["tok_emb"][tokens] + p["pos_emb"][pos_idx]
+
+        # Valid (row, col) scatter targets, shared by every layer.
+        valid_mask = np.arange(t_new)[None, :] < valid[:, None]   # (b, t_new)
+        write_rows, write_cols = np.nonzero(valid_mask)
+        write_pos = positions[write_rows, write_cols]
+        kv_len = int(min(lengths.max() + t_new, cache.capacity))
+        # Query j of row r sees cached positions p <= lengths[r] + j: its own
+        # prefix plus the new tokens up to and including itself (causal).
+        mask = np.arange(kv_len)[None, None, :] > positions[:, :, None]
+
+        for layer in range(cfg.n_layers):
+            prefix = f"layer{layer}."
+            ln1_out, _ = _layer_norm_forward(x, p[prefix + "ln1.gamma"],
+                                             p[prefix + "ln1.beta"])
+            attn_out = self._attention_step(ln1_out, layer, cache, write_rows,
+                                            write_cols, write_pos, kv_len,
+                                            mask, matmul=mm)
+            x1 = x + attn_out
+            ln2_out, _ = _layer_norm_forward(x1, p[prefix + "ln2.gamma"],
+                                             p[prefix + "ln2.beta"])
+            h_pre = mm(prefix + "mlp.w1", ln2_out, p[prefix + "mlp.w1"]) \
+                + p[prefix + "mlp.b1"]
+            h_act = np.maximum(h_pre, 0.0)
+            mlp_out = mm(prefix + "mlp.w2", h_act, p[prefix + "mlp.w2"]) \
+                + p[prefix + "mlp.b2"]
+            x = x1 + mlp_out
+
+        lnf_out, _ = _layer_norm_forward(x, p["ln_f.gamma"], p["ln_f.beta"])
+        logits = mm("lm_head.weight", lnf_out, p["lm_head.weight"])
+        cache.lengths = end
+        return logits
 
     # -------------------------------------------------------------- backward
     def backward(self, dlogits: np.ndarray, caches) -> dict[str, np.ndarray]:

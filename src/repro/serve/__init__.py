@@ -6,11 +6,15 @@ balanced per-worker shards (:mod:`repro.serve.sharding`), (2) pinning the
 sharded weights — and their weight-stationary RAC keys — in a concurrent
 worker pool (:mod:`repro.serve.workers`), (3) coalescing single-request
 traffic into micro-batches that share one engine pass
-(:mod:`repro.serve.batching`), and (4) gluing it together over a
+(:mod:`repro.serve.batching`), (4) continuous (iteration-level) batching of
+multi-token generation over a shared KV cache — stacked single-position
+decode steps with admission between iterations
+(:mod:`repro.serve.scheduler`) — and (5) gluing it together over a
 :class:`~repro.models.quantized_model.QuantizedLM` with per-request latency
 and plan-exact modelled-cycle accounting (:mod:`repro.serve.server`).
 
-Quickstart (see ``examples/serve_quickstart.py`` for the full client)::
+Quickstart (see ``examples/serve_quickstart.py`` and
+``examples/generate_quickstart.py`` for full clients)::
 
     import asyncio
     from repro.serve import BatchPolicy, InferenceServer
@@ -19,14 +23,21 @@ Quickstart (see ``examples/serve_quickstart.py`` for the full client)::
                              policy=BatchPolicy(max_batch=8, max_wait_us=500))
 
     async def client(tokens):
-        result = await server.submit(tokens)
-        return result.logits
+        result = await server.submit(tokens)            # one-shot logits
+        gen = await server.submit_generate(tokens, 16)  # KV-cached decoding
+        return result.logits, gen.tokens
 
     asyncio.run(client(my_tokens))
 """
 
 from repro.serve.batching import AsyncBatcher, BatcherStats, BatchPolicy
-from repro.serve.server import InferenceResult, InferenceServer, ServerMetrics
+from repro.serve.scheduler import DecodeMetrics, DecodeScheduler, SequenceState
+from repro.serve.server import (
+    GeneratedSequence,
+    InferenceResult,
+    InferenceServer,
+    ServerMetrics,
+)
 from repro.serve.sharding import merge_shard_outputs, shard_plan
 from repro.serve.workers import ShardedMPUPool
 
@@ -34,8 +45,12 @@ __all__ = [
     "AsyncBatcher",
     "BatcherStats",
     "BatchPolicy",
+    "DecodeMetrics",
+    "DecodeScheduler",
+    "GeneratedSequence",
     "InferenceResult",
     "InferenceServer",
+    "SequenceState",
     "ServerMetrics",
     "ShardedMPUPool",
     "merge_shard_outputs",

@@ -1,0 +1,344 @@
+"""Continuous (iteration-level) batching for autoregressive decoding.
+
+The one-shot serving path (:class:`~repro.serve.server.InferenceServer.
+submit`) re-runs a full prefill per request, so multi-token generation pays
+O(T²) attention and re-executes every tile plan per emitted token.
+:class:`DecodeScheduler` replaces that with the scheduling discipline real
+LLM inference engines use (Orca-style iteration-level batching):
+
+* a pool of *in-flight sequences* shares one ragged
+  :class:`~repro.models.transformer.KVCache` (per-row lengths);
+* each scheduler iteration runs **one stacked single-position decode step**
+  over every in-flight sequence — the engine work per iteration is one
+  plan execution at flat batch = #active, independent of how long the
+  cached sequences already are;
+* new requests are admitted *between* iterations: the waiting prompts are
+  prefilled together as one ragged right-padded stacked pass, their rows
+  are concatenated onto the shared cache, and they join the very next
+  decode step (cache padding does the rest);
+* sequences leave as soon as they emit their EOS token or exhaust their
+  token budget; the cache compacts by gathering the survivors' rows.
+
+Every weight GEMM goes through a pluggable ``gemm(name, flat) -> (y,
+stats)`` — the sharded pool dispatch of a server, or the model's own
+memoised :meth:`~repro.models.quantized_model.QuantizedLM.prepared_gemm` —
+so decode cost accounting stays plan-exact: :class:`DecodeMetrics` sums the
+:class:`~repro.core.mpu.MPURunStats` of exactly the passes that ran.
+
+The scheduler core is synchronous and thread-safe (``submit`` may be called
+from any thread; ``step`` is driven by one driver at a time) —
+:class:`~repro.serve.server.InferenceServer` pumps it from an asyncio task
+via the event loop's executor, and tests/benchmarks drive it inline with
+:meth:`DecodeScheduler.run_until_idle`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.mpu import MPUConfig, MPURunStats
+from repro.models.quantized_model import QuantizedLM
+from repro.models.transformer import KVCache
+
+__all__ = ["DecodeMetrics", "DecodeScheduler", "SequenceState"]
+
+# Sliding-window size for the latency percentile estimates (the server's
+# request metrics import it too): p50/p99 track recent traffic at O(1)
+# memory.
+LATENCY_WINDOW = 4096
+
+
+@dataclass
+class DecodeMetrics:
+    """Aggregate accounting of a scheduler's decode traffic.
+
+    ``step_latencies_s`` records the wall-clock duration of each decode
+    iteration — every in-flight sequence receives exactly one token per
+    iteration, so these *are* the per-token latencies; ``p50``/``p99``
+    summarise them over a bounded recent window.  ``mpu_stats`` sums the
+    plan-exact counters of every prefill and decode pass the scheduler
+    actually dispatched.
+    """
+
+    requests: int = 0
+    finished: int = 0
+    admissions: int = 0
+    iterations: int = 0
+    prefill_tokens: int = 0
+    decode_tokens: int = 0
+    generated_tokens: int = 0
+    busy_s: float = 0.0
+    step_latencies_s: "deque[float]" = field(
+        default_factory=lambda: deque(maxlen=LATENCY_WINDOW))
+    request_latencies_s: "deque[float]" = field(
+        default_factory=lambda: deque(maxlen=LATENCY_WINDOW))
+    mpu_stats: MPURunStats = field(default_factory=MPURunStats)
+
+    def latency_percentile(self, q: float) -> float:
+        if not self.step_latencies_s:
+            return 0.0
+        return float(np.percentile(np.asarray(self.step_latencies_s), q))
+
+    def request_latency_percentile(self, q: float) -> float:
+        if not self.request_latencies_s:
+            return 0.0
+        return float(np.percentile(np.asarray(self.request_latencies_s), q))
+
+    @property
+    def p50_token_latency_s(self) -> float:
+        return self.latency_percentile(50.0)
+
+    @property
+    def p99_token_latency_s(self) -> float:
+        return self.latency_percentile(99.0)
+
+    @property
+    def tokens_per_second(self) -> float:
+        return self.generated_tokens / self.busy_s if self.busy_s > 0 else 0.0
+
+    @property
+    def mean_active(self) -> float:
+        """Mean in-flight sequences per decode iteration."""
+        return self.decode_tokens / self.iterations if self.iterations else 0.0
+
+
+@dataclass
+class SequenceState:
+    """One generation request as the scheduler tracks it.
+
+    ``finish_reason`` settles to ``"eos"``, ``"length"``, ``"cancelled"``
+    (the client abandoned the request), or ``"error"`` (the decode driver
+    hit a fatal error — ``error`` then carries the exception).
+    """
+
+    request_id: int
+    prompt: np.ndarray
+    max_new_tokens: int
+    eos_token: int | None = None
+    on_token: "callable | None" = None   # on_token(seq, token|None, done)
+    generated: list[int] = field(default_factory=list)
+    finish_reason: str | None = None
+    error: BaseException | None = None
+
+    @property
+    def done(self) -> bool:
+        return self.finish_reason is not None
+
+    @property
+    def tokens(self) -> np.ndarray:
+        return np.asarray(self.generated, dtype=np.int64)
+
+    def _emit(self, token: int) -> None:
+        """Record one generated token and settle the finish state."""
+        self.generated.append(token)
+        if self.done:
+            pass  # cancelled mid-iteration: keep the settled reason
+        elif self.eos_token is not None and token == self.eos_token:
+            self.finish_reason = "eos"
+        elif len(self.generated) >= self.max_new_tokens:
+            self.finish_reason = "length"
+        if self.on_token is not None:
+            self.on_token(self, token, self.done)
+
+
+class DecodeScheduler:
+    """Iteration-level scheduler over stacked KV-cached decode steps.
+
+    Parameters
+    ----------
+    qlm:
+        The quantized model; its transformer runs the cache-aware ``step``
+        passes, its :meth:`~repro.models.quantized_model.QuantizedLM.
+        prepared_gemm` is the default engine dispatch.
+    gemm:
+        Optional ``gemm(name, flat) -> (y, stats)`` override — e.g. an
+        :class:`~repro.serve.server.InferenceServer`'s sharded pool
+        dispatch.  Row-axis pool dispatch is bit-exact against the default,
+        so served generations match solo ones token for token.
+    max_active:
+        In-flight sequence cap: waiting requests are admitted between
+        iterations only while the pool holds fewer than this many.
+    mpu_config:
+        Geometry for the default ``gemm`` (ignored when ``gemm`` is given).
+    """
+
+    def __init__(self, qlm: QuantizedLM, gemm=None, max_active: int = 8,
+                 mpu_config: MPUConfig | None = None) -> None:
+        if max_active < 1:
+            raise ValueError("max_active must be >= 1")
+        self.qlm = qlm
+        self.model = qlm.model
+        self.max_active = max_active
+        self._gemm = gemm or qlm.prepared_gemm(mpu_config)
+        self.metrics = DecodeMetrics()
+        self._waiting: "deque[SequenceState]" = deque()
+        self._active: list[SequenceState] = []
+        self._cache: KVCache | None = None
+        self._lock = threading.Lock()
+        self._next_id = 0
+
+    # -- request admission -------------------------------------------------
+    def submit(self, prompt: np.ndarray, max_new_tokens: int,
+               eos_token: int | None = None,
+               on_token=None) -> SequenceState:
+        """Queue one generation request (thread-safe); admitted at the next
+        iteration boundary.  ``on_token(seq, token, done)`` fires from the
+        decode thread as tokens are produced (streaming hook)."""
+        arr = self.qlm.check_generation_request(prompt, max_new_tokens)
+        with self._lock:
+            seq = SequenceState(request_id=self._next_id, prompt=arr,
+                                max_new_tokens=max_new_tokens,
+                                eos_token=eos_token, on_token=on_token)
+            self._next_id += 1
+            self._waiting.append(seq)
+            self.metrics.requests += 1
+        return seq
+
+    @property
+    def has_work(self) -> bool:
+        with self._lock:
+            return bool(self._waiting or self._active)
+
+    @property
+    def num_active(self) -> int:
+        with self._lock:
+            return len(self._active)
+
+    def cancel(self, seq: SequenceState) -> None:
+        """Abandon a request (thread-safe, idempotent).
+
+        A waiting request is dropped immediately; an in-flight one is
+        compacted out of the cache at the next iteration boundary, so it
+        stops consuming a pool slot and a decode-step row.  No further
+        ``on_token`` callbacks fire after the current iteration.
+        """
+        with self._lock:
+            if seq.done:
+                return
+            seq.finish_reason = "cancelled"
+            try:
+                self._waiting.remove(seq)
+            except ValueError:
+                pass  # already admitted; step() compacts it out
+
+    def abort(self, error: BaseException) -> list[SequenceState]:
+        """Fail every waiting and in-flight request (fatal driver error).
+
+        Each sequence settles with ``finish_reason="error"`` and the
+        exception attached, and its ``on_token`` hook fires once more with
+        ``token=None, done=True`` so async front-ends can propagate the
+        failure instead of hanging their clients.  The scheduler is left
+        empty and usable for new requests.
+        """
+        with self._lock:
+            failed = list(self._waiting) + self._active
+            self._waiting.clear()
+            self._active = []
+            self._cache = None
+        for seq in failed:
+            seq.finish_reason = "error"
+            seq.error = error
+            if seq.on_token is not None:
+                seq.on_token(seq, None, True)
+        return failed
+
+    # -- the iteration loop ------------------------------------------------
+    def _compact_locked(self) -> None:
+        """Drop finished/cancelled sequences from the pool (caller holds the
+        lock).  The cache gathers the survivors' rows so active-list order
+        and cache-row order stay aligned."""
+        if not any(seq.done for seq in self._active):
+            return
+        survivors = [i for i, seq in enumerate(self._active) if not seq.done]
+        self._active = [self._active[i] for i in survivors]
+        self._cache = (self._cache.gather_rows(survivors)
+                       if survivors else None)
+
+    def _admit(self) -> list[SequenceState]:
+        """Prefill waiting requests (up to the pool cap) and join the cache.
+
+        All admitted prompts run as *one* ragged right-padded stacked pass;
+        each admitted sequence's first token comes from its last valid
+        prefill logit, and its cache rows are concatenated onto the pool's
+        cache so it participates in the next stacked decode step.
+        """
+        with self._lock:
+            admitted: list[SequenceState] = []
+            while self._waiting and len(self._active) + len(admitted) < self.max_active:
+                admitted.append(self._waiting.popleft())
+        if not admitted:
+            return []
+
+        lens = np.array([s.prompt.size for s in admitted], dtype=np.int64)
+        width = int(lens.max())
+        stacked = np.zeros((len(admitted), width), dtype=np.int64)
+        for i, seq in enumerate(admitted):
+            stacked[i, : seq.prompt.size] = seq.prompt
+        logits, cache, stats = self.qlm.prefill(stacked, num_valid=lens,
+                                                gemm=self._gemm)
+        self.metrics.mpu_stats = self.metrics.mpu_stats.merge(stats)
+        self.metrics.admissions += 1
+        self.metrics.prefill_tokens += int(lens.sum())
+
+        finished: list[SequenceState] = []
+        for i, seq in enumerate(admitted):
+            seq._emit(int(np.argmax(logits[i, lens[i] - 1])))
+            self.metrics.generated_tokens += 1
+            if seq.done:
+                finished.append(seq)
+        survivors = [i for i, seq in enumerate(admitted) if not seq.done]
+        if survivors:
+            rows = cache.gather_rows(survivors) if len(survivors) != len(admitted) else cache
+            with self._lock:
+                self._cache = rows if self._cache is None \
+                    else KVCache.concat([self._cache, rows])
+                self._active.extend(admitted[i] for i in survivors)
+        return finished
+
+    def step(self) -> list[SequenceState]:
+        """One scheduler iteration: admit, then one stacked decode step.
+
+        Returns the sequences that finished during this iteration.  Safe to
+        call when idle (returns ``[]``).
+        """
+        t0 = time.perf_counter()
+        finished = self._admit()
+
+        with self._lock:
+            # Compact cancelled sequences out before the stacked pass so they
+            # stop occupying a cache row and a decode column.
+            self._compact_locked()
+            active = list(self._active)
+        if active:
+            last = np.array([[seq.generated[-1]] for seq in active],
+                            dtype=np.int64)
+            it0 = time.perf_counter()
+            logits, stats = self.qlm.decode_step(last, self._cache,
+                                                 gemm=self._gemm)
+            self.metrics.step_latencies_s.append(time.perf_counter() - it0)
+            self.metrics.mpu_stats = self.metrics.mpu_stats.merge(stats)
+            self.metrics.iterations += 1
+            self.metrics.decode_tokens += len(active)
+            self.metrics.generated_tokens += len(active)
+            for i, seq in enumerate(active):
+                seq._emit(int(np.argmax(logits[i, 0])))
+                if seq.done:
+                    finished.append(seq)
+            with self._lock:
+                self._compact_locked()
+
+        self.metrics.busy_s += time.perf_counter() - t0
+        self.metrics.finished += len(finished)
+        return finished
+
+    def run_until_idle(self) -> list[SequenceState]:
+        """Drive :meth:`step` until no work remains (inline driver)."""
+        finished: list[SequenceState] = []
+        while self.has_work:
+            finished.extend(self.step())
+        return finished

@@ -20,10 +20,22 @@ server's aggregate modelled cycles equal the unsharded
 ``QuantizedLM.model_mpu_stats`` totals for the batches it actually ran —
 plan-exact under sharding — alongside the measured wall-clock latency
 percentiles and throughput.
+
+Multi-token generation does **not** go through the one-shot pipeline:
+:meth:`InferenceServer.submit_generate` (and the streaming
+:meth:`InferenceServer.stream_generate`) hand requests to a
+:class:`~repro.serve.scheduler.DecodeScheduler` that keeps a pool of
+in-flight sequences over one shared KV cache, admits new requests between
+decode iterations, and drives one stacked single-position decode step per
+iteration through the same sharded pool — so each emitted token costs one
+plan execution at flat batch = #active instead of a full re-prefill, and a
+request's tokens are bit-identical to a solo :meth:`InferenceServer.
+generate_solo` run.
 """
 
 from __future__ import annotations
 
+import asyncio
 import threading
 import time
 from collections import deque
@@ -32,11 +44,13 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.mpu import MPUConfig, MPURunStats
-from repro.models.quantized_model import QuantizedLM
+from repro.models.quantized_model import GenerationResult, QuantizedLM
 from repro.serve.batching import AsyncBatcher, BatchPolicy
+from repro.serve.scheduler import LATENCY_WINDOW, DecodeScheduler
 from repro.serve.workers import ShardedMPUPool
 
-__all__ = ["InferenceResult", "ServerMetrics", "InferenceServer"]
+__all__ = ["InferenceResult", "GeneratedSequence", "ServerMetrics",
+           "InferenceServer"]
 
 
 @dataclass(frozen=True)
@@ -49,9 +63,25 @@ class InferenceResult:
     batch_size: int             # requests sharing the forward pass
 
 
-# Latency samples retained for the percentile estimates; a bounded window
-# keeps a long-lived server's memory O(1) while p50/p99 track recent traffic.
-LATENCY_WINDOW = 4096
+@dataclass(frozen=True)
+class GeneratedSequence:
+    """One served generation request (continuous-batching decode path).
+
+    ``request_id`` comes from the decode scheduler's id space (independent
+    of the one-shot :class:`InferenceResult` ids); ``latency_s`` is the
+    submit-to-last-token wall time the request observed.
+    """
+
+    request_id: int
+    prompt: np.ndarray
+    tokens: np.ndarray          # generated tokens, prompt excluded
+    finish_reason: str          # "eos" or "length"
+    latency_s: float
+
+
+# Latency samples retained for the percentile estimates (shared with the
+# decode scheduler's metrics); a bounded window keeps a long-lived server's
+# memory O(1) while p50/p99 track recent traffic.
 
 
 @dataclass
@@ -110,32 +140,60 @@ class InferenceServer:
         The quantized model; its BCQ weight views are pinned across the
         pool's workers, its transformer runs the forward pass.
     num_shards, mpu_config, backend, accumulate_dtype, pin_keys, axis:
-        Forwarded to :class:`~repro.serve.workers.ShardedMPUPool`.
+        Forwarded to :class:`~repro.serve.workers.ShardedMPUPool`.  With a
+        single shard on the default row axis the pool pins the model's own
+        memoised :meth:`~repro.models.quantized_model.QuantizedLM.
+        prepared_weights` instead of re-packing keys, so the served path and
+        any standalone ``qlm`` decode share one prepared copy.
     policy:
         Micro-batching policy (:class:`~repro.serve.batching.BatchPolicy`).
+        ``max_wait_us`` doubles as the decode scheduler's admission window:
+        generation requests submitted within it join the first iteration.
+    decode_max_active:
+        In-flight sequence cap of the continuous-batching decode scheduler.
     """
 
     def __init__(self, qlm: QuantizedLM, num_shards: int = 2,
                  policy: BatchPolicy | None = None,
                  mpu_config: MPUConfig | None = None, backend: str = "thread",
                  accumulate_dtype: "np.dtype | type" = np.float64,
-                 pin_keys: bool = True, axis: str = "rows") -> None:
+                 pin_keys: bool = True, axis: str = "rows",
+                 decode_max_active: int = 8) -> None:
         self.qlm = qlm
-        self.pool = ShardedMPUPool(qlm.bcq_views(), num_shards=num_shards,
+        # Solo and served execution share prepared weight-stationary state
+        # where the shard layout allows it (one row shard = the full plan);
+        # the pool always reuses the model's memoised layer plans.
+        shared_prepared = (qlm.prepared_weights(mpu_config)
+                           if num_shards == 1 and pin_keys and axis == "rows"
+                           and backend != "process" else None)
+        views = qlm.bcq_views()
+        plans = {name: qlm.layer_plan(name, mpu_config) for name in views}
+        self.pool = ShardedMPUPool(views, num_shards=num_shards,
                                    mpu_config=mpu_config, backend=backend,
                                    accumulate_dtype=accumulate_dtype,
-                                   pin_keys=pin_keys, axis=axis)
+                                   pin_keys=pin_keys, axis=axis,
+                                   shared_prepared=shared_prepared,
+                                   plans=plans)
         self.metrics = ServerMetrics()
         self.batcher = AsyncBatcher(self._run_batch, policy)
+        self.scheduler = DecodeScheduler(qlm, gemm=self._metered_gemm,
+                                         max_active=decode_max_active)
         self._hook = qlm.matmul_via(self._pool_gemm)
         self._lock = threading.Lock()
         self._next_id = 0
+        self._pump_task: "asyncio.Task | None" = None
 
     # -- the sharded forward path -----------------------------------------
-    def _pool_gemm(self, name: str, flat: np.ndarray) -> np.ndarray:
+    def _metered_gemm(self, name: str,
+                      flat: np.ndarray) -> tuple[np.ndarray, MPURunStats]:
+        """Pool dispatch that also feeds the server-wide counters."""
         y, stats = self.pool.gemm(name, flat)
         with self._lock:
             self.metrics.mpu_stats = self.metrics.mpu_stats.merge(stats)
+        return y, stats
+
+    def _pool_gemm(self, name: str, flat: np.ndarray) -> np.ndarray:
+        y, _ = self._metered_gemm(name, flat)
         return y
 
     def forward(self, tokens: np.ndarray) -> np.ndarray:
@@ -191,19 +249,142 @@ class InferenceServer:
         return InferenceResult(request_id=request_id, logits=logits,
                                latency_s=latency, batch_size=batch_size)
 
+    # -- continuous-batching generation ------------------------------------
+    @property
+    def decode_metrics(self):
+        """The decode scheduler's :class:`~repro.serve.scheduler.
+        DecodeMetrics`: per-token p50/p99 latency, decode tokens/s, and the
+        plan-exact counters of every prefill/decode pass it dispatched."""
+        return self.scheduler.metrics
+
+    def _ensure_pump(self) -> None:
+        """Start (or restart) the scheduler pump on the running loop.
+
+        The pump first sleeps the batching policy's admission window so
+        concurrently-submitted requests share the first iteration, then
+        drives one scheduler iteration at a time in the executor — between
+        iterations the event loop runs, which is exactly when new requests
+        enqueue and get admitted (iteration-level batching).
+        """
+        if self._pump_task is None or self._pump_task.done():
+            self._pump_task = asyncio.get_running_loop().create_task(
+                self._pump())
+
+    async def _pump(self) -> None:
+        loop = asyncio.get_running_loop()
+        await asyncio.sleep(self.batcher.policy.max_wait_us / 1e6)
+        try:
+            while self.scheduler.has_work:
+                await loop.run_in_executor(None, self.scheduler.step)
+        except Exception as exc:
+            # A fatal driver error (e.g. a dead pool worker) must reach the
+            # awaiting clients, not die silently with the pump task.
+            self.scheduler.abort(exc)
+
+    async def submit_generate(self, tokens: np.ndarray,
+                              max_new_tokens: int = 16,
+                              eos_token: int | None = None) -> GeneratedSequence:
+        """Generate up to ``max_new_tokens`` greedily; await the full result.
+
+        The request joins the continuous-batching decode pool at the next
+        iteration boundary and leaves on EOS or budget exhaustion.  Its
+        token sequence is bit-identical to a solo :meth:`generate_solo` run
+        of the same prompt — row-independent stacked decode over the same
+        sharded pool.  Cancelling the awaiting task abandons the request
+        (it is compacted out of the decode pool at the next iteration);
+        a fatal decode error is re-raised here.
+        """
+        arr = self._check_request(tokens)
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        t0 = time.perf_counter()
+
+        def on_token(seq, token, done):
+            if done:
+                loop.call_soon_threadsafe(
+                    lambda: future.done() or future.set_result(seq))
+
+        seq = self.scheduler.submit(arr, max_new_tokens, eos_token=eos_token,
+                                    on_token=on_token)
+        self._ensure_pump()
+        try:
+            finished = await future
+        except asyncio.CancelledError:
+            self.scheduler.cancel(seq)
+            raise
+        if finished.error is not None:
+            raise finished.error
+        latency = time.perf_counter() - t0
+        self.scheduler.metrics.request_latencies_s.append(latency)
+        return GeneratedSequence(request_id=finished.request_id, prompt=arr,
+                                 tokens=finished.tokens,
+                                 finish_reason=finished.finish_reason,
+                                 latency_s=latency)
+
+    async def stream_generate(self, tokens: np.ndarray,
+                              max_new_tokens: int = 16,
+                              eos_token: int | None = None):
+        """Async generator yielding tokens as the decode pool emits them.
+
+        Abandoning the iteration (``break`` / generator close) cancels the
+        request so it stops occupying a decode-pool slot; a fatal decode
+        error is re-raised to the consumer.
+        """
+        arr = self._check_request(tokens)
+        loop = asyncio.get_running_loop()
+        queue: "asyncio.Queue[tuple[int | None, bool]]" = asyncio.Queue()
+        t0 = time.perf_counter()
+
+        def on_token(seq, token, done):
+            item = (None if token is None else int(token), bool(done))
+            loop.call_soon_threadsafe(queue.put_nowait, item)
+
+        seq = self.scheduler.submit(arr, max_new_tokens, eos_token=eos_token,
+                                    on_token=on_token)
+        self._ensure_pump()
+        try:
+            while True:
+                token, done = await queue.get()
+                if token is not None:
+                    yield token
+                if done:
+                    break
+        finally:
+            self.scheduler.cancel(seq)  # no-op if the request finished
+        if seq.error is not None:
+            raise seq.error
+        self.scheduler.metrics.request_latencies_s.append(
+            time.perf_counter() - t0)
+
     # -- baselines / lifecycle --------------------------------------------
     def run_solo(self, tokens: np.ndarray) -> np.ndarray:
         """One request through the same sharded pool, no batching.
 
         The sequential baseline the throughput benchmark compares against;
         returns logits ``(seq, vocab)`` bit-identical to what the same
-        request receives from :meth:`submit` inside any micro-batch.
+        request receives from :meth:`submit` inside any micro-batch.  Runs
+        over the pool's pinned shards (their ``PreparedWeights`` RAC keys
+        included), so the standalone path re-plans and re-packs nothing.
         Updates only the modelled GEMM counters, not the request metrics.
         """
         arr = self._check_request(tokens)
         return self.forward(arr[None])[0]
 
+    def generate_solo(self, tokens: np.ndarray, max_new_tokens: int = 16,
+                      eos_token: int | None = None) -> GenerationResult:
+        """One KV-cached greedy generation through the same sharded pool.
+
+        The sequential baseline for :meth:`submit_generate` — identical
+        tokens, no iteration-level batching, same pinned prepared state.
+        Updates only the modelled GEMM counters, not the decode metrics.
+        """
+        return self.qlm.generate(np.asarray(tokens, dtype=np.int64),
+                                 max_new_tokens, eos_token=eos_token,
+                                 gemm=self._metered_gemm)
+
     async def aclose(self) -> None:
+        if self._pump_task is not None and not self._pump_task.done():
+            await self._pump_task
         await self.batcher.aclose()
         self.pool.close()
 

@@ -214,12 +214,27 @@ class ShardedMPUPool:
     axis:
         Shard axis, ``"rows"`` (bit-exact merge, default) or
         ``"segments"`` (summing merge; thread/serial backends only).
+    shared_prepared:
+        Optional externally-owned full-plan
+        :class:`~repro.core.mpu.PreparedWeights` per layer (e.g.
+        ``QuantizedLM.prepared_weights()``).  A layer whose row-axis shard
+        covers the whole plan (single shard) pins this shared state instead
+        of slicing and re-packing its own copy, so the solo and served
+        paths hold one set of RAC keys.  Ignored for multi-shard layers and
+        the process backend.
+    plans:
+        Optional pre-built :class:`~repro.core.dataflow.TileExecutionPlan`
+        per layer (e.g. the ``QuantizedLM.layer_plan`` memo) for the same
+        MPU geometry; layers present here skip re-planning.
     """
 
     def __init__(self, weights: "dict[str, BCQTensor]", num_shards: int = 2,
                  mpu_config: MPUConfig | None = None, backend: str = "thread",
                  accumulate_dtype: "np.dtype | type" = np.float64,
-                 pin_keys: bool = True, axis: str = "rows") -> None:
+                 pin_keys: bool = True, axis: str = "rows",
+                 shared_prepared: "dict[str, PreparedWeights] | None" = None,
+                 plans: "dict[str, TileExecutionPlan] | None" = None
+                 ) -> None:
         if backend not in ("serial", "thread", "process"):
             raise ValueError("backend must be 'serial', 'thread' or 'process'")
         if axis not in ("rows", "segments"):
@@ -232,8 +247,10 @@ class ShardedMPUPool:
         self.backend = backend
         self.axis = axis
         self.accumulate_dtype = np.dtype(accumulate_dtype)
+        plans = plans or {}
         self.plans: dict[str, TileExecutionPlan] = {
-            name: self.mpu.plan(tensor) for name, tensor in weights.items()}
+            name: plans.get(name) or self.mpu.plan(tensor)
+            for name, tensor in weights.items()}
         self.shards: dict[str, list[PlanShard]] = {
             name: shard_plan(plan, num_shards, axis=axis)
             for name, plan in self.plans.items()}
@@ -256,11 +273,20 @@ class ShardedMPUPool:
                     continue
                 shard = self.shards[name][w]
                 if axis == "rows":
-                    sliced = tensor.take_rows(shard.row_indices)
-                    slices[name] = sliced
-                    pinned_weights: "BCQTensor | PreparedWeights" = (
-                        self.mpu.prepare(sliced) if pin_keys and backend != "process"
-                        else sliced)
+                    if (len(self.shards[name]) == 1 and pin_keys
+                            and backend != "process" and shared_prepared
+                            and name in shared_prepared):
+                        # The single shard is the whole plan: pin the
+                        # caller's shared prepared state (identical keys,
+                        # one resident copy for solo and served paths).
+                        pinned_weights: "BCQTensor | PreparedWeights" = \
+                            shared_prepared[name]
+                    else:
+                        sliced = tensor.take_rows(shard.row_indices)
+                        slices[name] = sliced
+                        pinned_weights = (
+                            self.mpu.prepare(sliced)
+                            if pin_keys and backend != "process" else sliced)
                 else:
                     pinned_weights = shared_full[name]
                 resident[name] = _PinnedShard(shard=shard, weights=pinned_weights)
@@ -296,7 +322,7 @@ class ShardedMPUPool:
 
     def plan_stats(self, name: str, batch: int) -> MPURunStats:
         """Unsharded analytic counters for one layer (merge-equal to a run)."""
-        return self.mpu._stats_from_plan(self.plans[name], batch)
+        return self.mpu.stats_from_plan(self.plans[name], batch)
 
     def gemm(self, name: str,
              activations: np.ndarray) -> tuple[np.ndarray, MPURunStats]:
