@@ -12,6 +12,10 @@ This package implements the paper's primary contribution:
   tiling with bit-plane-innermost ordering, the scale-group-aligned tile
   execution planner, and the batched MPU executor with its retained scalar
   reference.
+* :mod:`repro.core.program` — the plan compiler: lowers a tile-execution
+  plan to a flat :class:`~repro.core.program.CompiledProgram` (concatenated
+  LUT-key/scale buffers plus a short instruction list) that the MPU's
+  default executor replays bit-identically to the interpreter.
 * :mod:`repro.core.engines` — functional GEMM engines with the numerics of
   FPE, iFPU, FIGNA, FIGLUT-F and FIGLUT-I.
 * :mod:`repro.core.gemm` — the high-level ``prepare_weights`` /
@@ -50,6 +54,7 @@ from repro.core.dataflow import (
     count_tile_fetches,
 )
 from repro.core.mpu import MPUConfig, MPURunStats, MatrixProcessingUnit
+from repro.core.program import CompiledProgram, PlanePass, compile_plan
 from repro.core.engines import (
     EngineStats,
     GEMMEngine,
@@ -93,6 +98,9 @@ __all__ = [
     "MPUConfig",
     "MPURunStats",
     "MatrixProcessingUnit",
+    "CompiledProgram",
+    "PlanePass",
+    "compile_plan",
     "EngineStats",
     "GEMMEngine",
     "FPEngine",

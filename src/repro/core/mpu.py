@@ -28,11 +28,17 @@ The simulation is split into a *planner* and an *executor*:
   accumulations, generator additions, cycles) are derived analytically from
   the plan.
 
-:meth:`MatrixProcessingUnit.gemm_reference` retains the scalar per-(batch,
-group) walk of the *same* plan, incrementing every counter as the loops run;
-the batched executor is bit-exact against it (including the counters), which
-the equivalence tests pin down.  :meth:`MatrixProcessingUnit.plan_stats`
-returns the counters alone, without touching any activation data.
+:meth:`MatrixProcessingUnit.gemm` actually runs one of three executors
+(``executor=``): the default **compiled** path lowers the plan once into a
+flat :class:`~repro.core.program.CompiledProgram`
+(:func:`~repro.core.program.compile_plan`) and replays it with a handful of
+fused NumPy calls; the **interpreted** path is the per-segment walk
+described above; and :meth:`MatrixProcessingUnit.gemm_reference` retains
+the scalar per-(batch, group) walk of the *same* plan, incrementing every
+counter as the loops run.  All three are bit-exact against each other
+(outputs *and* counters), which the equivalence tests pin down.
+:meth:`MatrixProcessingUnit.plan_stats` returns the counters alone, without
+touching any activation data.
 
 Mixed precision (``BCQTensor.per_row_bits``) is honoured end to end: the
 plan's :class:`~repro.core.dataflow.RowBand` entries carry per-band plane
@@ -59,7 +65,7 @@ Two serving-oriented extensions sit on top (used by :mod:`repro.serve`):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, fields
+from dataclasses import dataclass, field, fields, replace
 
 import numpy as np
 
@@ -74,6 +80,26 @@ from repro.core.lut_generator import generator_addition_count
 from repro.quant.bcq import BCQTensor
 
 __all__ = ["MPUConfig", "MPURunStats", "MatrixProcessingUnit", "PreparedWeights"]
+
+
+def _normalize_activations(activations: np.ndarray,
+                           expected_rows: int) -> tuple[np.ndarray, bool]:
+    """Normalize ``(N,)`` / ``(N, batch)`` activations to float64 2-D.
+
+    The single input-handling path shared by every executor — the batched
+    ``gemm``, the scalar ``gemm_reference`` and the compiled
+    :meth:`~repro.core.program.CompiledProgram.execute` — so the three
+    cannot drift on shape or dtype handling.  Returns ``(x, squeeze)``
+    where ``squeeze`` records that the caller should return a vector.
+    """
+    x = np.asarray(activations, dtype=np.float64)
+    squeeze = x.ndim == 1
+    if squeeze:
+        x = x[:, None]
+    if x.shape[0] != expected_rows:
+        raise ValueError(
+            f"activation rows {x.shape[0]} != weight cols {expected_rows}")
+    return x, squeeze
 
 
 @dataclass(frozen=True)
@@ -170,9 +196,15 @@ class PreparedWeights:
         key matrix of that segment's bit plane; for mixed tensors the rows
         are the plane's *active* rows only.
     active_rows:
-        Per-plane active-row indices (``None`` for uniform tensors).
+        Per-plane active-row indices (``None`` for uniform tensors),
+        derived once at prepare time — the per-call path never recomputes
+        the mixed-precision row gating.
     max_planes:
         Planes the executor walks (``max(per_row_bits)``).
+    program:
+        The plan lowered to a flat :class:`~repro.core.program.
+        CompiledProgram` (reusing these key matrices), the default executor
+        for every :meth:`MatrixProcessingUnit.gemm` on prepared weights.
     """
 
     weights: BCQTensor
@@ -180,6 +212,7 @@ class PreparedWeights:
     keys: tuple[tuple[np.ndarray, ...], ...]
     active_rows: tuple[np.ndarray, ...] | None
     max_planes: int
+    program: "object | None" = None
 
 
 class MatrixProcessingUnit:
@@ -266,18 +299,6 @@ class MatrixProcessingUnit:
             stats.lut_generations * generator_addition_count(cfg.mu))
         return stats
 
-    # -- shared input handling --------------------------------------------
-    def _check_inputs(self, weights: BCQTensor,
-                      activations: np.ndarray) -> tuple[np.ndarray, bool]:
-        x = np.asarray(activations, dtype=np.float64)
-        squeeze = x.ndim == 1
-        if squeeze:
-            x = x[:, None]
-        if x.shape[0] != weights.shape[1]:
-            raise ValueError(
-                f"activation rows {x.shape[0]} != weight cols {weights.shape[1]}")
-        return x, squeeze
-
     @staticmethod
     def _segment_groups(x: np.ndarray, seg, mu: int) -> np.ndarray:
         """Zero-pad the segment's activations to whole µ-groups.
@@ -336,6 +357,12 @@ class MatrixProcessingUnit:
         unprepared path — keys are integers.  ``plan`` lets a caller that
         already planned the tensor (e.g. the :class:`~repro.models.
         quantized_model.QuantizedLM` plan memo) skip re-planning.
+
+        The prepared state also embeds the plan lowered to a flat
+        :class:`~repro.core.program.CompiledProgram` (reusing the packed
+        keys), which :meth:`gemm` executes by default, and hoists the
+        per-plane active-row derivation of mixed tensors out of the
+        per-call path.
         """
         cfg = self.config
         plan = plan if plan is not None else self.plan(weights)
@@ -353,14 +380,17 @@ class MatrixProcessingUnit:
                     plane_w.astype(np.int64), seg, cfg.mu,
                     powers).astype(np.int32))
             keys.append(tuple(per_plane))
-        return PreparedWeights(weights=weights, plan=plan, keys=tuple(keys),
-                               active_rows=active, max_planes=max_planes)
+        prepared = PreparedWeights(weights=weights, plan=plan, keys=tuple(keys),
+                                   active_rows=active, max_planes=max_planes)
+        from repro.core.program import compile_plan  # mpu ↔ program cycle
+        return replace(prepared, program=compile_plan(plan, prepared, cfg))
 
     # -- batched executor --------------------------------------------------
     def gemm(self, weights: "BCQTensor | PreparedWeights",
              activations: np.ndarray,
              accumulate_dtype: np.dtype | type = np.float64,
-             shard: PlanShard | None = None) -> tuple[np.ndarray, MPURunStats]:
+             shard: PlanShard | None = None,
+             executor: str = "compiled") -> tuple[np.ndarray, MPURunStats]:
         """Compute ``Y = W X`` where ``W`` is BCQ-quantized.
 
         Parameters
@@ -385,6 +415,15 @@ class MatrixProcessingUnit:
             segment-axis shard returns a dense ``(M, batch)`` partial
             covering its column segments plus its owned offset terms.
             Either way ``stats`` is the shard's exact additive share.
+        executor:
+            ``"compiled"`` (default) runs the plan lowered to a flat
+            :class:`~repro.core.program.CompiledProgram` (embedded in
+            :class:`PreparedWeights`, compiled on the fly otherwise);
+            ``"interpreted"`` walks the plan segment by segment; and
+            ``"reference"`` delegates to the scalar
+            :meth:`gemm_reference` (unsharded raw tensors only).  All
+            three are bit-identical — outputs *and* stats — which the
+            equivalence suite pins on every plan family.
 
         Returns
         -------
@@ -393,10 +432,18 @@ class MatrixProcessingUnit:
             ``stats`` is derived analytically from the execution plan and is
             identical to the counters :meth:`gemm_reference` increments.
         """
+        if executor not in ("compiled", "interpreted", "reference"):
+            raise ValueError(
+                "executor must be 'compiled', 'interpreted' or 'reference'")
         prepared: PreparedWeights | None = None
         if isinstance(weights, PreparedWeights):
             prepared, weights = weights, weights.weights
-        x, squeeze = self._check_inputs(weights, activations)
+        if executor == "reference":
+            if shard is not None:
+                raise ValueError("the scalar reference does not execute shards")
+            return self.gemm_reference(weights, activations,
+                                       accumulate_dtype=accumulate_dtype)
+        x, squeeze = _normalize_activations(activations, weights.shape[1])
         m, _ = weights.shape
         batch = x.shape[1]
         acc_dtype = np.dtype(accumulate_dtype)
@@ -416,7 +463,15 @@ class MatrixProcessingUnit:
                         "row-axis shards execute a row-sliced tensor; "
                         "prepare() the slice held by the worker instead")
                 y, stats = self.gemm(weights.take_rows(shard.row_indices), x,
-                                     accumulate_dtype=accumulate_dtype)
+                                     accumulate_dtype=accumulate_dtype,
+                                     executor=executor)
+                return (y[:, 0], stats) if squeeze else (y, stats)
+            if executor == "compiled":
+                from repro.core.program import compile_plan
+                program = compile_plan(
+                    shard.plan, prepared if prepared is not None else weights,
+                    self.config, shard=shard)
+                y, stats = program.execute(x, accumulate_dtype=acc_dtype)
                 return (y[:, 0], stats) if squeeze else (y, stats)
             stats = self.shard_stats(shard, batch)
             segments = shard.segments
@@ -424,6 +479,15 @@ class MatrixProcessingUnit:
             offset_groups: tuple[int, ...] | None = shard.owned_scale_groups
         else:
             plan = prepared.plan if prepared is not None else self.plan(weights)
+            if executor == "compiled":
+                program = prepared.program if prepared is not None else None
+                if program is None:
+                    from repro.core.program import compile_plan
+                    program = compile_plan(
+                        plan, prepared if prepared is not None else weights,
+                        self.config)
+                y, stats = program.execute(x, accumulate_dtype=acc_dtype)
+                return (y[:, 0], stats) if squeeze else (y, stats)
             stats = self.stats_from_plan(plan, batch)
             segments = plan.segments
             segment_indices = tuple(range(len(plan.segments)))
@@ -508,7 +572,7 @@ class MatrixProcessingUnit:
         Orders of magnitude slower — use only for equivalence testing.
         """
         cfg = self.config
-        x, squeeze = self._check_inputs(weights, activations)
+        x, squeeze = _normalize_activations(activations, weights.shape[1])
         m, _ = weights.shape
         batch = x.shape[1]
         acc_dtype = np.dtype(accumulate_dtype)

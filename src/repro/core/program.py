@@ -1,0 +1,411 @@
+"""Plan compilation: lower a tile-execution plan to a flat executable program.
+
+The interpreted executor (:meth:`repro.core.mpu.MatrixProcessingUnit.gemm`
+with ``executor="interpreted"``) walks the
+:class:`~repro.core.dataflow.TileExecutionPlan` on every call: a Python loop
+over column segments × bit planes × LUT groups with one ``np.take`` per
+group.  The plan and the weights are immutable per layer, so all of that
+control flow can be resolved **once**.  :func:`compile_plan` lowers a plan
+into a :class:`CompiledProgram` — flat buffers plus a short instruction
+list — and :meth:`CompiledProgram.execute` replays it with a handful of
+fused NumPy calls per bit plane (the Exo ``LoopIR_compiler`` shape: IR in,
+flat program out).
+
+Buffer layout
+-------------
+Segments are laid out in ``slots_per_segment`` (= max LUT groups over the
+compiled segments) slots each, so every per-slot buffer is a dense matrix:
+
+``lut_cols`` — ``(num_slots, µ)`` int64
+    Gather indices into the activation matrix, padded with a sentinel row
+    index ``n`` that points at an appended all-zero activation row.  One
+    fancy-index builds every µ-group of every segment at once; the LUT
+    tables of all segments are then built by a single
+    :func:`~repro.core.lut.build_lut_tables` call.
+``PlanePass.keys`` — ``(num_slots, rows_p)`` int32 per bit plane
+    The RAC keys of every (slot, active row) pair: one fancy-index per
+    plane gathers **all** LUT reads of the plane pass, replacing the
+    interpreted per-group ``np.take`` loop.  Padded slots carry key 0 into
+    an all-zero LUT, so they contribute exactly ``+0.0``.
+``PlanePass.rows`` / ``PlanePass.scales``
+    The per-row-band plane masks of a mixed-precision tensor, baked into a
+    dense scatter-index vector (``None`` when every row is active) and a
+    ``(num_segments, rows_p)`` α matrix — no per-call
+    ``plane_activity()`` or scale gathering.
+``offsets`` / ``offset_slices``
+    The owned scale groups' offset columns and column spans, walked in
+    ascending group order exactly like the interpreted offset stage.
+
+Bit-exactness contract
+----------------------
+Compiled output and :class:`~repro.core.mpu.MPURunStats` are **identical**
+to the interpreted executor — not merely close.  Any lowering that would
+re-associate a float summation is rejected:
+
+* LUT tables are built by the same sequential-over-µ accumulation
+  (:func:`~repro.core.lut.build_lut_tables`) — stacking segments adds
+  batching, not reordering;
+* per-plane partials accumulate group-position-by-group-position in the
+  accumulator dtype, matching the interpreted ascending group order; the
+  padded tail slots add ``+0.0``, which is value-preserving in IEEE-754
+  round-to-nearest (including for ``±inf``/NaN partials under fp16
+  overflow);
+* the scale/scatter stage replays the interpreted update order exactly —
+  segments ascending, bit planes innermost — as explicit ``("scale", s,
+  p)`` instructions, and the offset stage reuses the same per-group ops.
+
+No einsum/tensordot/pairwise-``np.sum`` over a reduction the interpreter
+performs sequentially appears anywhere in :meth:`CompiledProgram.execute`.
+
+Stats are attached at compile time: every counter of
+:meth:`~repro.core.mpu.MatrixProcessingUnit.stats_from_plan` (or
+:meth:`~repro.core.mpu.MatrixProcessingUnit.shard_stats` for a sub-program)
+is affine in the batch size, so the program stores the exact integer
+``(intercept, slope)`` pair per counter and :meth:`CompiledProgram.stats`
+reproduces the analytic counters for any batch without touching the plan.
+
+Programs are self-contained — no :class:`~repro.quant.bcq.BCQTensor` or
+plan needed at run time — so :meth:`CompiledProgram.buffers` /
+:meth:`CompiledProgram.spec` / :meth:`CompiledProgram.from_buffers` let the
+process-backend serving pool ship a compiled program through shared memory
+and execute zero-copy views in the worker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+import numpy as np
+
+from repro.core.dataflow import PlanShard, TileExecutionPlan
+from repro.core.lut import build_lut_tables
+from repro.core.mpu import (
+    MatrixProcessingUnit,
+    MPUConfig,
+    MPURunStats,
+    PreparedWeights,
+    _normalize_activations,
+)
+from repro.quant.bcq import BCQTensor
+
+__all__ = ["CompiledProgram", "PlanePass", "compile_plan"]
+
+# Elements per gather buffer before execute() chunks over batch columns.
+# Chunking is exact — no reduction crosses batch columns — so this bounds
+# peak memory without touching the numerics.
+_GATHER_BUDGET = 1 << 23
+
+
+@dataclass(frozen=True)
+class PlanePass:
+    """One bit plane's flat buffers.
+
+    Attributes
+    ----------
+    keys:
+        ``(num_slots, rows)`` int32 RAC keys; column ``r`` belongs to the
+        plane's ``r``-th active output row.
+    rows:
+        ``(rows,)`` int64 scatter indices into the output, or ``None`` when
+        every output row holds this plane (the unmasked hot path).
+    scales:
+        ``(num_segments, rows)`` α matrix: ``scales[s, r]`` multiplies the
+        partial of segment ``s`` for active row ``r``.
+    """
+
+    keys: np.ndarray
+    rows: np.ndarray | None
+    scales: np.ndarray
+
+
+@dataclass(frozen=True)
+class CompiledProgram:
+    """A tile-execution plan lowered to flat buffers + an instruction list.
+
+    ``instructions`` is the complete run recipe executed in order:
+    ``("luts",)`` builds every segment's LUT tables in one call, ``("plane",
+    p)`` gathers and accumulates plane ``p``'s partials, ``("scale", s, p)``
+    applies one (segment, plane) α update — emitted segments-ascending,
+    planes-innermost, the interpreted executor's exact order — and
+    ``("offset", k)`` adds one owned scale group's offset term.
+    """
+
+    m: int
+    n: int
+    mu: int
+    num_segments: int
+    slots_per_segment: int
+    lut_cols: np.ndarray
+    passes: tuple[PlanePass, ...]
+    offsets: np.ndarray
+    offset_slices: tuple[tuple[int, int], ...]
+    instructions: tuple[tuple, ...]
+    stats_base: tuple[int, ...]
+    stats_slope: tuple[int, ...]
+
+    @property
+    def num_slots(self) -> int:
+        return int(self.lut_cols.shape[0])
+
+    def stats(self, batch: int) -> MPURunStats:
+        """The analytic run counters for ``batch`` activation columns.
+
+        Exact for every batch: each counter of the plan-derived stats is
+        affine in the batch size, and the integer intercept/slope pair was
+        computed from the plan formulas at compile time.
+        """
+        if batch < 0:
+            raise ValueError("batch must be >= 0")
+        return MPURunStats(*(b + s * batch
+                             for b, s in zip(self.stats_base, self.stats_slope)))
+
+    # -- execution ---------------------------------------------------------
+    def execute(self, activations: np.ndarray,
+                accumulate_dtype: "np.dtype | type" = np.float64
+                ) -> tuple[np.ndarray, MPURunStats]:
+        """Run the program: ``Y = W X`` plus the plan-exact counters.
+
+        Bit-identical to the interpreted executor on the same plan (and to
+        ``gemm_reference``): same LUT entries, same accumulator dtype
+        footprint, same float addition order per output element.
+        """
+        x, squeeze = _normalize_activations(activations, self.n)
+        batch = x.shape[1]
+        acc_dtype = np.dtype(accumulate_dtype)
+        y = np.zeros((self.m, batch), dtype=np.float64)
+
+        luts = None
+        partials: list[np.ndarray | None] = [None] * len(self.passes)
+        for op in self.instructions:
+            kind = op[0]
+            if kind == "luts":
+                # Sentinel row n holds zeros: padded slot positions read it,
+                # so their LUT entries are exactly +0.0.
+                x_pad = np.concatenate(
+                    [x, np.zeros((1, batch), dtype=x.dtype)], axis=0)
+                xg = x_pad[self.lut_cols]                  # (slots, µ, B)
+                luts = build_lut_tables(xg.transpose(0, 2, 1), dtype=acc_dtype)
+            elif kind == "plane":
+                partials[op[1]] = self._run_plane(self.passes[op[1]], luts,
+                                                  acc_dtype)
+            elif kind == "scale":
+                s, p = op[1], op[2]
+                pp = self.passes[p]
+                term = pp.scales[s][:, None] * partials[p][s]
+                if pp.rows is None:
+                    y += term
+                else:
+                    y[pp.rows] += term
+            else:  # "offset"
+                start, stop = self.offset_slices[op[1]]
+                group_sum = x[start:stop, :].sum(axis=0, keepdims=True)
+                y += self.offsets[:, op[1]][:, None] * group_sum
+
+        stats = self.stats(batch)
+        if squeeze:
+            return y[:, 0], stats
+        return y, stats
+
+    def _run_plane(self, pp: PlanePass, luts: np.ndarray,
+                   acc_dtype: np.dtype) -> np.ndarray:
+        """Gather + accumulate one plane pass → float64 ``(S, rows, B)``.
+
+        One fancy-index per batch chunk fetches every (slot, row) LUT read
+        of the pass; the per-segment partial then accumulates over group
+        positions in ascending order, in the accumulator dtype, exactly
+        like the interpreted per-group loop (padded tail slots add +0.0).
+        """
+        num_segments, gmax = self.num_segments, self.slots_per_segment
+        rows, batch = pp.keys.shape[1], luts.shape[1]
+        partial = np.zeros((num_segments, rows, batch), dtype=acc_dtype)
+        slot_idx = np.arange(self.num_slots)[:, None]
+        step = max(1, _GATHER_BUDGET // max(self.num_slots * rows, 1))
+        for c0 in range(0, batch, step):
+            c1 = min(c0 + step, batch)
+            # (slots, rows, chunk): advanced indices on axes 0/2 broadcast
+            # first, the sliced batch axis trails.
+            values = luts[:, c0:c1][slot_idx, :, pp.keys]
+            values = values.reshape(num_segments, gmax, rows, c1 - c0)
+            sub = partial[:, :, c0:c1]
+            for j in range(gmax):
+                sub += values[:, j]
+        # One α-stage float64 conversion per plane; slicing it per segment
+        # is value-identical to converting each slice.
+        return partial.astype(np.float64, copy=False)
+
+    # -- shared-memory shipping -------------------------------------------
+    def buffers(self) -> dict[str, np.ndarray]:
+        """The program's array buffers, keyed for :meth:`from_buffers`."""
+        out = {"lut_cols": self.lut_cols, "offsets": self.offsets}
+        for p, pp in enumerate(self.passes):
+            out[f"keys{p}"] = pp.keys
+            out[f"scales{p}"] = pp.scales
+            if pp.rows is not None:
+                out[f"rows{p}"] = pp.rows
+        return out
+
+    def spec(self) -> dict:
+        """Picklable non-array metadata; pairs with :meth:`buffers`."""
+        return {
+            "m": self.m, "n": self.n, "mu": self.mu,
+            "num_segments": self.num_segments,
+            "slots_per_segment": self.slots_per_segment,
+            "num_passes": len(self.passes),
+            "masked": [pp.rows is not None for pp in self.passes],
+            "offset_slices": [list(sl) for sl in self.offset_slices],
+            "instructions": [list(op) for op in self.instructions],
+            "stats_base": list(self.stats_base),
+            "stats_slope": list(self.stats_slope),
+        }
+
+    @classmethod
+    def from_buffers(cls, spec: dict,
+                     arrays: dict[str, np.ndarray]) -> "CompiledProgram":
+        """Rebuild a program from :meth:`spec` metadata and buffer views.
+
+        Arrays are referenced, not copied, so a worker process can execute
+        directly over shared-memory views of the parent's buffers.
+        """
+        passes = tuple(
+            PlanePass(keys=arrays[f"keys{p}"],
+                      rows=arrays[f"rows{p}"] if masked else None,
+                      scales=arrays[f"scales{p}"])
+            for p, masked in enumerate(spec["masked"]))
+        return cls(
+            m=spec["m"], n=spec["n"], mu=spec["mu"],
+            num_segments=spec["num_segments"],
+            slots_per_segment=spec["slots_per_segment"],
+            lut_cols=arrays["lut_cols"], passes=passes,
+            offsets=arrays["offsets"],
+            offset_slices=tuple(tuple(sl) for sl in spec["offset_slices"]),
+            instructions=tuple(tuple(op) for op in spec["instructions"]),
+            stats_base=tuple(spec["stats_base"]),
+            stats_slope=tuple(spec["stats_slope"]))
+
+
+def _affine_stats(stats_fn) -> tuple[tuple[int, ...], tuple[int, ...]]:
+    """Per-counter (intercept, slope) of a batch → MPURunStats function.
+
+    Every counter in :meth:`~repro.core.mpu.MatrixProcessingUnit.
+    stats_from_plan` / ``shard_stats`` is affine in the batch, so two
+    evaluations pin it exactly — no formula duplication in the compiler.
+    """
+    at0, at1 = stats_fn(0), stats_fn(1)
+    base = tuple(getattr(at0, f.name) for f in fields(MPURunStats))
+    slope = tuple(getattr(at1, f.name) - b
+                  for f, b in zip(fields(MPURunStats), base))
+    return base, slope
+
+
+def compile_plan(plan: TileExecutionPlan,
+                 weights: "BCQTensor | PreparedWeights",
+                 config: MPUConfig | None = None,
+                 shard: PlanShard | None = None) -> CompiledProgram:
+    """Lower a tile-execution plan (or one segment-axis shard of it) into a
+    :class:`CompiledProgram`.
+
+    ``weights`` may be the raw :class:`~repro.quant.bcq.BCQTensor` or the
+    :class:`~repro.core.mpu.PreparedWeights` from
+    :meth:`~repro.core.mpu.MatrixProcessingUnit.prepare` — prepared key
+    matrices are reused verbatim (keys are integers either way, so the
+    compiled output is identical).
+
+    ``shard`` compiles a segment-axis sub-program: only the shard's
+    segments and *owned* scale groups are lowered, and the baked stats are
+    the shard's exactly additive share.  Row-axis shards have no
+    sub-program — they execute the row-sliced tensor's own full program
+    (see :meth:`~repro.core.mpu.MatrixProcessingUnit.gemm`).
+    """
+    config = config or MPUConfig()
+    mpu = MatrixProcessingUnit(config)
+    prepared: PreparedWeights | None = None
+    if isinstance(weights, PreparedWeights):
+        prepared, weights = weights, weights.weights
+    if (plan.m, plan.n) != weights.shape:
+        raise ValueError(f"plan shape ({plan.m}, {plan.n}) does not match "
+                         f"weights {weights.shape}")
+    if shard is not None:
+        if shard.axis != "segments":
+            raise ValueError(
+                "only segment-axis shards compile to sub-programs; a "
+                "row-axis shard executes the row-sliced tensor's own plan")
+        if shard.plan is not plan and shard.plan != plan:
+            raise ValueError("shard was cut from a different plan")
+        segments = shard.segments
+        segment_indices = shard.segment_indices
+        owned_groups = tuple(sorted(shard.owned_scale_groups))
+        stats_fn = lambda b: mpu.shard_stats(shard, b)  # noqa: E731
+    else:
+        segments = plan.segments
+        segment_indices = tuple(range(len(plan.segments)))
+        owned_groups = tuple(range(plan.num_scale_groups))
+        stats_fn = lambda b: mpu.stats_from_plan(plan, b)  # noqa: E731
+
+    m, n = weights.shape
+    mu = config.mu
+    num_segments = len(segments)
+    gmax = max((seg.lut_groups for seg in segments), default=0)
+    num_slots = num_segments * gmax
+
+    # Gather-index matrix into the zero-row-padded activations: real
+    # columns index x, padded positions (ragged µ-group tails and slots
+    # past a segment's group count) read the sentinel zero row n.
+    lut_cols = np.full((num_slots, mu), n, dtype=np.int64)
+    for si, seg in enumerate(segments):
+        span = np.full(seg.lut_groups * mu, n, dtype=np.int64)
+        width = seg.col_slice.stop - seg.col_slice.start
+        span[:width] = np.arange(seg.col_slice.start, seg.col_slice.stop,
+                                 dtype=np.int64)
+        lut_cols[si * gmax: si * gmax + seg.lut_groups] = \
+            span.reshape(seg.lut_groups, mu)
+
+    if prepared is not None:
+        max_planes, active = prepared.max_planes, prepared.active_rows
+    else:
+        max_planes, active = weights.plane_activity()
+    powers = 1 << np.arange(mu - 1, -1, -1, dtype=np.int64)
+
+    passes: list[PlanePass] = []
+    for p in range(max_planes):
+        rows = None if active is None else \
+            np.ascontiguousarray(np.asarray(active[p], dtype=np.int64))
+        num_rows = m if rows is None else int(rows.size)
+        keys = np.zeros((num_slots, num_rows), dtype=np.int32)
+        scales = np.empty((num_segments, num_rows),
+                          dtype=weights.scales.dtype)
+        for si, (seg_pos, seg) in enumerate(zip(segment_indices, segments)):
+            if prepared is not None:
+                seg_keys = prepared.keys[seg_pos][p]       # (rows, G)
+            else:
+                plane_w = weights.bitplanes[p][:, seg.col_slice]
+                if rows is not None:
+                    plane_w = plane_w[rows]
+                seg_keys = mpu._segment_keys(
+                    plane_w.astype(np.int64), seg, mu, powers).astype(np.int32)
+            keys[si * gmax: si * gmax + seg.lut_groups] = seg_keys.T
+            alpha = weights.scales[p][:, seg.scale_group]
+            scales[si] = alpha if rows is None else alpha[rows]
+        passes.append(PlanePass(keys=keys, rows=rows, scales=scales))
+
+    col_groups = weights.column_groups()
+    offset_slices = tuple((col_groups[g].start, col_groups[g].stop)
+                          for g in owned_groups)
+    offsets = np.ascontiguousarray(weights.offsets[:, list(owned_groups)])
+
+    instructions: list[tuple] = []
+    if num_slots and passes:
+        instructions.append(("luts",))
+        for p in range(len(passes)):
+            instructions.append(("plane", p))
+        for s in range(num_segments):
+            for p in range(len(passes)):
+                instructions.append(("scale", s, p))
+    for k in range(len(offset_slices)):
+        instructions.append(("offset", k))
+
+    base, slope = _affine_stats(stats_fn)
+    return CompiledProgram(
+        m=m, n=n, mu=mu, num_segments=num_segments, slots_per_segment=gmax,
+        lut_cols=lut_cols, passes=tuple(passes), offsets=offsets,
+        offset_slices=offset_slices, instructions=tuple(instructions),
+        stats_base=base, stats_slope=slope)

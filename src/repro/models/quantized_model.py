@@ -334,7 +334,8 @@ class QuantizedLM:
             self._prepared[cfg] = cached
         return cached
 
-    def prepared_gemm(self, mpu_config: "MPUConfig | None" = None):
+    def prepared_gemm(self, mpu_config: "MPUConfig | None" = None,
+                      executor: str = "compiled"):
         """``gemm(name, flat) -> (y, stats)`` over the prepared weights.
 
         The standalone (unsharded) twin of a serving pool's ``gemm``
@@ -342,14 +343,18 @@ class QuantizedLM:
         :class:`~repro.core.mpu.MatrixProcessingUnit` against the memoised
         :meth:`prepared_weights`, returning the output and the plan-exact
         :class:`~repro.core.mpu.MPURunStats`.  Bit-identical to a row-axis
-        sharded pool run of the same layer.
+        sharded pool run of the same layer.  ``executor="compiled"``
+        (default) runs each layer's memoised
+        :class:`~repro.core.program.CompiledProgram` flat buffers;
+        ``"interpreted"`` walks the tile plan per call — same bits, the
+        oracle the compiled path is pinned against.
         """
         cfg = mpu_config or MPUConfig()
         prepared = self.prepared_weights(cfg)
         mpu = MatrixProcessingUnit(cfg)
 
         def gemm(name: str, flat: np.ndarray):
-            return mpu.gemm(prepared[name], flat)
+            return mpu.gemm(prepared[name], flat, executor=executor)
 
         return gemm
 

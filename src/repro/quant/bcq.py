@@ -117,6 +117,8 @@ class BCQTensor:
     group_size: int
     shape: tuple[int, int]
     per_row_bits: np.ndarray = field(default=None)  # type: ignore[assignment]
+    _plane_activity: "tuple[int, list[np.ndarray] | None] | None" = field(
+        default=None, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         # Uniform-precision tensors constructed directly (without going
@@ -167,12 +169,23 @@ class BCQTensor:
         the mixed-precision row gating shared by the functional engines and
         the MPU executor: by the zero-scale padding invariant a skipped
         (row, plane) would contribute exactly ``0 × ±1``.
+
+        Memoised on the tensor (``per_row_bits`` never changes after
+        construction), so hot per-call paths pay the row-index derivation
+        once per tensor rather than once per GEMM.  Callers must treat the
+        returned index arrays as read-only.
         """
-        row_bits = np.asarray(self.per_row_bits, dtype=np.int64)
-        max_planes = int(row_bits.max()) if row_bits.size else 0
-        if row_bits.size and bool((row_bits == max_planes).all()):
-            return max_planes, None
-        return max_planes, [np.flatnonzero(row_bits > p) for p in range(max_planes)]
+        cached = self._plane_activity
+        if cached is None:
+            row_bits = np.asarray(self.per_row_bits, dtype=np.int64)
+            max_planes = int(row_bits.max()) if row_bits.size else 0
+            if row_bits.size and bool((row_bits == max_planes).all()):
+                cached = (max_planes, None)
+            else:
+                cached = (max_planes, [np.flatnonzero(row_bits > p)
+                                       for p in range(max_planes)])
+            self._plane_activity = cached
+        return cached
 
     def take_rows(self, rows: "np.ndarray | Sequence[int] | slice") -> "BCQTensor":
         """A new tensor holding only the given output rows.

@@ -38,7 +38,11 @@ from repro.serve.server import (
     InferenceServer,
     ServerMetrics,
 )
-from repro.serve.sharding import merge_shard_outputs, shard_plan
+from repro.serve.sharding import (
+    compile_shard_programs,
+    merge_shard_outputs,
+    shard_plan,
+)
 from repro.serve.workers import ShardedMPUPool
 
 __all__ = [
@@ -53,6 +57,7 @@ __all__ = [
     "SequenceState",
     "ServerMetrics",
     "ShardedMPUPool",
+    "compile_shard_programs",
     "merge_shard_outputs",
     "shard_plan",
 ]

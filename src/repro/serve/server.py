@@ -139,12 +139,15 @@ class InferenceServer:
     qlm:
         The quantized model; its BCQ weight views are pinned across the
         pool's workers, its transformer runs the forward pass.
-    num_shards, mpu_config, backend, accumulate_dtype, pin_keys, axis:
+    num_shards, mpu_config, backend, accumulate_dtype, pin_keys, axis, executor:
         Forwarded to :class:`~repro.serve.workers.ShardedMPUPool`.  With a
         single shard on the default row axis the pool pins the model's own
         memoised :meth:`~repro.models.quantized_model.QuantizedLM.
         prepared_weights` instead of re-packing keys, so the served path and
-        any standalone ``qlm`` decode share one prepared copy.
+        any standalone ``qlm`` decode share one prepared copy (including its
+        embedded compiled program).  ``executor="compiled"`` (default) runs
+        every shard's flat :class:`~repro.core.program.CompiledProgram`;
+        ``"interpreted"`` keeps the plan-walking oracle.
     policy:
         Micro-batching policy (:class:`~repro.serve.batching.BatchPolicy`).
         ``max_wait_us`` doubles as the decode scheduler's admission window:
@@ -158,6 +161,7 @@ class InferenceServer:
                  mpu_config: MPUConfig | None = None, backend: str = "thread",
                  accumulate_dtype: "np.dtype | type" = np.float64,
                  pin_keys: bool = True, axis: str = "rows",
+                 executor: str = "compiled",
                  decode_max_active: int = 8) -> None:
         self.qlm = qlm
         # Solo and served execution share prepared weight-stationary state
@@ -173,7 +177,7 @@ class InferenceServer:
                                    accumulate_dtype=accumulate_dtype,
                                    pin_keys=pin_keys, axis=axis,
                                    shared_prepared=shared_prepared,
-                                   plans=plans)
+                                   plans=plans, executor=executor)
         self.metrics = ServerMetrics()
         self.batcher = AsyncBatcher(self._run_batch, policy)
         self.scheduler = DecodeScheduler(qlm, gemm=self._metered_gemm,

@@ -31,6 +31,11 @@ Balancing uses longest-processing-time (LPT) greedy assignment over the
 per-unit plane-pass cost (systolic passes × µ-groups per pass), which is
 what the modelled cycles count; shards that would receive no work are
 dropped, so ``shard_plan(plan, k)`` returns at most ``k`` shards.
+
+:func:`compile_shard_programs` lowers each shard to its executable
+:class:`~repro.core.program.CompiledProgram` sub-program (what the worker
+pool pins), with the same merge semantics: scatter-exact on rows, summing
+with exactly additive stats on segments.
 """
 
 from __future__ import annotations
@@ -40,9 +45,10 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.dataflow import PlanShard, TileExecutionPlan
-from repro.core.mpu import MPURunStats
+from repro.core.mpu import MPUConfig, MPURunStats
+from repro.core.program import CompiledProgram, compile_plan
 
-__all__ = ["shard_plan", "merge_shard_outputs"]
+__all__ = ["shard_plan", "compile_shard_programs", "merge_shard_outputs"]
 
 
 def _lpt_partition(costs: Sequence[int], num_shards: int) -> list[list[int]]:
@@ -105,6 +111,37 @@ def shard_plan(plan: TileExecutionPlan, num_shards: int,
                                               count=len(assignments)))
         return shards
     raise ValueError("axis must be 'rows' or 'segments'")
+
+
+def compile_shard_programs(shards: Sequence[PlanShard], weights,
+                           config: "MPUConfig | None" = None
+                           ) -> list[CompiledProgram]:
+    """Lower each shard of one plan to its executable sub-program.
+
+    Segment-axis shards compile to true sub-programs — only the shard's
+    segments and owned scale groups are lowered
+    (:func:`~repro.core.program.compile_plan` with ``shard=``), so the
+    merged outputs sum to the unsharded program's and the baked stats are
+    exactly additive.  Row-axis shards compile the row-sliced tensor's own
+    full plan (bands are independent; the slice's program is bit-exact
+    against the same rows of the unsharded one).  ``weights`` is the full
+    tensor (or its :class:`~repro.core.mpu.PreparedWeights`, whose packed
+    keys segment-axis sub-programs reuse).
+    """
+    from repro.core.mpu import MatrixProcessingUnit, PreparedWeights
+
+    programs: list[CompiledProgram] = []
+    mpu = MatrixProcessingUnit(config)
+    for shard in shards:
+        if shard.axis == "segments":
+            programs.append(compile_plan(shard.plan, weights, mpu.config,
+                                         shard=shard))
+        else:
+            tensor = (weights.weights if isinstance(weights, PreparedWeights)
+                      else weights)
+            programs.append(mpu.prepare(
+                tensor.take_rows(shard.row_indices)).program)
+    return programs
 
 
 def _validate_partition(shards: Sequence[PlanShard]) -> tuple[TileExecutionPlan, str]:

@@ -23,10 +23,21 @@ Backends
     In-line loop over the shards; deterministic and dependency-free, the
     baseline the equivalence tests compare against.
 ``"process"``
-    Opt-in :mod:`multiprocessing` workers holding their pinned weight
-    slices in :mod:`multiprocessing.shared_memory` buffers (one copy per
-    worker slice, zero-copy view inside the worker).  Row axis only;
-    activations travel by pickle per request.
+    Opt-in :mod:`multiprocessing` workers holding their pinned state in
+    :mod:`multiprocessing.shared_memory` buffers (one copy per worker
+    slice, zero-copy view inside the worker).  Row axis only; activations
+    travel by pickle per request.  With the default compiled executor the
+    parent compiles each worker's slice once and ships the **compiled
+    program buffers** — flat key/scale/index matrices — so workers execute
+    :meth:`~repro.core.program.CompiledProgram.execute` directly over
+    shared-memory views without re-planning or re-packing keys.
+
+Every backend runs the compiled executor by default (``executor=
+"compiled"``): row-axis workers execute their slice's embedded
+:class:`~repro.core.program.CompiledProgram`, segment-axis workers pin the
+per-shard sub-programs from :func:`repro.serve.sharding.
+compile_shard_programs`.  ``executor="interpreted"`` keeps the plan-walking
+oracle path; results are bit-identical either way.
 """
 
 from __future__ import annotations
@@ -40,6 +51,7 @@ import numpy as np
 
 from repro.core.dataflow import PlanShard, TileExecutionPlan
 from repro.core.mpu import MatrixProcessingUnit, MPUConfig, MPURunStats, PreparedWeights
+from repro.core.program import CompiledProgram, compile_plan
 from repro.quant.bcq import BCQTensor
 from repro.serve.sharding import merge_shard_outputs, shard_plan
 
@@ -50,18 +62,30 @@ _PROCESS_TIMEOUT_S = 120.0
 
 @dataclass
 class _PinnedShard:
-    """One worker's resident state for one layer (thread/serial backends)."""
+    """One worker's resident state for one layer (thread/serial backends).
+
+    ``program`` holds the shard's pinned
+    :class:`~repro.core.program.CompiledProgram` when the pool runs the
+    compiled executor with pinned keys — for segment-axis shards this is
+    the sub-program over the shard's segments and owned scale groups, so
+    repeated calls skip the per-call sub-program compilation.
+    """
 
     shard: PlanShard
     weights: "BCQTensor | PreparedWeights"
+    program: "CompiledProgram | None" = None
 
     def run(self, mpu: MatrixProcessingUnit, x: np.ndarray,
-            accumulate_dtype) -> tuple[np.ndarray, MPURunStats]:
+            accumulate_dtype, executor: str = "compiled"
+            ) -> tuple[np.ndarray, MPURunStats]:
+        if self.program is not None and executor == "compiled":
+            return self.program.execute(x, accumulate_dtype=accumulate_dtype)
         if self.shard.axis == "rows":
             # The pinned tensor is already the row slice; run it directly.
-            return mpu.gemm(self.weights, x, accumulate_dtype=accumulate_dtype)
+            return mpu.gemm(self.weights, x, accumulate_dtype=accumulate_dtype,
+                            executor=executor)
         return mpu.gemm(self.weights, x, accumulate_dtype=accumulate_dtype,
-                        shard=self.shard)
+                        shard=self.shard, executor=executor)
 
 
 def _shm_arrays(tensor: BCQTensor):
@@ -76,34 +100,48 @@ def _shm_arrays(tensor: BCQTensor):
 
 
 def _process_worker_main(conn, layer_specs, mpu_config, acc_dtype_name,
-                         pin_keys) -> None:
+                         pin_keys, executor) -> None:
     """Worker-process loop: attach pinned slices, serve GEMM requests.
 
-    ``layer_specs`` maps layer name to ``(array_specs, group_size, shape)``
-    where each array spec is ``(shm_name, shape, dtype_str)``.  The worker
-    owns no shared-memory lifetime — the parent unlinks on close.
+    ``layer_specs`` maps layer name to ``(kind, meta, array_specs)`` where
+    each array spec is ``(shm_name, shape, dtype_str)``.  ``kind ==
+    "program"`` rebuilds a parent-compiled
+    :class:`~repro.core.program.CompiledProgram` as zero-copy views over
+    the shared buffers (``meta`` is its picklable spec); ``kind ==
+    "tensor"`` rebuilds the BCQ slice (``meta`` is ``(group_size, shape)``)
+    and runs the requested interpreted executor.  The worker owns no
+    shared-memory lifetime — the parent unlinks on close.
     """
     from multiprocessing import shared_memory
 
     blocks = []
-    tensors: dict[str, BCQTensor] = {}
     try:
-        for name, (array_specs, group_size, shape) in layer_specs.items():
+        mpu = MatrixProcessingUnit(mpu_config)
+        acc_dtype = np.dtype(acc_dtype_name)
+        run: dict[str, object] = {}
+        for name, (kind, meta, array_specs) in layer_specs.items():
             arrays = {}
             for field_name, (shm_name, arr_shape, dtype_str) in array_specs.items():
                 shm = shared_memory.SharedMemory(name=shm_name)
                 blocks.append(shm)
                 arrays[field_name] = np.ndarray(arr_shape, dtype=np.dtype(dtype_str),
                                                 buffer=shm.buf)
-            tensors[name] = BCQTensor(
-                bitplanes=arrays["bitplanes"], scales=arrays["scales"],
-                offsets=arrays["offsets"], group_size=group_size,
-                shape=tuple(shape), per_row_bits=arrays["per_row_bits"])
-        mpu = MatrixProcessingUnit(mpu_config)
-        acc_dtype = np.dtype(acc_dtype_name)
-        pinned: dict[str, "BCQTensor | PreparedWeights"] = (
-            {name: mpu.prepare(t) for name, t in tensors.items()}
-            if pin_keys else dict(tensors))
+            if kind == "program":
+                program = CompiledProgram.from_buffers(meta, arrays)
+                run[name] = program.execute
+            else:
+                group_size, shape = meta
+                tensor = BCQTensor(
+                    bitplanes=arrays["bitplanes"], scales=arrays["scales"],
+                    offsets=arrays["offsets"], group_size=group_size,
+                    shape=tuple(shape), per_row_bits=arrays["per_row_bits"])
+                pinned = mpu.prepare(tensor) if pin_keys else tensor
+
+                def gemm(x, accumulate_dtype, _pinned=pinned):
+                    return mpu.gemm(_pinned, x,
+                                    accumulate_dtype=accumulate_dtype,
+                                    executor=executor)
+                run[name] = gemm
         conn.send("ready")
         while True:
             msg = conn.recv()
@@ -111,8 +149,7 @@ def _process_worker_main(conn, layer_specs, mpu_config, acc_dtype_name,
                 break
             name, x = msg
             try:
-                y, stats = mpu.gemm(pinned[name], x, accumulate_dtype=acc_dtype)
-                conn.send((y, stats))
+                conn.send(run[name](x, accumulate_dtype=acc_dtype))
             except Exception as exc:  # surface worker errors to the parent
                 conn.send(exc)
     finally:
@@ -122,28 +159,37 @@ def _process_worker_main(conn, layer_specs, mpu_config, acc_dtype_name,
 
 
 class _ProcessWorker:
-    """Parent-side handle of one pinned worker process."""
+    """Parent-side handle of one pinned worker process.
 
-    def __init__(self, ctx, slices: dict[str, BCQTensor],
-                 mpu_config: MPUConfig, acc_dtype: np.dtype, pin_keys: bool) -> None:
+    ``payloads`` maps layer name to ``(kind, meta, arrays)``: the worker's
+    resident state as flat buffers — compiled-program buffers
+    (``kind="program"``) or raw BCQ slice arrays (``kind="tensor"``) —
+    copied once into shared memory here and viewed zero-copy in the worker.
+    """
+
+    def __init__(self, ctx, payloads: "dict[str, tuple]",
+                 mpu_config: MPUConfig, acc_dtype: np.dtype, pin_keys: bool,
+                 executor: str) -> None:
         from multiprocessing import shared_memory
 
         self._shm: list = []
         layer_specs = {}
-        for name, tensor in slices.items():
+        for name, (kind, meta, arrays) in payloads.items():
             array_specs = {}
-            for field_name, arr in _shm_arrays(tensor).items():
+            for field_name, arr in arrays.items():
+                arr = np.ascontiguousarray(arr)
                 shm = shared_memory.SharedMemory(create=True,
                                                  size=max(arr.nbytes, 1))
                 view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
                 view[...] = arr
                 self._shm.append(shm)
                 array_specs[field_name] = (shm.name, arr.shape, arr.dtype.str)
-            layer_specs[name] = (array_specs, tensor.group_size, tensor.shape)
+            layer_specs[name] = (kind, meta, array_specs)
         self._conn, child_conn = ctx.Pipe()
         self._proc = ctx.Process(
             target=_process_worker_main,
-            args=(child_conn, layer_specs, mpu_config, acc_dtype.name, pin_keys),
+            args=(child_conn, layer_specs, mpu_config, acc_dtype.name,
+                  pin_keys, executor),
             daemon=True)
         self._proc.start()
         child_conn.close()
@@ -209,8 +255,15 @@ class ShardedMPUPool:
         :meth:`~repro.core.mpu.MatrixProcessingUnit.gemm`.
     pin_keys:
         Precompute each worker's RAC key matrices
-        (:meth:`~repro.core.mpu.MatrixProcessingUnit.prepare`); identical
-        results, repeated calls skip planning and key packing.
+        (:meth:`~repro.core.mpu.MatrixProcessingUnit.prepare`) — and, with
+        the compiled executor, the per-shard compiled programs; identical
+        results, repeated calls skip planning, key packing, and
+        sub-program compilation.
+    executor:
+        ``"compiled"`` (default) executes each shard's pinned
+        :class:`~repro.core.program.CompiledProgram`;
+        ``"interpreted"`` walks the plan per call (the oracle path).
+        Bit-identical outputs and stats either way.
     axis:
         Shard axis, ``"rows"`` (bit-exact merge, default) or
         ``"segments"`` (summing merge; thread/serial backends only).
@@ -233,12 +286,14 @@ class ShardedMPUPool:
                  accumulate_dtype: "np.dtype | type" = np.float64,
                  pin_keys: bool = True, axis: str = "rows",
                  shared_prepared: "dict[str, PreparedWeights] | None" = None,
-                 plans: "dict[str, TileExecutionPlan] | None" = None
-                 ) -> None:
+                 plans: "dict[str, TileExecutionPlan] | None" = None,
+                 executor: str = "compiled") -> None:
         if backend not in ("serial", "thread", "process"):
             raise ValueError("backend must be 'serial', 'thread' or 'process'")
         if axis not in ("rows", "segments"):
             raise ValueError("axis must be 'rows' or 'segments'")
+        if executor not in ("compiled", "interpreted"):
+            raise ValueError("executor must be 'compiled' or 'interpreted'")
         if backend == "process" and axis != "rows":
             raise ValueError("the process backend pins row slices; use axis='rows'")
         if not weights:
@@ -246,6 +301,7 @@ class ShardedMPUPool:
         self.mpu = MatrixProcessingUnit(mpu_config)
         self.backend = backend
         self.axis = axis
+        self.executor = executor
         self.accumulate_dtype = np.dtype(accumulate_dtype)
         plans = plans or {}
         self.plans: dict[str, TileExecutionPlan] = {
@@ -264,14 +320,15 @@ class ShardedMPUPool:
             shared_full = {name: (self.mpu.prepare(t) if pin_keys else t)
                            for name, t in weights.items()}
         self._pinned: list[dict[str, _PinnedShard]] = []
-        worker_slices: list[dict[str, BCQTensor]] = []
+        worker_payloads: list[dict[str, tuple]] = []
         for w in range(self.num_workers):
             resident: dict[str, _PinnedShard] = {}
-            slices: dict[str, BCQTensor] = {}
+            payloads: dict[str, tuple] = {}
             for name, tensor in weights.items():
                 if w >= len(self.shards[name]):
                     continue
                 shard = self.shards[name][w]
+                program: "CompiledProgram | None" = None
                 if axis == "rows":
                     if (len(self.shards[name]) == 1 and pin_keys
                             and backend != "process" and shared_prepared
@@ -283,15 +340,34 @@ class ShardedMPUPool:
                             shared_prepared[name]
                     else:
                         sliced = tensor.take_rows(shard.row_indices)
-                        slices[name] = sliced
-                        pinned_weights = (
-                            self.mpu.prepare(sliced)
-                            if pin_keys and backend != "process" else sliced)
+                        if backend == "process":
+                            if executor == "compiled":
+                                # Compile here, ship only the flat buffers.
+                                prog = self.mpu.prepare(sliced).program
+                                payloads[name] = ("program", prog.spec(),
+                                                  prog.buffers())
+                            else:
+                                payloads[name] = (
+                                    "tensor",
+                                    (sliced.group_size, sliced.shape),
+                                    _shm_arrays(sliced))
+                            pinned_weights = sliced
+                        elif pin_keys:
+                            pinned_weights = self.mpu.prepare(sliced)
+                        else:
+                            pinned_weights = sliced
+                    # A row shard executes the row slice's own full program.
+                    program = getattr(pinned_weights, "program", None)
                 else:
                     pinned_weights = shared_full[name]
-                resident[name] = _PinnedShard(shard=shard, weights=pinned_weights)
+                    if pin_keys and executor == "compiled":
+                        program = compile_plan(shard.plan, pinned_weights,
+                                               self.mpu.config, shard=shard)
+                resident[name] = _PinnedShard(shard=shard,
+                                              weights=pinned_weights,
+                                              program=program)
             self._pinned.append(resident)
-            worker_slices.append(slices)
+            worker_payloads.append(payloads)
 
         self._executor: ThreadPoolExecutor | None = None
         self._procs: list[_ProcessWorker] = []
@@ -310,8 +386,8 @@ class ShardedMPUPool:
             try:
                 for w in range(self.num_workers):
                     self._procs.append(_ProcessWorker(
-                        ctx, worker_slices[w], self.mpu.config,
-                        self.accumulate_dtype, pin_keys))
+                        ctx, worker_payloads[w], self.mpu.config,
+                        self.accumulate_dtype, pin_keys, executor))
             except Exception:
                 self.close()
                 raise
@@ -338,12 +414,14 @@ class ShardedMPUPool:
         elif self.backend == "thread":
             futures = [
                 self._executor.submit(self._pinned[w][name].run, self.mpu,
-                                      activations, self.accumulate_dtype)
+                                      activations, self.accumulate_dtype,
+                                      self.executor)
                 for w in range(len(shards))]
             results = [f.result() for f in futures]
         else:
             results = [self._pinned[w][name].run(self.mpu, activations,
-                                                 self.accumulate_dtype)
+                                                 self.accumulate_dtype,
+                                                 self.executor)
                        for w in range(len(shards))]
         return merge_shard_outputs(shards, results)
 

@@ -1,0 +1,207 @@
+"""Plan-compiler tests: compiled programs vs the interpreted/scalar oracles.
+
+The compilation contract (``docs/compilation.md``): for every plan family —
+uniform, ragged, mixed per-row precision — and every accumulator dtype, the
+:class:`~repro.core.program.CompiledProgram` produced by
+:func:`~repro.core.program.compile_plan` is **bit-identical** to the
+interpreted executor and to the scalar ``gemm_reference``, outputs *and*
+:class:`~repro.core.mpu.MPURunStats`.  Segment-axis sub-programs match the
+interpreted shard path bitwise and merge exactly; the shared-memory
+``spec()``/``buffers()``/``from_buffers()`` roundtrip preserves execution;
+batch chunking never changes a bit.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+import repro.core.program as program_mod
+from repro.core.mpu import MPUConfig, MatrixProcessingUnit
+from repro.core.program import CompiledProgram, compile_plan
+from repro.quant.bcq import BCQConfig, quantize_bcq, quantize_bcq_mixed
+from repro.serve import compile_shard_programs, merge_shard_outputs, shard_plan
+
+MPU_CFG = MPUConfig(pe_rows=2, pe_cols=2, mu=4, k=2)  # tile 4×8
+
+KINDS = ["uniform", "ragged", "mixed"]
+
+
+def _case(rng, kind):
+    """(tensor, activations) exercising one plan family (ragged everything)."""
+    if kind == "uniform":
+        w = rng.standard_normal((32, 32)) * 0.1
+        tensor = quantize_bcq(w, BCQConfig(bits=3, group_size=8, iterations=1))
+    elif kind == "ragged":
+        w = rng.standard_normal((29, 27)) * 0.1
+        tensor = quantize_bcq(w, BCQConfig(bits=3, group_size=7, iterations=1))
+    else:  # mixed per-row precision, incl. rows below max_planes
+        w = rng.standard_normal((30, 26)) * 0.1
+        row_bits = rng.choice([1, 2, 3, 4], size=30)
+        tensor = quantize_bcq_mixed(w, row_bits,
+                                    BCQConfig(group_size=6, iterations=1))
+    x = rng.standard_normal((tensor.shape[1], 5))
+    return tensor, x
+
+
+def _assert_same(lhs, rhs):
+    """Outputs and stats bitwise equal (the compilation contract)."""
+    y_l, s_l = lhs
+    y_r, s_r = rhs
+    np.testing.assert_array_equal(y_l, y_r)
+    assert s_l == s_r
+
+
+class TestCompiledEquivalence:
+    @pytest.mark.parametrize("kind", KINDS)
+    @pytest.mark.parametrize("acc", [np.float16, np.float32, np.float64])
+    def test_compiled_matches_interpreted_and_reference(self, rng, kind, acc):
+        tensor, x = _case(rng, kind)
+        mpu = MatrixProcessingUnit(MPU_CFG)
+        compiled = mpu.gemm(tensor, x, accumulate_dtype=acc)
+        _assert_same(compiled, mpu.gemm(tensor, x, accumulate_dtype=acc,
+                                        executor="interpreted"))
+        _assert_same(compiled, mpu.gemm(tensor, x, accumulate_dtype=acc,
+                                        executor="reference"))
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_prepare_embeds_program_and_runs_it(self, rng, kind):
+        tensor, x = _case(rng, kind)
+        mpu = MatrixProcessingUnit(MPU_CFG)
+        prepared = mpu.prepare(tensor)
+        assert isinstance(prepared.program, CompiledProgram)
+        # The prepared fast path, the embedded program directly, and an
+        # on-the-fly compile from the raw tensor all agree bitwise.
+        _assert_same(mpu.gemm(prepared, x), prepared.program.execute(x))
+        fresh = compile_plan(prepared.plan, tensor, MPU_CFG)
+        _assert_same(mpu.gemm(prepared, x), fresh.execute(x))
+
+    def test_vector_input_squeezes(self, rng):
+        tensor, x = _case(rng, "ragged")
+        mpu = MatrixProcessingUnit(MPU_CFG)
+        y, stats = mpu.gemm(tensor, x[:, 0])
+        assert y.shape == (tensor.shape[0],)
+        y2, stats2 = mpu.gemm(tensor, x[:, 0], executor="interpreted")
+        _assert_same((y, stats), (y2, stats2))
+
+    def test_batch_chunking_is_exact(self, rng, monkeypatch):
+        # A one-element gather budget forces a chunk per batch column; the
+        # numerics must not move (no reduction crosses batch columns).
+        tensor, x = _case(rng, "mixed")
+        prog = MatrixProcessingUnit(MPU_CFG).prepare(tensor).program
+        whole = prog.execute(x, accumulate_dtype=np.float32)
+        monkeypatch.setattr(program_mod, "_GATHER_BUDGET", 1)
+        _assert_same(whole, prog.execute(x, accumulate_dtype=np.float32))
+
+
+class TestProgramStructure:
+    def test_instruction_list_is_complete(self, rng):
+        tensor, _ = _case(rng, "ragged")
+        mpu = MatrixProcessingUnit(MPU_CFG)
+        plan = mpu.plan(tensor)
+        prog = compile_plan(plan, tensor, MPU_CFG)
+        n_planes = len(prog.passes)
+        n_seg = len(plan.segments)
+        assert prog.num_segments == n_seg
+        assert prog.num_slots == n_seg * prog.slots_per_segment
+        expected = 1 + n_planes + n_seg * n_planes + plan.num_scale_groups
+        assert len(prog.instructions) == expected
+        # Scale updates replay the interpreter's order: segments ascending,
+        # planes innermost.
+        scales = [op[1:] for op in prog.instructions if op[0] == "scale"]
+        assert scales == [(s, p) for s in range(n_seg) for p in range(n_planes)]
+
+    @pytest.mark.parametrize("batch", [0, 1, 3, 17])
+    def test_stats_affine_in_batch(self, rng, batch):
+        tensor, _ = _case(rng, "mixed")
+        mpu = MatrixProcessingUnit(MPU_CFG)
+        plan = mpu.plan(tensor)
+        prog = compile_plan(plan, tensor, MPU_CFG)
+        assert prog.stats(batch) == mpu.stats_from_plan(plan, batch)
+
+    def test_stats_rejects_negative_batch(self, rng):
+        tensor, _ = _case(rng, "uniform")
+        prog = MatrixProcessingUnit(MPU_CFG).prepare(tensor).program
+        with pytest.raises(ValueError, match="batch"):
+            prog.stats(-1)
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_buffers_spec_roundtrip(self, rng, kind):
+        # The process-backend shipping path: spec travels by pickle, arrays
+        # as raw buffers; the rebuilt program executes bit-identically.
+        tensor, x = _case(rng, kind)
+        prog = MatrixProcessingUnit(MPU_CFG).prepare(tensor).program
+        spec = pickle.loads(pickle.dumps(prog.spec()))
+        rebuilt = CompiledProgram.from_buffers(spec, prog.buffers())
+        _assert_same(prog.execute(x, accumulate_dtype=np.float32),
+                     rebuilt.execute(x, accumulate_dtype=np.float32))
+
+
+class TestShardPrograms:
+    @pytest.mark.parametrize("kind", KINDS)
+    @pytest.mark.parametrize("num_shards", [2, 7])
+    def test_segment_subprograms_match_interpreted_shards(self, rng, kind,
+                                                          num_shards):
+        tensor, x = _case(rng, kind)
+        mpu = MatrixProcessingUnit(MPU_CFG)
+        plan = mpu.plan(tensor)
+        shards = shard_plan(plan, num_shards, axis="segments")
+        programs = compile_shard_programs(shards, tensor, MPU_CFG)
+        results = []
+        for shard, prog in zip(shards, programs):
+            compiled = prog.execute(x)
+            _assert_same(compiled, mpu.gemm(tensor, x, shard=shard,
+                                            executor="interpreted"))
+            results.append(compiled)
+        y, stats = merge_shard_outputs(shards, results)
+        y_full, stats_full = mpu.gemm(tensor, x)
+        assert stats == stats_full  # counters exactly additive
+        np.testing.assert_allclose(y, y_full, rtol=0, atol=1e-12)
+
+    @pytest.mark.parametrize("num_shards", [1, 2, 7])
+    def test_row_programs_merge_bit_exact(self, rng, num_shards):
+        tensor, x = _case(rng, "mixed")
+        mpu = MatrixProcessingUnit(MPU_CFG)
+        plan = mpu.plan(tensor)
+        shards = shard_plan(plan, num_shards, axis="rows")
+        programs = compile_shard_programs(shards, tensor, MPU_CFG)
+        results = [prog.execute(x) for prog in programs]
+        merged = merge_shard_outputs(shards, results)
+        _assert_same(merged, mpu.gemm(tensor, x))
+
+
+class TestProgramErrors:
+    def test_wrong_activation_rows(self, rng):
+        tensor, x = _case(rng, "uniform")
+        prog = MatrixProcessingUnit(MPU_CFG).prepare(tensor).program
+        with pytest.raises(ValueError, match="activation rows"):
+            prog.execute(x[:-1])
+
+    def test_plan_weights_shape_mismatch(self, rng):
+        tensor, _ = _case(rng, "uniform")
+        other, _ = _case(rng, "ragged")
+        plan = MatrixProcessingUnit(MPU_CFG).plan(tensor)
+        with pytest.raises(ValueError, match="does not match"):
+            compile_plan(plan, other, MPU_CFG)
+
+    def test_row_axis_shard_has_no_subprogram(self, rng):
+        tensor, _ = _case(rng, "uniform")
+        plan = MatrixProcessingUnit(MPU_CFG).plan(tensor)
+        shard = shard_plan(plan, 2, axis="rows")[0]
+        with pytest.raises(ValueError, match="row-axis"):
+            compile_plan(plan, tensor, MPU_CFG, shard=shard)
+
+    def test_shard_from_other_plan_rejected(self, rng):
+        tensor, _ = _case(rng, "ragged")
+        mpu = MatrixProcessingUnit(MPU_CFG)
+        plan = mpu.plan(tensor)
+        other_plan = MatrixProcessingUnit(MPUConfig(pe_rows=4, pe_cols=2,
+                                                    mu=4, k=2)).plan(tensor)
+        shard = shard_plan(other_plan, 2, axis="segments")[0]
+        with pytest.raises(ValueError, match="different plan"):
+            compile_plan(plan, tensor, MPU_CFG, shard=shard)
+
+    def test_unknown_executor_name(self, rng):
+        tensor, x = _case(rng, "uniform")
+        with pytest.raises(ValueError, match="executor"):
+            MatrixProcessingUnit(MPU_CFG).gemm(tensor, x, executor="jit")

@@ -1,18 +1,22 @@
 """Property-based tests (hypothesis) on the core data structures and invariants."""
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
 
 from repro.core.lut import FFLUT, HalfFFLUT, build_lut_values, key_to_pattern, pattern_to_key
 from repro.core.lut_generator import generate_full_lut, generator_addition_count, naive_addition_count
+from repro.core.mpu import MPUConfig, MatrixProcessingUnit
 from repro.numerics.fixed import from_twos_complement, to_twos_complement
 from repro.numerics.floats import cast_to_format
 from repro.numerics.prealign import prealign, reconstruct
-from repro.quant.bcq import BCQConfig, quantize_bcq, uniform_to_bcq
+from repro.quant.bcq import BCQConfig, quantize_bcq, quantize_bcq_mixed, uniform_to_bcq
 from repro.quant.packing import pack_bitplanes, unpack_bitplanes
 from repro.quant.rtn import RTNConfig, quantize_rtn
+from repro.serve import merge_shard_outputs, shard_plan
+from repro.serve.sharding import compile_shard_programs
 
 finite_floats = st.floats(min_value=-100.0, max_value=100.0,
                           allow_nan=False, allow_infinity=False, width=32)
@@ -132,3 +136,84 @@ class TestNumericsProperties:
         once = cast_to_format(values, "fp16")
         twice = cast_to_format(once, "fp16")
         np.testing.assert_array_equal(once, twice)
+
+
+def _random_case(seed):
+    """One randomized (mpu, tensor, x, acc_dtype) executor-equivalence case.
+
+    Seeded ``default_rng`` rather than hypothesis: the space is cheap to
+    sample directly and each sample exercises the whole planner → compiler
+    → executor stack, where shrinking would not help diagnosis anyway.
+    """
+    rng = np.random.default_rng(987 + seed)
+    m = int(rng.integers(4, 28))
+    n = int(rng.integers(5, 30))
+    group_size = int(rng.integers(3, min(n, 9) + 1))
+    w = rng.standard_normal((m, n)) * 0.1
+    if rng.random() < 0.5:
+        bits = int(rng.integers(1, 5))
+        tensor = quantize_bcq(w, BCQConfig(bits=bits, group_size=group_size,
+                                           iterations=1))
+    else:
+        row_bits = rng.integers(1, 5, size=m)
+        tensor = quantize_bcq_mixed(w, row_bits,
+                                    BCQConfig(group_size=group_size,
+                                              iterations=1))
+    cfg = MPUConfig(pe_rows=int(rng.integers(1, 5)),
+                    pe_cols=int(rng.integers(1, 5)),
+                    mu=int(rng.choice([2, 3, 4])),
+                    k=int(rng.integers(1, 4)))
+    batch = int(rng.integers(1, 9))
+    x = rng.standard_normal((n, batch))
+    acc = rng.choice([np.float16, np.float32, np.float64])
+    return MatrixProcessingUnit(cfg), tensor, x, acc
+
+
+class TestExecutorEquivalenceSweep:
+    """Randomized sweep over shapes × groupings × precisions × geometries:
+    the compiled executor, the interpreted executor, and the scalar
+    reference agree bitwise — outputs and stats — and sharded compiled
+    programs merge exactly like interpreted shards."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_compiled_interpreted_reference_identical(self, seed):
+        mpu, tensor, x, acc = _random_case(seed)
+        y_c, s_c = mpu.gemm(tensor, x, accumulate_dtype=acc)
+        y_i, s_i = mpu.gemm(tensor, x, accumulate_dtype=acc,
+                            executor="interpreted")
+        y_r, s_r = mpu.gemm(tensor, x, accumulate_dtype=acc,
+                            executor="reference")
+        np.testing.assert_array_equal(y_c, y_i)
+        np.testing.assert_array_equal(y_c, y_r)
+        assert s_c == s_i == s_r
+
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("num_shards", [1, 2, 7])
+    def test_sharded_compiled_merges_like_interpreted(self, seed, num_shards):
+        mpu, tensor, x, _ = _random_case(seed)
+        plan = mpu.plan(tensor)
+        y_full, stats_full = mpu.gemm(tensor, x)
+
+        # Row axis: compiled per-shard programs scatter-merge bit-exactly.
+        shards = shard_plan(plan, num_shards, axis="rows")
+        programs = compile_shard_programs(shards, tensor, mpu.config)
+        merged, stats = merge_shard_outputs(
+            shards, [prog.execute(x) for prog in programs])
+        np.testing.assert_array_equal(merged, y_full)
+        assert stats == stats_full
+
+        # Segment axis: each compiled sub-program is bitwise the interpreted
+        # shard; the summing merge keeps stats exact and outputs to rounding.
+        shards = shard_plan(plan, num_shards, axis="segments")
+        programs = compile_shard_programs(shards, tensor, mpu.config)
+        results = []
+        for shard, prog in zip(shards, programs):
+            y_s, s_s = prog.execute(x)
+            y_int, s_int = mpu.gemm(tensor, x, shard=shard,
+                                    executor="interpreted")
+            np.testing.assert_array_equal(y_s, y_int)
+            assert s_s == s_int
+            results.append((y_s, s_s))
+        merged, stats = merge_shard_outputs(shards, results)
+        assert stats == stats_full
+        np.testing.assert_allclose(merged, y_full, rtol=0, atol=1e-12)
