@@ -8,6 +8,8 @@ the printed data is the reproduction artefact.
 
 from __future__ import annotations
 
+import json
+import os
 from pathlib import Path
 
 import pytest
@@ -16,6 +18,26 @@ import pytest
 TESTBED_CACHE_DIR = Path(__file__).resolve().parent.parent / ".testbed_cache"
 
 _BENCH_DIR = Path(__file__).resolve().parent
+
+# The machine-readable perf trajectory: benchmarks report their headline
+# metric (and the floor they assert) through record_bench; when the
+# BENCH_TRAJECTORY env var names a path (scripts/bench.py sets it), the
+# collected rows are written there as JSON.  The file is rewritten on every
+# record — not from a session hook — so it survives a failing floor and the
+# conftest-vs-imported-module split pytest creates without __init__.py.
+BENCH_RECORDS: list[dict] = []
+
+
+def record_bench(test_id: str, metric: str, value: float,
+                 floor: float | None = None, unit: str | None = None) -> None:
+    """Report one benchmark's headline metric for the perf trajectory."""
+    BENCH_RECORDS.append({"id": test_id, "metric": metric,
+                          "value": float(value),
+                          "floor": None if floor is None else float(floor),
+                          "unit": unit})
+    out = os.environ.get("BENCH_TRAJECTORY")
+    if out:
+        Path(out).write_text(json.dumps(BENCH_RECORDS, indent=2) + "\n")
 
 
 def pytest_collection_modifyitems(config, items):

@@ -20,7 +20,7 @@ import time
 import numpy as np
 import pytest
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import record_bench, run_once
 from repro.core.mpu import MPUConfig
 from repro.models.quantized_model import QuantizationRecipe, QuantizedLM
 from repro.models.transformer import TransformerConfig, TransformerLM
@@ -164,6 +164,8 @@ def test_compiled_decode_step_beats_interpreted(benchmark):
           f"{data['compiled']['step_ms']:6.2f} ms/step")
     print(f"  speedup              : {data['speedup']:6.2f}x   "
           f"(floor {COMPILED_STEP_FLOOR}x)")
+    record_bench("decode_throughput::compiled_step_speedup", "speedup_x",
+                 data["speedup"], floor=COMPILED_STEP_FLOOR)
     # Same plan, same numerics: the generated tokens must be identical.
     assert data["compiled"]["tokens"] == data["interpreted"]["tokens"]
     assert data["speedup"] > COMPILED_STEP_FLOOR
@@ -184,5 +186,7 @@ def test_continuous_batching_decode_beats_reprefill(benchmark):
     print(f"  per-token latency   : p50 {data['p50_ms']:.1f} ms   "
           f"p99 {data['p99_ms']:.1f} ms")
     print(f"  throughput          : {data['tokens_per_s']:8.0f} tokens/s")
+    record_bench("decode_throughput::continuous_batching_speedup", "speedup_x",
+                 data["speedup"], floor=SPEEDUP_FLOOR)
     assert data["mean_active"] > 1.0, "decode iterations were not batched"
     assert data["speedup"] > SPEEDUP_FLOOR

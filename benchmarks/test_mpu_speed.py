@@ -14,7 +14,7 @@ import time
 
 import numpy as np
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import record_bench, run_once
 from repro.core.gemm import figlut_gemm, prepare_weights
 from repro.core.mpu import MPUConfig, MatrixProcessingUnit
 from repro.eval.tables import format_table
@@ -82,6 +82,8 @@ def test_mpu_batched_speedup_vs_scalar_reference(benchmark):
 
     np.testing.assert_array_equal(y, y_ref)
     assert stats == stats_ref
+    record_bench("mpu_speed::batched_vs_scalar", "speedup_x", speedup,
+                 floor=10.0)
     # Conservative floor (measured ~38x); catches a return to scalar loops.
     assert speedup > 10.0
 
@@ -128,6 +130,8 @@ def test_mpu_compiled_speedup_vs_interpreted(benchmark):
 
     np.testing.assert_array_equal(y, y_int)
     assert stats == stats_int
+    record_bench("mpu_speed::compiled_vs_interpreted", "speedup_x",
+                 speedup, floor=1.5)
     # Conservative floor (measured ~2.5x); catches the compiled path
     # silently falling back to the plan walk.
     assert speedup > 1.5

@@ -13,7 +13,7 @@ import time
 
 import numpy as np
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import record_bench, run_once
 from repro.core.gemm import figlut_gemm, prepare_weights
 from repro.eval.tables import format_table
 from repro.quant.bcq import BCQConfig, quantize_bcq, _reference_quantize_bcq
@@ -66,6 +66,8 @@ def test_quantize_bcq_speedup_vs_scalar_reference(benchmark):
     np.testing.assert_array_equal(vec.bitplanes, ref.bitplanes)
     np.testing.assert_array_equal(vec.scales, ref.scales)
     np.testing.assert_array_equal(vec.offsets, ref.offsets)
+    record_bench("quantize_speed::vectorized_vs_scalar", "speedup_x",
+                 speedup, floor=5.0)
     # Conservative floor (measured ~20x); catches a return to per-block loops.
     assert speedup > 5.0
 

@@ -18,7 +18,7 @@ import time
 import numpy as np
 import pytest
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import record_bench, run_once
 from repro.core.mpu import MPUConfig
 from repro.models.quantized_model import QuantizationRecipe, QuantizedLM
 from repro.models.transformer import TransformerConfig, TransformerLM
@@ -95,5 +95,7 @@ def test_batched_sharded_throughput_beats_sequential(benchmark):
     print(f"  speedup    : {data['speedup']:8.2f}x   (floor {SPEEDUP_FLOOR}x)")
     print(f"  latency    : p50 {data['p50_ms']:.1f} ms   p99 {data['p99_ms']:.1f} ms")
     print(f"  throughput : {data['tokens_per_s']:8.0f} tokens/s")
+    record_bench("serve_throughput::batched_vs_sequential", "speedup_x",
+                 data["speedup"], floor=SPEEDUP_FLOOR)
     assert data["mean_batch"] > 1.0, "requests were not coalesced"
     assert data["speedup"] > SPEEDUP_FLOOR

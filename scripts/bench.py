@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Run the ``bench``-marked suite and write the perf trajectory as JSON.
+
+Each benchmark that pins a performance floor reports its headline metric
+through :func:`benchmarks.conftest.record_bench`; this driver runs them all
+and collects the rows into ``BENCH_trajectory.json``::
+
+    [
+      {"id": "prefix_cache::ttft_ratio", "metric": "ttft_ratio_x",
+       "value": 15.3, "floor": 2.0, "unit": null},
+      ...
+    ]
+
+so the perf trajectory across PRs is machine-readable (CI uploads the file
+as an artifact from a non-blocking job).
+
+    python scripts/bench.py [--output PATH] [pytest args...]
+
+Extra arguments pass through to pytest (e.g. ``-k prefix`` to run one
+benchmark, ``-s`` to see the printed tables).  Exits with pytest's status;
+the trajectory file is written even when a floor assertion fails, covering
+whichever benchmarks completed.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Run bench-marked tests and write the perf trajectory")
+    parser.add_argument("--output", default=str(REPO_ROOT / "BENCH_trajectory.json"),
+                        help="trajectory JSON path (default: repo root)")
+    args, pytest_args = parser.parse_known_args(argv)
+
+    out = Path(args.output).resolve()
+    env = dict(os.environ)
+    env["BENCH_TRAJECTORY"] = str(out)
+    env["PYTHONPATH"] = "src" + (os.pathsep + env["PYTHONPATH"]
+                                 if env.get("PYTHONPATH") else "")
+    status = subprocess.call(
+        [sys.executable, "-m", "pytest", "-q", "-m", "bench", *pytest_args],
+        cwd=REPO_ROOT, env=env)
+
+    if out.exists():
+        rows = json.loads(out.read_text())
+        print(f"\nwrote {out} ({len(rows)} metrics):")
+        for row in rows:
+            floor = "" if row["floor"] is None else f"   (floor {row['floor']:g})"
+            print(f"  {row['id']:48s} {row['metric']:>14s} = "
+                  f"{row['value']:8.2f}{floor}")
+    else:
+        print(f"\nno trajectory written ({out}): no benchmark recorded metrics",
+              file=sys.stderr)
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -28,7 +28,11 @@ from repro.models.dataset import (
     batchify,
 )
 from repro.models.transformer import (
+    CacheOverflowError,
     KVCache,
+    OutOfPagesError,
+    PagedKVCache,
+    PagePool,
     TransformerConfig,
     TransformerLM,
     cross_entropy,
@@ -55,7 +59,11 @@ __all__ = [
     "generate_corpus",
     "split_corpus",
     "batchify",
+    "CacheOverflowError",
     "KVCache",
+    "OutOfPagesError",
+    "PagedKVCache",
+    "PagePool",
     "TransformerConfig",
     "TransformerLM",
     "cross_entropy",

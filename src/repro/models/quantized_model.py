@@ -40,11 +40,17 @@ from repro.quant.optq import OPTQConfig, quantize_optq
 from repro.quant.rtn import RTNConfig, UniformQuantizedTensor, quantize_rtn
 from repro.quant.mixed_precision import MixedPrecisionPlan
 from repro.quant.shiftadd import ShiftAddConfig, quantize_shiftadd
-from repro.models.transformer import KVCache, TransformerLM
+from repro.models.transformer import (
+    _PAGE_ROOT_KEY,
+    KVCache,
+    PagedKVCache,
+    PagePool,
+    TransformerLM,
+)
 
 __all__ = ["QuantizationRecipe", "QuantizedLM", "GenerationResult",
-           "quantize_model_weights", "capture_calibration_activations",
-           "recipe_from_mixed_precision"]
+           "PagedPrefillResult", "quantize_model_weights",
+           "capture_calibration_activations", "recipe_from_mixed_precision"]
 
 
 @dataclass(frozen=True)
@@ -189,6 +195,7 @@ class GenerationResult:
     finish_reason: str
     prefill_stats: MPURunStats
     step_stats: tuple[MPURunStats, ...]
+    shared_tokens: int = 0
 
     @property
     def mpu_stats(self) -> MPURunStats:
@@ -196,6 +203,29 @@ class GenerationResult:
         for s in self.step_stats:
             total = total.merge(s)
         return total
+
+
+@dataclass(frozen=True)
+class PagedPrefillResult:
+    """One prefix-aware batched prefill over a shared page pool.
+
+    ``logits`` covers only the *computed* suffix positions (right-padded
+    across rows); row ``r``'s next-token logits sit at column
+    ``suffix_lens[r] - 1``.  ``shared_lens[r]`` counts the leading prompt
+    tokens whose K/V were mapped from resident pages instead of being
+    recomputed (always ≤ ``prompt_len - 1``: the final prompt position runs
+    through the model so its logits exist).
+    """
+
+    logits: np.ndarray
+    cache: PagedKVCache
+    stats: MPURunStats
+    shared_lens: np.ndarray
+    suffix_lens: np.ndarray
+
+    def last_logits(self, row: int) -> np.ndarray:
+        """The next-token logits of one prompt row."""
+        return self.logits[row, int(self.suffix_lens[row]) - 1]
 
 
 class _StatsSink:
@@ -371,7 +401,7 @@ class QuantizedLM:
     def prefill(self, tokens: np.ndarray, *, num_valid: np.ndarray | None = None,
                 capacity: int | None = None,
                 mpu_config: "MPUConfig | None" = None,
-                gemm=None) -> tuple[np.ndarray, KVCache, MPURunStats]:
+                gemm=None, cache=None) -> tuple[np.ndarray, KVCache, MPURunStats]:
         """Run the prompt(s) through the cache-aware step path.
 
         ``tokens`` is ``(seq,)`` or ``(batch, seq)`` (right-padded when
@@ -379,8 +409,13 @@ class QuantizedLM:
         ``gemm(name, flat) -> (y, stats)`` — default: the memoised
         :meth:`prepared_gemm` — while attention stays float, exactly like
         the full forward.  Returns ``(logits, cache, stats)`` with the
-        populated :class:`~repro.models.transformer.KVCache` and the pass's
-        plan-exact counters.
+        populated cache and the pass's plan-exact counters.
+
+        ``cache`` optionally supplies a pre-built cache (dense or paged)
+        instead of a fresh dense :class:`~repro.models.transformer.KVCache`;
+        a paged cache whose rows carry prefix-mapped pages arrives with
+        nonzero lengths, and ``tokens`` then holds only the unshared
+        suffixes (see :meth:`paged_prefill`).
         """
         arr = np.asarray(tokens, dtype=np.int64)
         if arr.ndim == 1:
@@ -389,9 +424,52 @@ class QuantizedLM:
             raise ValueError("tokens must be (seq,) or (batch, seq), non-empty")
         sink = _StatsSink()
         hook = self._decode_hook(gemm or self.prepared_gemm(mpu_config), sink)
-        cache = self.model.init_cache(arr.shape[0], capacity=capacity)
+        if cache is None:
+            cache = self.model.init_cache(arr.shape[0], capacity=capacity)
         logits = self.model.step(arr, cache, matmul=hook, num_valid=num_valid)
         return logits, cache, sink.take()
+
+    def paged_prefill(self, prompts: "list[np.ndarray]", pool: PagePool, *,
+                      capacity: int | None = None,
+                      mpu_config: "MPUConfig | None" = None,
+                      gemm=None,
+                      prefix_sharing: bool = True) -> PagedPrefillResult:
+        """Prefill a batch of prompts over a shared page pool.
+
+        The prefix-lookup fast path: each prompt first walks the pool's page
+        registry (:meth:`~repro.models.transformer.PagePool.map_prefix`) and
+        maps every resident page holding an identical leading token chunk —
+        those positions **skip prefill entirely**; only the divergent
+        suffixes run, stacked as one ragged right-padded pass.  With
+        ``prefix_sharing=False`` every prompt prefills in full (the
+        baseline the prefix-cache benchmark compares against).
+        """
+        if not prompts:
+            raise ValueError("paged_prefill needs at least one prompt")
+        arrs = [np.asarray(p, dtype=np.int64).reshape(-1) for p in prompts]
+        if any(a.size == 0 for a in arrs):
+            raise ValueError("a prompt is a non-empty 1-D token sequence")
+        cache = self.model.init_paged_cache(0, pool, capacity=capacity)
+        shared = np.zeros(len(arrs), dtype=np.int64)
+        for i, arr in enumerate(arrs):
+            if prefix_sharing:
+                # Cap the match below the full prompt so the final position
+                # always runs through the model and yields its logits.
+                pages, key, matched = pool.map_prefix(arr, arr.size - 1)
+            else:
+                pages, key, matched = [], _PAGE_ROOT_KEY, 0
+            cache.add_row(pages, key, matched)
+            shared[i] = matched
+        suffix_lens = np.array([a.size for a in arrs], dtype=np.int64) - shared
+        width = int(suffix_lens.max())
+        stacked = np.zeros((len(arrs), width), dtype=np.int64)
+        for i, arr in enumerate(arrs):
+            stacked[i, : suffix_lens[i]] = arr[shared[i]:]
+        logits, cache, stats = self.prefill(stacked, num_valid=suffix_lens,
+                                            mpu_config=mpu_config, gemm=gemm,
+                                            cache=cache)
+        return PagedPrefillResult(logits=logits, cache=cache, stats=stats,
+                                  shared_lens=shared, suffix_lens=suffix_lens)
 
     def decode_step(self, tokens: np.ndarray, cache: KVCache, *,
                     mpu_config: "MPUConfig | None" = None,
@@ -435,7 +513,8 @@ class QuantizedLM:
     def generate(self, tokens: np.ndarray, max_new_tokens: int, *,
                  eos_token: int | None = None,
                  mpu_config: "MPUConfig | None" = None,
-                 gemm=None) -> GenerationResult:
+                 gemm=None, pool: "PagePool | None" = None,
+                 prefix_sharing: bool = True) -> GenerationResult:
         """Greedy autoregressive generation for one prompt (KV-cached).
 
         Prefills the prompt once, then emits up to ``max_new_tokens`` tokens
@@ -443,30 +522,52 @@ class QuantizedLM:
         per token instead of the O(T) (and O(T²) attention) of re-running
         the full forward.  Stops early when ``eos_token`` is produced (the
         EOS itself is included in the output).
+
+        With ``pool`` the request runs over a shared :class:`PagePool`: any
+        prompt prefix already resident as registered pages skips prefill
+        (``result.shared_tokens``), and on return the request's pages go
+        back to the pool's free list — still registered, so a later request
+        with the same prefix revives them without recompute.
         """
         prompt = self.check_generation_request(tokens, max_new_tokens)
         gemm = gemm or self.prepared_gemm(mpu_config)
 
-        logits, cache, prefill_stats = self.prefill(prompt, gemm=gemm)
-        next_token = int(np.argmax(logits[0, -1]))
-        generated = [next_token]
-        step_stats: list[MPURunStats] = []
-        finish_reason = "length"
-        while True:
-            if eos_token is not None and next_token == eos_token:
-                finish_reason = "eos"
-                break
-            if len(generated) >= max_new_tokens:
-                break
-            logits, stats = self.decode_step(
-                np.array([[next_token]], dtype=np.int64), cache, gemm=gemm)
-            step_stats.append(stats)
-            next_token = int(np.argmax(logits[0, -1]))
-            generated.append(next_token)
+        shared_tokens = 0
+        cache = None
+        try:
+            if pool is not None:
+                res = self.paged_prefill([prompt], pool, gemm=gemm,
+                                         prefix_sharing=prefix_sharing)
+                logits = res.logits
+                cache = res.cache
+                prefill_stats = res.stats
+                shared_tokens = int(res.shared_lens[0])
+                next_token = int(np.argmax(res.last_logits(0)))
+            else:
+                logits, cache, prefill_stats = self.prefill(prompt, gemm=gemm)
+                next_token = int(np.argmax(logits[0, -1]))
+            generated = [next_token]
+            step_stats: list[MPURunStats] = []
+            finish_reason = "length"
+            while True:
+                if eos_token is not None and next_token == eos_token:
+                    finish_reason = "eos"
+                    break
+                if len(generated) >= max_new_tokens:
+                    break
+                logits, stats = self.decode_step(
+                    np.array([[next_token]], dtype=np.int64), cache, gemm=gemm)
+                step_stats.append(stats)
+                next_token = int(np.argmax(logits[0, -1]))
+                generated.append(next_token)
+        finally:
+            if pool is not None and cache is not None:
+                cache.release()
         return GenerationResult(tokens=np.asarray(generated, dtype=np.int64),
                                 finish_reason=finish_reason,
                                 prefill_stats=prefill_stats,
-                                step_stats=tuple(step_stats))
+                                step_stats=tuple(step_stats),
+                                shared_tokens=shared_tokens)
 
     def bcq_views(self) -> dict[str, BCQTensor]:
         """BCQ view of every quantized weight matrix, keyed by layer name.

@@ -32,16 +32,33 @@ step logits match a full re-forward at every length to tight floating-point
 tolerance rather than bit-for-bit; ``DECODE_ATOL`` documents the bound the
 equivalence tests pin (attention against cached K/V is exact: masked
 positions contribute exact zeros, and adding 0.0 is exact in any order).
+
+Two cache representations implement the same small protocol ``step``
+drives (``plan_append`` → per-layer ``scatter``/``attention_view`` →
+``commit_append``):
+
+* :class:`KVCache` — one dense ``(layers, batch, heads, capacity, d_head)``
+  block per pool, ``max_seq_len`` capacity reserved per row;
+* :class:`PagedKVCache` — per-sequence page tables over a shared
+  :class:`PagePool` of fixed-size K/V pages.  Pages holding a completed
+  token prefix are content-addressed by a rolling hash, so a new sequence
+  whose prompt shares a prefix with any resident (or recently freed) page
+  chain maps those pages copy-on-write and skips recomputing their K/V
+  entirely.  Attention gathers the mapped pages into a stacked buffer and
+  runs the *same* masked attention as the dense path — logits are
+  bit-identical, which the paged-cache tests pin.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["TransformerConfig", "TransformerLM", "KVCache", "cross_entropy",
-           "softmax", "DECODE_ATOL"]
+__all__ = ["TransformerConfig", "TransformerLM", "KVCache", "PagePool",
+           "PagedKVCache", "CacheOverflowError", "OutOfPagesError",
+           "cross_entropy", "softmax", "DECODE_ATOL"]
 
 # Absolute logit tolerance for prefill-then-step decoding vs. re-running the
 # full forward at each length.  The incremental path performs the same
@@ -134,6 +151,30 @@ def _linear_backward(dout: np.ndarray, cache):
     return dx, dw, db
 
 
+class CacheOverflowError(ValueError):
+    """Appending would push one or more cache rows past their capacity.
+
+    ``rows`` names the offending batch rows, so a scheduler can fail just
+    those requests instead of treating the whole stacked step as fatal.
+    """
+
+    def __init__(self, rows, capacity: int) -> None:
+        self.rows = tuple(int(r) for r in np.atleast_1d(rows))
+        self.capacity = int(capacity)
+        super().__init__(
+            f"cache overflow: rows {list(self.rows)} would exceed the cache "
+            f"capacity of {self.capacity} cached positions")
+
+
+class OutOfPagesError(RuntimeError):
+    """A :class:`PagePool` has no free page left to satisfy an allocation.
+
+    The decode scheduler treats this as admission backpressure (the request
+    waits until departures free pages); hitting it mid-decode means the
+    caller admitted more growth than it reserved.
+    """
+
+
 @dataclass
 class KVCache:
     """Per-layer stacked K/V arrays plus a per-row occupancy vector.
@@ -180,21 +221,486 @@ class KVCache:
 
     @staticmethod
     def concat(caches: "list[KVCache]") -> "KVCache":
-        """Stack caches along the batch axis (capacities must match).
+        """Stack caches along the batch axis (copies the full arrays).
 
-        New sequences join an in-flight decode batch this way: their
+        New sequences join an in-flight dense decode batch this way: their
         prefilled rows are concatenated onto the pool's cache and attend
-        through the shared padding-aware mask from the next step on.
+        through the shared padding-aware mask from the next step on.  Every
+        cache must agree on capacity, dtype and the per-position head shape
+        ``(n_layers, n_heads, d_head)`` — rows of incompatible caches cannot
+        share one stacked attention pass.
         """
         if not caches:
             raise ValueError("cannot concatenate an empty cache list")
-        cap = {c.capacity for c in caches}
-        if len(cap) != 1:
-            raise ValueError(f"cache capacities differ: {sorted(cap)}")
+        base = caches[0]
+        head_shape = (base.n_layers, base.k.shape[2], base.k.shape[4])
+        for i, c in enumerate(caches[1:], start=1):
+            if c.capacity != base.capacity:
+                raise ValueError(
+                    f"cannot concatenate KV caches: cache 0 has capacity "
+                    f"{base.capacity} but cache {i} has capacity "
+                    f"{c.capacity}; rows can only join a decode batch whose "
+                    f"cache reserves the same positions per row")
+            if c.k.dtype != base.k.dtype or c.v.dtype != base.v.dtype:
+                raise ValueError(
+                    f"cannot concatenate KV caches: cache 0 stores "
+                    f"{base.k.dtype}/{base.v.dtype} K/V but cache {i} "
+                    f"stores {c.k.dtype}/{c.v.dtype}")
+            got = (c.n_layers, c.k.shape[2], c.k.shape[4])
+            if got != head_shape:
+                raise ValueError(
+                    f"cannot concatenate KV caches: cache 0 has "
+                    f"(layers, heads, d_head) = {head_shape} but cache {i} "
+                    f"has {got}; the caches belong to different models")
         return KVCache(
             k=np.concatenate([c.k for c in caches], axis=1),
             v=np.concatenate([c.v for c in caches], axis=1),
             lengths=np.concatenate([c.lengths for c in caches]))
+
+    # -- the append/attend protocol step() drives ---------------------------
+    def plan_append(self, rows: np.ndarray, positions: np.ndarray,
+                    tokens: np.ndarray):
+        """Prepare the scatter targets for one step's new K/V.
+
+        The dense cache addresses slots directly by ``(row, position)``;
+        token ids are irrelevant (the paged cache records them for
+        prefix hashing).
+        """
+        return rows, positions
+
+    def scatter(self, layer: int, plan, k_new: np.ndarray,
+                v_new: np.ndarray) -> None:
+        """Write one layer's new K/V at the planned slots."""
+        rows, positions = plan
+        self.k[layer][rows, :, positions] = k_new
+        self.v[layer][rows, :, positions] = v_new
+
+    def attention_view(self, layer: int, kv_len: int):
+        """``(keys, vals)`` of shape ``(batch, heads, kv_len, d_head)``.
+
+        Slots at or beyond a row's length may hold stale data — the step
+        mask blocks them, and blocked positions contribute exact zeros.
+        """
+        return self.k[layer][:, :, :kv_len], self.v[layer][:, :, :kv_len]
+
+    def commit_append(self, plan) -> None:
+        """Post-step bookkeeping hook (no-op for the dense cache)."""
+
+
+# Seed of the rolling page-hash chain: every sequence's first page hashes
+# against this root, so equal leading token chunks collide into the same
+# registry key regardless of which sequence produced them.
+_PAGE_ROOT_KEY = 0
+
+
+def _page_chain_key(prefix_key: int, chunk: tuple) -> tuple:
+    """Registry key of a completed page: ``(prefix chain hash, its tokens)``.
+
+    The token chunk is stored verbatim (no information is discarded at the
+    final link), so two keys collide only if their *ancestor chains* hash
+    equal — a 64-bit ``hash`` collision over structurally different tuples.
+    ``map_prefix`` additionally verifies the matched page's stored tokens,
+    so a collision would also need identical current-page tokens.
+    """
+    return (prefix_key, chunk)
+
+
+@dataclass
+class PagePoolCounters:
+    """Bytes-touched instrumentation of a :class:`PagePool`.
+
+    ``slots_written`` counts per-layer K/V slot writes (the only mutation of
+    page storage), and the page counters count membership work — admission
+    and departure never copy K/V arrays, so these counters *are* the cost of
+    a batch-membership change, and the instrumented scheduler tests pin that
+    they scale with the pages a request touches, not with pool residency.
+    """
+
+    pages_allocated: int = 0     # fresh pages taken off the free list
+    pages_revived: int = 0       # free-list pages re-acquired via prefix hits
+    pages_shared: int = 0        # refcount bumps on resident pages
+    pages_released: int = 0      # refcount drops
+    slots_written: int = 0       # (layer, slot) K/V writes
+    gathered_slots: int = 0      # (row, position) slots gathered per layer
+    lookup_hit_pages: int = 0    # registry hits during prefix walks
+    lookup_misses: int = 0       # prefix walks that ended on a miss
+
+
+class PagePool:
+    """A shared pool of fixed-size K/V pages with content-addressed reuse.
+
+    Storage is two arrays of shape ``(n_layers, num_pages, n_heads,
+    page_size, d_head)`` plus a per-page token record; sequences reference
+    pages through per-row page tables (:class:`PagedKVCache`), so batch
+    membership changes move page *indices*, never K/V data.
+
+    Pages are refcounted.  A page whose refcount drops to zero joins the
+    free list but keeps its registry entry, so a later request whose prompt
+    prefix hashes to it can revive it without recomputing its K/V; pages are
+    reallocated oldest-freed-first, evicting their registration only when
+    the storage is actually reused.
+
+    Completed pages (every slot written) are registered under a rolling
+    hash over ``(prefix_chain, page_tokens)`` — see :func:`_page_chain_key`
+    — which is what makes cross-request prefix sharing a dictionary lookup.
+    """
+
+    def __init__(self, n_layers: int, n_heads: int, d_head: int,
+                 num_pages: int, page_size: int,
+                 dtype: "np.dtype | type" = np.float64) -> None:
+        for name, value in (("n_layers", n_layers), ("n_heads", n_heads),
+                            ("d_head", d_head), ("num_pages", num_pages),
+                            ("page_size", page_size)):
+            if value < 1:
+                raise ValueError(f"{name} must be >= 1")
+        shape = (n_layers, num_pages, n_heads, page_size, d_head)
+        self.k = np.zeros(shape, dtype=dtype)
+        self.v = np.zeros(shape, dtype=dtype)
+        self.tokens = np.full((num_pages, page_size), -1, dtype=np.int64)
+        self.refcounts = np.zeros(num_pages, dtype=np.int64)
+        # Free pages in freed order: allocation pops the oldest, so recently
+        # freed (still registered) pages survive longest for prefix revival.
+        self._free: "OrderedDict[int, None]" = OrderedDict(
+            (p, None) for p in range(num_pages))
+        self._registry: dict = {}      # chain key -> page id
+        self._page_key: dict = {}      # page id -> chain key (for eviction)
+        self.counters = PagePoolCounters()
+
+    @property
+    def n_layers(self) -> int:
+        return self.k.shape[0]
+
+    @property
+    def num_pages(self) -> int:
+        return self.k.shape[1]
+
+    @property
+    def page_size(self) -> int:
+        return self.k.shape[3]
+
+    @property
+    def num_free(self) -> int:
+        """Pages available for allocation (registered-but-free included)."""
+        return len(self._free)
+
+    @property
+    def num_registered(self) -> int:
+        return len(self._registry)
+
+    def pages_for(self, num_tokens: int) -> int:
+        """Pages spanned by ``num_tokens`` cached positions."""
+        return -(-int(num_tokens) // self.page_size)
+
+    def allocate(self, n: int) -> list[int]:
+        """Take ``n`` fresh pages (refcount 1 each) off the free list.
+
+        Raises :class:`OutOfPagesError` — before touching anything — when
+        fewer than ``n`` pages are free.  Reused pages lose their registry
+        entry: their storage is about to be overwritten.
+        """
+        if n > len(self._free):
+            raise OutOfPagesError(
+                f"need {n} free pages but only {len(self._free)} of "
+                f"{self.num_pages} are free; admit fewer sequences or grow "
+                f"the pool")
+        pages: list[int] = []
+        for _ in range(n):
+            page, _ = self._free.popitem(last=False)
+            key = self._page_key.pop(page, None)
+            if key is not None and self._registry.get(key) == page:
+                del self._registry[key]
+            self.refcounts[page] = 1
+            self.tokens[page] = -1
+            pages.append(page)
+        self.counters.pages_allocated += n
+        return pages
+
+    def acquire(self, pages) -> None:
+        """Add one reference to each page (reviving free registered pages)."""
+        for page in pages:
+            if self.refcounts[page] == 0:
+                del self._free[page]
+                self.counters.pages_revived += 1
+            else:
+                self.counters.pages_shared += 1
+            self.refcounts[page] += 1
+
+    def release(self, pages) -> None:
+        """Drop one reference per page; zero-ref pages join the free list
+        (registry entries retained for prefix revival)."""
+        for page in pages:
+            count = int(self.refcounts[page])
+            if count < 1:
+                raise ValueError(f"page {page} released more than acquired")
+            self.refcounts[page] = count - 1
+            if count == 1:
+                self._free[page] = None
+        self.counters.pages_released += len(pages)
+
+    def register(self, page: int, key) -> None:
+        """Publish a completed page under its chain key (first writer wins —
+        later identical pages stay unregistered so lookups converge on one
+        physical page)."""
+        if key in self._registry or page in self._page_key:
+            return
+        self._registry[key] = page
+        self._page_key[page] = key
+
+    def map_prefix(self, tokens: np.ndarray,
+                   max_tokens: int) -> tuple[list[int], int, int]:
+        """Match the longest registered page chain for a prompt prefix.
+
+        Walks ``tokens`` page-aligned chunk by chunk (never past
+        ``max_tokens``), following the rolling hash chain; each candidate
+        page's stored tokens are verified against the chunk.  Matched pages
+        are **acquired** (the caller owns one reference each).
+
+        Returns ``(pages, prefix_key, matched_tokens)`` where ``prefix_key``
+        is the chain state after the matched pages — the key the sequence's
+        next completed page registers under.
+        """
+        ps = self.page_size
+        arr = np.asarray(tokens, dtype=np.int64).reshape(-1)
+        pages: list[int] = []
+        prefix_key = _PAGE_ROOT_KEY
+        for i in range(min(arr.size, int(max_tokens)) // ps):
+            chunk = tuple(int(t) for t in arr[i * ps:(i + 1) * ps])
+            key = _page_chain_key(prefix_key, chunk)
+            page = self._registry.get(key)
+            if page is None or not np.array_equal(self.tokens[page],
+                                                  np.asarray(chunk)):
+                self.counters.lookup_misses += 1
+                break
+            pages.append(page)
+            self.counters.lookup_hit_pages += 1
+            prefix_key = hash(key)
+        self.acquire(pages)
+        return pages, prefix_key, len(pages) * ps
+
+
+@dataclass
+class _PagedAppendPlan:
+    """One step's pre-validated scatter targets through the page tables."""
+
+    rows: np.ndarray       # batch row per write
+    positions: np.ndarray  # logical cached position per write
+    tokens: np.ndarray     # token id per write (for prefix hashing)
+    pages: np.ndarray      # physical page per write
+    slots: np.ndarray      # slot within the page per write
+    end: np.ndarray        # per-row lengths after the step
+
+
+class PagedKVCache:
+    """Per-sequence page tables over a shared :class:`PagePool`.
+
+    Implements the same append/attend protocol as the dense
+    :class:`KVCache` (``plan_append`` → per-layer ``scatter`` /
+    ``attention_view`` → ``commit_append``), so
+    :meth:`TransformerLM.step` drives either representation unchanged and
+    the paged path's logits are bit-identical to the dense path's: the
+    gathered keys/values hold the same numbers at every unmasked slot, and
+    masked slots contribute exact zeros either way.
+
+    Rows only ever *append*; completed pages are immutable, so prefix
+    sharing is copy-on-write without ever copying — shared (refcount > 1)
+    pages are always complete, and new tokens land in freshly allocated
+    tail pages owned by exactly one row.
+
+    Batch membership is O(pages touched): :meth:`extend` splices another
+    cache's page tables in (reference transfer, no K/V copy) and
+    :meth:`remove_rows` releases the departing rows' references.
+    """
+
+    def __init__(self, pool: PagePool, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.pool = pool
+        self._capacity = int(capacity)
+        self.page_tables: list[list[int]] = []
+        self.lengths = np.zeros(0, dtype=np.int64)
+        self._prefix_keys: list[int] = []   # chain state after registered pages
+        self._registered: list[int] = []    # leading pages already registered
+        self._version = 0                   # bumped on any table change
+        self._gather_memo: "tuple | None" = None
+
+    # -- construction / membership ------------------------------------------
+    @classmethod
+    def empty(cls, pool: PagePool, batch: int, capacity: int) -> "PagedKVCache":
+        cache = cls(pool, capacity)
+        for _ in range(int(batch)):
+            cache.add_row([], _PAGE_ROOT_KEY, 0)
+        return cache
+
+    def add_row(self, pages: list[int], prefix_key: int, length: int) -> int:
+        """Append one sequence row; ownership of ``pages``' references
+        transfers to this cache (``pool.map_prefix`` output plugs in
+        directly).  Returns the new row index."""
+        if length > len(pages) * self.pool.page_size:
+            raise ValueError("row length exceeds its mapped pages")
+        if length > self._capacity:
+            raise ValueError(f"row length {length} exceeds capacity "
+                             f"{self._capacity}")
+        self.page_tables.append(list(pages))
+        self.lengths = np.append(self.lengths, np.int64(length))
+        self._prefix_keys.append(prefix_key)
+        self._registered.append(len(pages))
+        self._version += 1
+        return len(self.page_tables) - 1
+
+    def extend(self, other: "PagedKVCache") -> None:
+        """Splice another cache's rows onto this one (same pool required).
+
+        Page references transfer — the donor must be discarded afterwards.
+        This is how admitted sequences join a decode pool: O(rows added)
+        bookkeeping, no K/V copy (contrast :meth:`KVCache.concat`).
+        """
+        if other.pool is not self.pool:
+            raise ValueError("caches must share one PagePool to merge")
+        if other._capacity != self._capacity:
+            raise ValueError(
+                f"cannot merge paged caches: capacity {self._capacity} != "
+                f"{other._capacity}")
+        self.page_tables.extend(other.page_tables)
+        self.lengths = np.concatenate([self.lengths, other.lengths])
+        self._prefix_keys.extend(other._prefix_keys)
+        self._registered.extend(other._registered)
+        self._version += 1
+
+    def remove_rows(self, rows) -> None:
+        """Drop rows in place, releasing their page references — O(pages of
+        the removed rows), however large the pool's resident set is."""
+        drop = set(int(r) for r in np.atleast_1d(np.asarray(rows, dtype=np.int64)))
+        for r in drop:
+            if not 0 <= r < self.batch:
+                raise IndexError(f"row {r} out of range for batch {self.batch}")
+            self.pool.release(self.page_tables[r])
+        keep = [i for i in range(self.batch) if i not in drop]
+        self.page_tables = [self.page_tables[i] for i in keep]
+        self.lengths = self.lengths[keep]
+        self._prefix_keys = [self._prefix_keys[i] for i in keep]
+        self._registered = [self._registered[i] for i in keep]
+        self._version += 1
+
+    def release(self) -> None:
+        """Release every row (drop all page references)."""
+        self.remove_rows(np.arange(self.batch))
+
+    # -- shape / bookkeeping -------------------------------------------------
+    @property
+    def batch(self) -> int:
+        return len(self.page_tables)
+
+    @property
+    def n_layers(self) -> int:
+        return self.pool.n_layers
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def page_size(self) -> int:
+        return self.pool.page_size
+
+    def row_pages(self, row: int) -> list[int]:
+        """The row's page chain (copy)."""
+        return list(self.page_tables[row])
+
+    # -- the append/attend protocol step() drives ---------------------------
+    def plan_append(self, rows: np.ndarray, positions: np.ndarray,
+                    tokens: np.ndarray) -> _PagedAppendPlan:
+        """Resolve logical positions to page slots, allocating tail pages.
+
+        Allocation is checked atomically before any page is taken, so an
+        :class:`OutOfPagesError` leaves the cache (and the pool) unchanged.
+        """
+        ps = self.pool.page_size
+        rows = np.asarray(rows, dtype=np.int64)
+        positions = np.asarray(positions, dtype=np.int64)
+        end = self.lengths.copy()
+        np.maximum.at(end, rows, positions + 1)
+        needed: list[tuple[int, int]] = []
+        for r in np.unique(rows):
+            missing = self.pool.pages_for(end[r]) - len(self.page_tables[r])
+            if missing > 0:
+                needed.append((int(r), missing))
+        total = sum(m for _, m in needed)
+        if total > self.pool.num_free:
+            raise OutOfPagesError(
+                f"appending to rows {[r for r, _ in needed]} needs {total} "
+                f"new pages but only {self.pool.num_free} are free")
+        for r, missing in needed:
+            self.page_tables[r].extend(self.pool.allocate(missing))
+        if needed:
+            self._version += 1
+        pages = np.fromiter(
+            (self.page_tables[r][p // ps] for r, p in zip(rows, positions)),
+            dtype=np.int64, count=rows.size)
+        return _PagedAppendPlan(rows=rows, positions=positions,
+                                tokens=np.asarray(tokens, dtype=np.int64),
+                                pages=pages, slots=positions % ps, end=end)
+
+    def scatter(self, layer: int, plan: _PagedAppendPlan, k_new: np.ndarray,
+                v_new: np.ndarray) -> None:
+        """Write one layer's new K/V into the planned page slots."""
+        self.pool.k[layer][plan.pages, :, plan.slots] = k_new
+        self.pool.v[layer][plan.pages, :, plan.slots] = v_new
+        self.pool.counters.slots_written += int(plan.pages.size)
+
+    def _gather_index(self, kv_len: int) -> tuple[np.ndarray, np.ndarray]:
+        """(page, slot) index matrices of shape ``(batch, kv_len)``.
+
+        Positions beyond a row's mapped span pad with page 0 — they are
+        always masked, and masked slots contribute exact zeros whatever
+        finite values they hold.  Memoised per (membership version, kv_len):
+        every layer of a step gathers through one index build.
+        """
+        memo = self._gather_memo
+        if memo is not None and memo[0] == (self._version, kv_len):
+            return memo[1], memo[2]
+        ps = self.pool.page_size
+        pages = np.zeros((self.batch, kv_len), dtype=np.int64)
+        for r, table in enumerate(self.page_tables):
+            span = min(len(table) * ps, kv_len)
+            if span:
+                pages[r, :span] = np.repeat(np.asarray(table, dtype=np.int64),
+                                            ps)[:span]
+        slots = np.broadcast_to(np.arange(kv_len, dtype=np.int64) % ps,
+                                (self.batch, kv_len))
+        self._gather_memo = ((self._version, kv_len), pages, slots)
+        return pages, slots
+
+    def attention_view(self, layer: int, kv_len: int):
+        """Gather the mapped pages into stacked ``(batch, heads, kv_len,
+        d_head)`` keys/values — same layout (and same numbers at every
+        unmasked slot) as the dense cache's view."""
+        pages, slots = self._gather_index(kv_len)
+        keys = self.pool.k[layer][pages, :, slots]  # (batch, kv_len, h, dh)
+        vals = self.pool.v[layer][pages, :, slots]
+        self.pool.counters.gathered_slots += int(pages.size)
+        return keys.transpose(0, 2, 1, 3), vals.transpose(0, 2, 1, 3)
+
+    def commit_append(self, plan: _PagedAppendPlan) -> None:
+        """Record the appended tokens and register newly completed pages.
+
+        A page is registered the moment its last slot fills, under the
+        rolling chain key of everything before it — from then on any
+        prompt sharing that exact token prefix maps it instead of
+        recomputing its K/V.
+        """
+        ps = self.pool.page_size
+        self.pool.tokens[plan.pages, plan.slots] = plan.tokens
+        for r in np.unique(plan.rows):
+            r = int(r)
+            full = int(plan.end[r]) // ps
+            while self._registered[r] < full:
+                i = self._registered[r]
+                page = self.page_tables[r][i]
+                chunk = tuple(int(t) for t in self.pool.tokens[page])
+                key = _page_chain_key(self._prefix_keys[r], chunk)
+                self.pool.register(page, key)
+                self._prefix_keys[r] = hash(key)
+                self._registered[r] = i + 1
 
 
 class TransformerLM:
@@ -385,17 +891,43 @@ class TransformerLM:
         return KVCache(k=np.zeros(shape), v=np.zeros(shape),
                        lengths=np.zeros(batch, dtype=np.int64))
 
-    def _attention_step(self, x: np.ndarray, layer: int, cache: KVCache,
-                        write_rows: np.ndarray, write_cols: np.ndarray,
-                        write_pos: np.ndarray, kv_len: int,
-                        mask: np.ndarray, matmul=None) -> np.ndarray:
+    def make_page_pool(self, num_pages: int, page_size: int = 8) -> PagePool:
+        """A :class:`PagePool` sized for this model's K/V geometry."""
+        cfg = self.config
+        return PagePool(n_layers=cfg.n_layers, n_heads=cfg.n_heads,
+                        d_head=cfg.d_model // cfg.n_heads,
+                        num_pages=num_pages, page_size=page_size)
+
+    def init_paged_cache(self, batch: int, pool: PagePool,
+                         capacity: int | None = None) -> PagedKVCache:
+        """An empty :class:`PagedKVCache` for ``batch`` sequences over a
+        shared pool (same capacity rules as :meth:`init_cache`)."""
+        cfg = self.config
+        if batch < 0:
+            raise ValueError("batch must be >= 0")
+        capacity = cfg.max_seq_len if capacity is None else capacity
+        if not 1 <= capacity <= cfg.max_seq_len:
+            raise ValueError(
+                f"capacity must be in [1, {cfg.max_seq_len}], got {capacity}")
+        dh = cfg.d_model // cfg.n_heads
+        got = (pool.n_layers, pool.k.shape[2], pool.k.shape[4])
+        if got != (cfg.n_layers, cfg.n_heads, dh):
+            raise ValueError(
+                f"page pool geometry {got} does not match the model's "
+                f"(layers, heads, d_head) = {(cfg.n_layers, cfg.n_heads, dh)}")
+        return PagedKVCache.empty(pool, batch, capacity)
+
+    def _attention_step(self, x: np.ndarray, layer: int, cache,
+                        plan, write_rows: np.ndarray, write_cols: np.ndarray,
+                        kv_len: int, mask: np.ndarray, matmul=None) -> np.ndarray:
         """Attention for new positions only, against all cached positions.
 
         ``x`` is the layer-norm output for the new positions ``(b, t_new,
-        d)``; the freshly computed K/V are scattered into ``cache`` at the
-        (pre-validated) per-row slots ``write_pos`` for the valid ``(row,
-        col)`` pairs, then every query attends the first ``kv_len`` cache
-        slots under ``mask`` ``(b, t_new, kv_len)`` (True = blocked).
+        d)``; the freshly computed K/V of the valid ``(row, col)`` pairs are
+        scattered into ``cache`` at the pre-validated slots of ``plan``
+        (dense slots or page-table entries), then every query attends the
+        first ``kv_len`` cached positions under ``mask`` ``(b, t_new,
+        kv_len)`` (True = blocked).
         """
         cfg = self.config
         p = self.params
@@ -413,12 +945,11 @@ class TransformerLM:
         # (future) positions of short rows are never clobbered.
         kh_t = k.reshape(b, t, h, dh)
         vh_t = v.reshape(b, t, h, dh)
-        cache.k[layer][write_rows, :, write_pos] = kh_t[write_rows, write_cols]
-        cache.v[layer][write_rows, :, write_pos] = vh_t[write_rows, write_cols]
+        cache.scatter(layer, plan, kh_t[write_rows, write_cols],
+                      vh_t[write_rows, write_cols])
 
         qh = q.reshape(b, t, h, dh).transpose(0, 2, 1, 3)      # (b, h, t, dh)
-        keys = cache.k[layer][:, :, :kv_len]                   # (b, h, kv, dh)
-        vals = cache.v[layer][:, :, :kv_len]
+        keys, vals = cache.attention_view(layer, kv_len)       # (b, h, kv, dh)
         scores = qh @ keys.transpose(0, 1, 3, 2) / np.sqrt(dh)
         scores = np.where(mask[:, None, :, :], -1e30, scores)
         attn = softmax(scores, axis=-1)
@@ -426,7 +957,7 @@ class TransformerLM:
         ctx_merged = ctx.transpose(0, 2, 1, 3).reshape(b, t, d)
         return mm(prefix + "wo", ctx_merged, p[prefix + "wo"])
 
-    def step(self, tokens: np.ndarray, cache: KVCache, matmul=None,
+    def step(self, tokens: np.ndarray, cache, matmul=None,
              num_valid: np.ndarray | None = None) -> np.ndarray:
         """Incremental forward: run only the new position(s) against a cache.
 
@@ -438,9 +969,12 @@ class TransformerLM:
             :meth:`forward`); with ``t_new == 1`` it is one decode
             iteration.
         cache:
-            The :class:`KVCache` from :meth:`init_cache`; K/V of the valid
-            new positions are appended in place and ``cache.lengths``
-            advances by each row's valid count.
+            A :class:`KVCache` from :meth:`init_cache` or a
+            :class:`PagedKVCache` from :meth:`init_paged_cache`; K/V of the
+            valid new positions are appended in place and ``cache.lengths``
+            advances by each row's valid count.  A paged cache may start
+            with nonzero lengths from prefix-mapped pages, in which case
+            ``tokens`` holds only each row's unshared suffix.
         matmul:
             Optional weight-GEMM hook, exactly as in :meth:`forward`.
         num_valid:
@@ -474,10 +1008,9 @@ class TransformerLM:
             if (valid < 1).any() or (valid > t_new).any():
                 raise ValueError("num_valid entries must be in [1, t_new]")
         end = lengths + valid
-        if (end > cache.capacity).any():
-            raise ValueError(
-                f"cache overflow: lengths + num_valid exceed capacity "
-                f"{cache.capacity}")
+        overflow = np.nonzero(end > cache.capacity)[0]
+        if overflow.size:
+            raise CacheOverflowError(overflow, cache.capacity)
         mm = matmul or (lambda name, inp, w: inp @ w.T)
 
         positions = lengths[:, None] + np.arange(t_new)[None, :]  # (b, t_new)
@@ -486,10 +1019,14 @@ class TransformerLM:
         pos_idx = np.minimum(positions, cfg.max_seq_len - 1)
         x = p["tok_emb"][tokens] + p["pos_emb"][pos_idx]
 
-        # Valid (row, col) scatter targets, shared by every layer.
+        # Valid (row, col) scatter targets, shared by every layer (for a
+        # paged cache, plan_append also allocates the tail pages up front,
+        # atomically — an OutOfPagesError here leaves the cache untouched).
         valid_mask = np.arange(t_new)[None, :] < valid[:, None]   # (b, t_new)
         write_rows, write_cols = np.nonzero(valid_mask)
         write_pos = positions[write_rows, write_cols]
+        plan = cache.plan_append(write_rows, write_pos,
+                                 tokens[write_rows, write_cols])
         kv_len = int(min(lengths.max() + t_new, cache.capacity))
         # Query j of row r sees cached positions p <= lengths[r] + j: its own
         # prefix plus the new tokens up to and including itself (causal).
@@ -499,8 +1036,8 @@ class TransformerLM:
             prefix = f"layer{layer}."
             ln1_out, _ = _layer_norm_forward(x, p[prefix + "ln1.gamma"],
                                              p[prefix + "ln1.beta"])
-            attn_out = self._attention_step(ln1_out, layer, cache, write_rows,
-                                            write_cols, write_pos, kv_len,
+            attn_out = self._attention_step(ln1_out, layer, cache, plan,
+                                            write_rows, write_cols, kv_len,
                                             mask, matmul=mm)
             x1 = x + attn_out
             ln2_out, _ = _layer_norm_forward(x1, p[prefix + "ln2.gamma"],
@@ -514,6 +1051,7 @@ class TransformerLM:
 
         lnf_out, _ = _layer_norm_forward(x, p["ln_f.gamma"], p["ln_f.beta"])
         logits = mm("lm_head.weight", lnf_out, p["lm_head.weight"])
+        cache.commit_append(plan)
         cache.lengths = end
         return logits
 

@@ -7,8 +7,9 @@ sharded weights — and their weight-stationary RAC keys — in a concurrent
 worker pool (:mod:`repro.serve.workers`), (3) coalescing single-request
 traffic into micro-batches that share one engine pass
 (:mod:`repro.serve.batching`), (4) continuous (iteration-level) batching of
-multi-token generation over a shared KV cache — stacked single-position
-decode steps with admission between iterations
+multi-token generation over a shared **paged** KV cache — fixed-size K/V
+pages with per-sequence page tables and cross-request prefix sharing,
+stacked single-position decode steps with admission between iterations
 (:mod:`repro.serve.scheduler`) — and (5) gluing it together over a
 :class:`~repro.models.quantized_model.QuantizedLM` with per-request latency
 and plan-exact modelled-cycle accounting (:mod:`repro.serve.server`).
@@ -31,7 +32,12 @@ Quickstart (see ``examples/serve_quickstart.py`` and
 """
 
 from repro.serve.batching import AsyncBatcher, BatcherStats, BatchPolicy
-from repro.serve.scheduler import DecodeMetrics, DecodeScheduler, SequenceState
+from repro.serve.scheduler import (
+    CacheConfig,
+    DecodeMetrics,
+    DecodeScheduler,
+    SequenceState,
+)
 from repro.serve.server import (
     GeneratedSequence,
     InferenceResult,
@@ -49,6 +55,7 @@ __all__ = [
     "AsyncBatcher",
     "BatcherStats",
     "BatchPolicy",
+    "CacheConfig",
     "DecodeMetrics",
     "DecodeScheduler",
     "GeneratedSequence",

@@ -6,18 +6,28 @@ O(T²) attention and re-executes every tile plan per emitted token.
 :class:`DecodeScheduler` replaces that with the scheduling discipline real
 LLM inference engines use (Orca-style iteration-level batching):
 
-* a pool of *in-flight sequences* shares one ragged
-  :class:`~repro.models.transformer.KVCache` (per-row lengths);
+* a pool of *in-flight sequences* shares one **paged KV cache** — a
+  :class:`~repro.models.transformer.PagePool` of fixed-size K/V pages with
+  per-sequence page tables (:class:`~repro.models.transformer.
+  PagedKVCache`); the dense ragged :class:`~repro.models.transformer.
+  KVCache` survives behind ``CacheConfig(paged=False)``;
 * each scheduler iteration runs **one stacked single-position decode step**
   over every in-flight sequence — the engine work per iteration is one
   plan execution at flat batch = #active, independent of how long the
   cached sequences already are;
-* new requests are admitted *between* iterations: the waiting prompts are
-  prefilled together as one ragged right-padded stacked pass, their rows
-  are concatenated onto the shared cache, and they join the very next
-  decode step (cache padding does the rest);
+* new requests are admitted *between* iterations: any prompt prefix
+  already resident as registered pages is mapped copy-on-write (its
+  prefill is **skipped**), the divergent suffixes prefill together as one
+  ragged right-padded stacked pass, and the new page tables splice onto
+  the shared cache in O(rows added) — no full-pool
+  :meth:`~repro.models.transformer.KVCache.concat` copies;
 * sequences leave as soon as they emit their EOS token or exhaust their
-  token budget; the cache compacts by gathering the survivors' rows.
+  token budget; departure releases their page references in O(pages of
+  the departing rows) — no survivor-gather compaction copies;
+* admission reserves worst-case page growth for every in-flight sequence,
+  so a wave that would exhaust the pool mid-decode is simply not admitted
+  (out-of-pages backpressure: the request waits, ``backpressure_events``
+  counts the stalls).
 
 Every weight GEMM goes through a pluggable ``gemm(name, flat) -> (y,
 stats)`` — the sharded pool dispatch of a server, or the model's own
@@ -43,14 +53,63 @@ import numpy as np
 
 from repro.core.mpu import MPUConfig, MPURunStats
 from repro.models.quantized_model import QuantizedLM
-from repro.models.transformer import KVCache
+from repro.models.transformer import (
+    _PAGE_ROOT_KEY,
+    CacheOverflowError,
+    KVCache,
+    OutOfPagesError,
+    PagedKVCache,
+    PagePool,
+)
 
-__all__ = ["DecodeMetrics", "DecodeScheduler", "SequenceState"]
+__all__ = ["CacheConfig", "DecodeMetrics", "DecodeScheduler", "SequenceState"]
 
 # Sliding-window size for the latency percentile estimates (the server's
 # request metrics import it too): p50/p99 track recent traffic at O(1)
 # memory.
 LATENCY_WINDOW = 4096
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """KV-cache strategy knobs for a :class:`DecodeScheduler`.
+
+    Attributes
+    ----------
+    paged:
+        Use the paged cache (default).  ``False`` restores the dense
+        ragged-``KVCache`` pool — full-copy admission/compaction, no
+        prefix sharing — kept as the comparison oracle.
+    page_size:
+        Tokens per K/V page.  Smaller pages share finer-grained prefixes
+        and waste fewer tail slots; larger pages mean fewer gather indices
+        per step.
+    num_pages:
+        Physical pages in the pool.  Default ``None`` sizes it as
+        ``max_active × ceil(max_seq_len / page_size)`` — enough that the
+        reservation-based admission check never blocks below the
+        ``max_active`` cap.
+    capacity:
+        Per-row cached-position bound (default: the model's
+        ``max_seq_len``).  Lowering it below what admitted requests need
+        turns the overflow into a per-request
+        :class:`~repro.models.transformer.CacheOverflowError` failure.
+    prefix_sharing:
+        Map registered page chains for new prompts (default).  ``False``
+        keeps paging (O(pages) membership, page reuse) but always
+        prefills prompts in full — the benchmark baseline.
+    """
+
+    paged: bool = True
+    page_size: int = 8
+    num_pages: int | None = None
+    capacity: int | None = None
+    prefix_sharing: bool = True
+
+    def pool_pages(self, max_active: int, max_seq_len: int) -> int:
+        if self.num_pages is not None:
+            return self.num_pages
+        return max_active * (-(-max_seq_len // self.page_size))
 
 
 @dataclass
@@ -72,6 +131,9 @@ class DecodeMetrics:
     prefill_tokens: int = 0
     decode_tokens: int = 0
     generated_tokens: int = 0
+    prefix_hit_requests: int = 0
+    prefix_hit_tokens: int = 0
+    backpressure_events: int = 0
     busy_s: float = 0.0
     step_latencies_s: "deque[float]" = field(
         default_factory=lambda: deque(maxlen=LATENCY_WINDOW))
@@ -106,6 +168,13 @@ class DecodeMetrics:
         """Mean in-flight sequences per decode iteration."""
         return self.decode_tokens / self.iterations if self.iterations else 0.0
 
+    @property
+    def prefix_hit_rate(self) -> float:
+        """Fraction of prompt tokens served from shared pages instead of
+        prefill compute (``prefill_tokens`` counts *computed* tokens only)."""
+        total = self.prefix_hit_tokens + self.prefill_tokens
+        return self.prefix_hit_tokens / total if total else 0.0
+
 
 @dataclass
 class SequenceState:
@@ -124,6 +193,8 @@ class SequenceState:
     generated: list[int] = field(default_factory=list)
     finish_reason: str | None = None
     error: BaseException | None = None
+    shared_tokens: int = 0               # prompt tokens served from shared pages
+    _max_pages: int = 0                  # worst-case page span (reservation)
 
     @property
     def done(self) -> bool:
@@ -165,20 +236,32 @@ class DecodeScheduler:
         iterations only while the pool holds fewer than this many.
     mpu_config:
         Geometry for the default ``gemm`` (ignored when ``gemm`` is given).
+    cache_config:
+        KV-cache strategy (:class:`CacheConfig`); default: paged with
+        prefix sharing and a pool sized so admission never blocks below
+        ``max_active``.
     """
 
     def __init__(self, qlm: QuantizedLM, gemm=None, max_active: int = 8,
-                 mpu_config: MPUConfig | None = None) -> None:
+                 mpu_config: MPUConfig | None = None,
+                 cache_config: CacheConfig | None = None) -> None:
         if max_active < 1:
             raise ValueError("max_active must be >= 1")
         self.qlm = qlm
         self.model = qlm.model
         self.max_active = max_active
         self._gemm = gemm or qlm.prepared_gemm(mpu_config)
+        self.cache_config = cache_config or CacheConfig()
+        self.pool: PagePool | None = None
+        if self.cache_config.paged:
+            self.pool = self.model.make_page_pool(
+                self.cache_config.pool_pages(
+                    max_active, self.model.config.max_seq_len),
+                self.cache_config.page_size)
         self.metrics = DecodeMetrics()
         self._waiting: "deque[SequenceState]" = deque()
         self._active: list[SequenceState] = []
-        self._cache: KVCache | None = None
+        self._cache: "KVCache | PagedKVCache | None" = None
         self._lock = threading.Lock()
         self._next_id = 0
 
@@ -239,6 +322,8 @@ class DecodeScheduler:
             failed = list(self._waiting) + self._active
             self._waiting.clear()
             self._active = []
+            if isinstance(self._cache, PagedKVCache):
+                self._cache.release()
             self._cache = None
         for seq in failed:
             seq.finish_reason = "error"
@@ -250,23 +335,56 @@ class DecodeScheduler:
     # -- the iteration loop ------------------------------------------------
     def _compact_locked(self) -> None:
         """Drop finished/cancelled sequences from the pool (caller holds the
-        lock).  The cache gathers the survivors' rows so active-list order
-        and cache-row order stay aligned."""
-        if not any(seq.done for seq in self._active):
+        lock), keeping active-list order and cache-row order aligned.
+
+        Paged: O(pages of the departing rows) — their page references are
+        released (shared pages survive while any holder lives, and freed
+        pages keep their registration for prefix revival).  Dense: the
+        legacy survivor-gather copy.
+        """
+        dead = [i for i, seq in enumerate(self._active) if seq.done]
+        if not dead:
             return
         survivors = [i for i, seq in enumerate(self._active) if not seq.done]
         self._active = [self._active[i] for i in survivors]
-        self._cache = (self._cache.gather_rows(survivors)
-                       if survivors else None)
+        if isinstance(self._cache, PagedKVCache):
+            self._cache.remove_rows(dead)
+        else:
+            self._cache = (self._cache.gather_rows(survivors)
+                           if survivors else None)
+
+    def _fail(self, seq: SequenceState, error: BaseException) -> None:
+        """Settle one request as failed (per-request, scheduler stays up)."""
+        seq.finish_reason = "error"
+        seq.error = error
+        if seq.on_token is not None:
+            seq.on_token(seq, None, True)
+
+    def _outstanding_growth_locked(self) -> int:
+        """Pages the in-flight set may still allocate before every sequence
+        hits its token budget — the reservation the admission check holds
+        free so a decode step can never run out of pages."""
+        held = self._cache.page_tables if self._active else []
+        return sum(seq._max_pages - len(held[i])
+                   for i, seq in enumerate(self._active))
 
     def _admit(self) -> list[SequenceState]:
         """Prefill waiting requests (up to the pool cap) and join the cache.
 
         All admitted prompts run as *one* ragged right-padded stacked pass;
         each admitted sequence's first token comes from its last valid
-        prefill logit, and its cache rows are concatenated onto the pool's
-        cache so it participates in the next stacked decode step.
+        prefill logit, and its rows join the pool's cache so it participates
+        in the next stacked decode step.
+
+        Paged admission maps each prompt's longest registered page-chain
+        prefix first (those tokens **skip the prefill pass**) and admits
+        only while the pool can cover the candidate's worst-case page span
+        plus every in-flight sequence's remaining growth — otherwise the
+        candidate is pushed back (FIFO preserved) and waits:
+        out-of-pages backpressure instead of a mid-decode failure.
         """
+        if self.pool is not None:
+            return self._admit_paged()
         with self._lock:
             admitted: list[SequenceState] = []
             while self._waiting and len(self._active) + len(admitted) < self.max_active:
@@ -300,6 +418,109 @@ class DecodeScheduler:
                 self._active.extend(admitted[i] for i in survivors)
         return finished
 
+    def _admit_paged(self) -> list[SequenceState]:
+        pool = self.pool
+        capacity = self.cache_config.capacity
+        sharing = self.cache_config.prefix_sharing
+        admitted: list[SequenceState] = []
+        rowspecs: list[tuple[list[int], int, int]] = []
+        finished: list[SequenceState] = []
+        while True:
+            with self._lock:
+                if (not self._waiting
+                        or len(self._active) + len(admitted) >= self.max_active):
+                    break
+                seq = self._waiting.popleft()
+                growth = self._outstanding_growth_locked()
+            if seq.done:
+                continue  # cancelled after submit, before admission
+            max_pages = pool.pages_for(seq.prompt.size + seq.max_new_tokens - 1)
+            if max_pages > pool.num_pages:
+                self._fail(seq, OutOfPagesError(
+                    f"request {seq.request_id} spans {max_pages} pages but "
+                    f"the pool only holds {pool.num_pages}; grow num_pages "
+                    f"or page_size"))
+                finished.append(seq)
+                continue
+            if sharing:
+                # Cap the match below the full prompt: the last prompt token
+                # must run through the model to produce the first logit.
+                pages, key, matched = pool.map_prefix(seq.prompt,
+                                                      seq.prompt.size - 1)
+            else:
+                pages, key, matched = [], _PAGE_ROOT_KEY, 0
+            growth += sum(s._max_pages - len(p) for s, (p, _, _)
+                          in zip(admitted, rowspecs))
+            if pool.num_free < (max_pages - len(pages)) + growth:
+                pool.release(pages)
+                with self._lock:
+                    self._waiting.appendleft(seq)
+                self.metrics.backpressure_events += 1
+                break
+            seq._max_pages = max_pages
+            seq.shared_tokens = matched
+            admitted.append(seq)
+            rowspecs.append((pages, key, matched))
+        if not admitted:
+            return finished
+
+        while admitted:
+            cache = self.model.init_paged_cache(0, pool, capacity=capacity)
+            for seq, (pages, key, matched) in zip(admitted, rowspecs):
+                pool.acquire(pages)  # the wave cache's own reference
+                cache.add_row(pages, key, matched)
+            shared = np.array([m for _, _, m in rowspecs], dtype=np.int64)
+            suffix = np.array([s.prompt.size for s in admitted],
+                              dtype=np.int64) - shared
+            stacked = np.zeros((len(admitted), int(suffix.max())),
+                               dtype=np.int64)
+            for i, seq in enumerate(admitted):
+                stacked[i, : suffix[i]] = seq.prompt[shared[i]:]
+            try:
+                logits, cache, stats = self.qlm.prefill(
+                    stacked, num_valid=suffix, cache=cache, gemm=self._gemm)
+            except CacheOverflowError as err:
+                # step() checks overflow before touching the cache, so only
+                # the offending requests fail; the rest retry immediately.
+                cache.release()
+                for r in err.rows:
+                    self._fail(admitted[r], err)
+                    finished.append(admitted[r])
+                    pool.release(rowspecs[r][0])  # the map_prefix reference
+                keep = [i for i in range(len(admitted))
+                        if admitted[i].finish_reason != "error"]
+                admitted = [admitted[i] for i in keep]
+                rowspecs = [rowspecs[i] for i in keep]
+                continue
+            break
+        for pages, _, _ in rowspecs:
+            pool.release(pages)  # map_prefix's reference; the cache holds its own
+        if not admitted:
+            return finished
+
+        self.metrics.mpu_stats = self.metrics.mpu_stats.merge(stats)
+        self.metrics.admissions += 1
+        self.metrics.prefill_tokens += int(suffix.sum())
+        self.metrics.prefix_hit_tokens += int(shared.sum())
+        self.metrics.prefix_hit_requests += int(np.count_nonzero(shared))
+
+        for i, seq in enumerate(admitted):
+            seq._emit(int(np.argmax(logits[i, suffix[i] - 1])))
+            self.metrics.generated_tokens += 1
+            if seq.done:
+                finished.append(seq)
+        dead = [i for i, seq in enumerate(admitted) if seq.done]
+        if dead:
+            cache.remove_rows(dead)
+        survivors = [seq for seq in admitted if not seq.done]
+        with self._lock:
+            if self._cache is None:
+                self._cache = cache
+            else:
+                self._cache.extend(cache)
+            self._active.extend(survivors)
+        return finished
+
     def step(self) -> list[SequenceState]:
         """One scheduler iteration: admit, then one stacked decode step.
 
@@ -318,8 +539,20 @@ class DecodeScheduler:
             last = np.array([[seq.generated[-1]] for seq in active],
                             dtype=np.int64)
             it0 = time.perf_counter()
-            logits, stats = self.qlm.decode_step(last, self._cache,
-                                                 gemm=self._gemm)
+            try:
+                logits, stats = self.qlm.decode_step(last, self._cache,
+                                                     gemm=self._gemm)
+            except CacheOverflowError as err:
+                # The overflow check runs before any cache write, so only
+                # the named rows fail; survivors decode next iteration.
+                for r in err.rows:
+                    self._fail(active[r], err)
+                    finished.append(active[r])
+                with self._lock:
+                    self._compact_locked()
+                self.metrics.busy_s += time.perf_counter() - t0
+                self.metrics.finished += len(finished)
+                return finished
             self.metrics.step_latencies_s.append(time.perf_counter() - it0)
             self.metrics.mpu_stats = self.metrics.mpu_stats.merge(stats)
             self.metrics.iterations += 1

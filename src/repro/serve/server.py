@@ -46,7 +46,7 @@ import numpy as np
 from repro.core.mpu import MPUConfig, MPURunStats
 from repro.models.quantized_model import GenerationResult, QuantizedLM
 from repro.serve.batching import AsyncBatcher, BatchPolicy
-from repro.serve.scheduler import LATENCY_WINDOW, DecodeScheduler
+from repro.serve.scheduler import LATENCY_WINDOW, CacheConfig, DecodeScheduler
 from repro.serve.workers import ShardedMPUPool
 
 __all__ = ["InferenceResult", "GeneratedSequence", "ServerMetrics",
@@ -154,6 +154,12 @@ class InferenceServer:
         generation requests submitted within it join the first iteration.
     decode_max_active:
         In-flight sequence cap of the continuous-batching decode scheduler.
+    cache_config:
+        KV-cache strategy for the decode scheduler
+        (:class:`~repro.serve.scheduler.CacheConfig`): paged K/V with
+        cross-request prefix sharing by default; ``page_size`` /
+        ``num_pages`` size the page pool, ``paged=False`` restores the
+        dense cache.
     """
 
     def __init__(self, qlm: QuantizedLM, num_shards: int = 2,
@@ -162,7 +168,8 @@ class InferenceServer:
                  accumulate_dtype: "np.dtype | type" = np.float64,
                  pin_keys: bool = True, axis: str = "rows",
                  executor: str = "compiled",
-                 decode_max_active: int = 8) -> None:
+                 decode_max_active: int = 8,
+                 cache_config: "CacheConfig | None" = None) -> None:
         self.qlm = qlm
         # Solo and served execution share prepared weight-stationary state
         # where the shard layout allows it (one row shard = the full plan);
@@ -181,7 +188,8 @@ class InferenceServer:
         self.metrics = ServerMetrics()
         self.batcher = AsyncBatcher(self._run_batch, policy)
         self.scheduler = DecodeScheduler(qlm, gemm=self._metered_gemm,
-                                         max_active=decode_max_active)
+                                         max_active=decode_max_active,
+                                         cache_config=cache_config)
         self._hook = qlm.matmul_via(self._pool_gemm)
         self._lock = threading.Lock()
         self._next_id = 0

@@ -173,6 +173,34 @@ class TestCacheBookkeeping:
         with pytest.raises(ValueError):
             KVCache.concat([survivors, model.init_cache(1, capacity=4)])
 
+    def test_concat_capacity_mismatch_names_the_caches(self, model):
+        with pytest.raises(ValueError, match=r"cache 0 has capacity 16 but "
+                                             r"cache 1 has capacity 4"):
+            KVCache.concat([model.init_cache(1), model.init_cache(1, capacity=4)])
+
+    def test_concat_rejects_dtype_mismatch(self, model):
+        a, b = model.init_cache(1), model.init_cache(1)
+        b.k = b.k.astype(np.float32)
+        with pytest.raises(ValueError, match="float64.* float32"):
+            KVCache.concat([a, b])
+
+    def test_concat_rejects_head_shape_mismatch(self, model):
+        other = TransformerLM(TransformerConfig(
+            vocab_size=VOCAB, max_seq_len=16, d_model=16, n_heads=4,
+            n_layers=2, d_ff=32, seed=3))
+        with pytest.raises(ValueError, match="different models"):
+            KVCache.concat([model.init_cache(1), other.init_cache(1)])
+
+    def test_overflow_is_a_dedicated_error_naming_rows(self, model, rng):
+        from repro.models import CacheOverflowError
+        cache = model.init_cache(2, capacity=6)
+        model.step(rng.integers(0, VOCAB, size=(2, 5)), cache,
+                   num_valid=np.array([2, 5]))
+        with pytest.raises(CacheOverflowError) as exc:
+            model.step(rng.integers(0, VOCAB, size=(2, 2)), cache)
+        assert exc.value.rows == (1,) and exc.value.capacity == 6
+        assert isinstance(exc.value, ValueError)  # old except clauses still work
+
     def test_mask_hoist_keeps_forward_causal(self, model, rng):
         """The hoisted per-forward causal mask preserves causality."""
         tokens = rng.integers(0, VOCAB, size=(1, 8))

@@ -14,8 +14,12 @@ import pytest
 
 from repro.core.mpu import MPUConfig, MPURunStats
 from repro.models.quantized_model import QuantizationRecipe, QuantizedLM
-from repro.models.transformer import TransformerConfig, TransformerLM
-from repro.serve import BatchPolicy, DecodeScheduler, InferenceServer
+from repro.models.transformer import (
+    CacheOverflowError,
+    TransformerConfig,
+    TransformerLM,
+)
+from repro.serve import BatchPolicy, CacheConfig, DecodeScheduler, InferenceServer
 
 MPU_CFG = MPUConfig(pe_rows=2, pe_cols=2, mu=4, k=2)
 VOCAB = 41
@@ -166,6 +170,147 @@ class TestDecodeScheduler:
             sched.submit(rng.integers(0, VOCAB, size=8), 18)
         with pytest.raises(ValueError):
             DecodeScheduler(qlm, max_active=0)
+
+
+class TestPagedScheduling:
+    """Edge cases the paging rewrite must preserve, plus the paths it adds:
+    prefix-hit admission, out-of-pages backpressure, per-request overflow."""
+
+    def test_identical_prompts_in_one_wave(self, qlm, rng):
+        prompt = rng.integers(0, VOCAB, size=7)
+        sched = DecodeScheduler(qlm, max_active=4, mpu_config=MPU_CFG,
+                                cache_config=CacheConfig(page_size=4))
+        seqs = [sched.submit(prompt, 6) for _ in range(4)]
+        sched.run_until_idle()
+        solo = qlm.generate(prompt, 6, mpu_config=MPU_CFG)
+        for seq in seqs:
+            np.testing.assert_array_equal(seq.tokens, solo.tokens)
+        # Same-wave twins cannot share (their pages are computed in the same
+        # pass), but registration converges the chain for later arrivals.
+        assert sched.metrics.prefix_hit_requests == 0
+        late = sched.submit(prompt, 6)
+        sched.run_until_idle()
+        np.testing.assert_array_equal(late.tokens, solo.tokens)
+        assert late.shared_tokens == 4  # floor((7-1)/4) pages revived
+        assert sched.metrics.prefix_hit_requests == 1
+        assert sched.metrics.prefix_hit_tokens == 4
+
+    def test_whole_batch_departs_in_one_iteration(self, qlm, rng):
+        sched = DecodeScheduler(qlm, max_active=4, mpu_config=MPU_CFG)
+        prompts = [rng.integers(0, VOCAB, size=5) for _ in range(4)]
+        seqs = [sched.submit(p, 3) for p in prompts]
+        sched.step()  # admit + first decode iteration
+        finished = sched.step() + sched.step()
+        assert {s.request_id for s in finished} == {s.request_id for s in seqs}
+        assert sched.num_active == 0 and not sched.has_work
+        assert sched.pool.num_free == sched.pool.num_pages  # all pages back
+        for seq, p in zip(seqs, prompts):
+            np.testing.assert_array_equal(
+                seq.tokens, qlm.generate(p, 3, mpu_config=MPU_CFG).tokens)
+        # The emptied scheduler admits fresh work.
+        again = sched.submit(rng.integers(0, VOCAB, size=6), 2)
+        sched.run_until_idle()
+        assert again.finish_reason == "length"
+
+    def test_cancel_request_sharing_pages_with_live_one(self, qlm, rng):
+        sched = DecodeScheduler(qlm, max_active=2, mpu_config=MPU_CFG,
+                                cache_config=CacheConfig(page_size=4))
+        prefix = rng.integers(0, VOCAB, size=9)
+        seed = sched.submit(prefix, 2)
+        sched.run_until_idle()  # registers the prefix's pages, then departs
+        assert seed.finish_reason == "length"
+
+        p_victim = np.concatenate([prefix, rng.integers(0, VOCAB, size=2)])
+        p_keeper = np.concatenate([prefix, rng.integers(0, VOCAB, size=3)])
+        victim = sched.submit(p_victim, 8)
+        keeper = sched.submit(p_keeper, 8)
+        sched.step()
+        assert victim.shared_tokens == 8 and keeper.shared_tokens == 8
+        shared = sched._cache.row_pages(1)[:2]  # keeper's mapped prefix chain
+        assert shared == sched._cache.row_pages(0)[:2]
+        assert all(sched.pool.refcounts[p] == 2 for p in shared)
+        sched.cancel(victim)
+        sched.step()
+        # The victim's references are gone; the shared pages survive because
+        # the keeper still holds them.
+        assert all(sched.pool.refcounts[p] == 1 for p in shared)
+        sched.run_until_idle()
+        assert victim.finish_reason == "cancelled"
+        np.testing.assert_array_equal(
+            keeper.tokens, qlm.generate(p_keeper, 8, mpu_config=MPU_CFG).tokens)
+        assert sched.pool.num_free == sched.pool.num_pages
+
+    def test_out_of_pages_admission_backpressure(self, qlm, rng):
+        # Two maximal requests cannot co-reside in a 6-page pool: the second
+        # waits (no mid-decode OutOfPagesError) and runs after the first.
+        sched = DecodeScheduler(qlm, max_active=4, mpu_config=MPU_CFG,
+                                cache_config=CacheConfig(page_size=4,
+                                                         num_pages=6))
+        prompts = [rng.integers(0, VOCAB, size=8) for _ in range(2)]
+        seqs = [sched.submit(p, 8) for p in prompts]  # 15 tokens -> 4 pages
+        sched.step()
+        assert sched.num_active == 1
+        assert sched.metrics.backpressure_events >= 1
+        sched.run_until_idle()
+        for seq, p in zip(seqs, prompts):
+            assert seq.finish_reason == "length"
+            np.testing.assert_array_equal(
+                seq.tokens, qlm.generate(p, 8, mpu_config=MPU_CFG).tokens)
+
+    def test_oversized_request_fails_instead_of_wedging(self, qlm, rng):
+        sched = DecodeScheduler(qlm, max_active=2, mpu_config=MPU_CFG,
+                                cache_config=CacheConfig(page_size=4,
+                                                         num_pages=2))
+        doomed = sched.submit(rng.integers(0, VOCAB, size=10), 8)
+        ok = sched.submit(rng.integers(0, VOCAB, size=4), 2)
+        sched.run_until_idle()
+        assert doomed.finish_reason == "error"
+        assert "pages" in str(doomed.error)
+        assert ok.finish_reason == "length"
+
+    def test_cache_overflow_fails_only_the_offending_request(self, qlm, rng):
+        sched = DecodeScheduler(qlm, max_active=2, mpu_config=MPU_CFG,
+                                cache_config=CacheConfig(page_size=4,
+                                                         capacity=12))
+        long_prompt = rng.integers(0, VOCAB, size=10)
+        short_prompt = rng.integers(0, VOCAB, size=4)
+        long = sched.submit(long_prompt, 8)    # wants 17 cached > capacity 12
+        short = sched.submit(short_prompt, 6)  # fits: 9 <= 12
+        sched.run_until_idle()
+        assert long.finish_reason == "error"
+        assert isinstance(long.error, CacheOverflowError)
+        assert len(long.tokens) == 3  # emitted until its row hit capacity
+        np.testing.assert_array_equal(
+            short.tokens, qlm.generate(short_prompt, 6,
+                                       mpu_config=MPU_CFG).tokens)
+        assert sched.pool.num_free == sched.pool.num_pages
+
+    def test_paged_and_dense_serve_identical_tokens(self, qlm, rng):
+        prompts = [rng.integers(0, VOCAB, size=int(n)) for n in (4, 9, 6, 5)]
+        results = []
+        for cc in (CacheConfig(page_size=4), CacheConfig(paged=False)):
+            sched = DecodeScheduler(qlm, max_active=3, mpu_config=MPU_CFG,
+                                    cache_config=cc)
+            seqs = [sched.submit(p, 7) for p in prompts]
+            sched.run_until_idle()
+            results.append([s.tokens for s in seqs])
+        for paged, dense, p in zip(results[0], results[1], prompts):
+            solo = qlm.generate(p, 7, mpu_config=MPU_CFG)
+            np.testing.assert_array_equal(paged, dense)
+            np.testing.assert_array_equal(paged, solo.tokens)
+
+    def test_prefix_sharing_off_still_pages(self, qlm, rng):
+        prompt = rng.integers(0, VOCAB, size=7)
+        sched = DecodeScheduler(qlm, max_active=1, mpu_config=MPU_CFG,
+                                cache_config=CacheConfig(
+                                    page_size=4, prefix_sharing=False))
+        first = sched.submit(prompt, 4)
+        sched.run_until_idle()
+        second = sched.submit(prompt, 4)
+        sched.run_until_idle()
+        np.testing.assert_array_equal(first.tokens, second.tokens)
+        assert sched.metrics.prefix_hit_tokens == 0
+        assert sched.metrics.prefill_tokens == 2 * 7
 
 
 class TestServerGenerate:
