@@ -89,7 +89,7 @@ def _drive() -> dict:
 
     # Same tokens, three ways: naive re-prefill, solo KV-cached decode, and
     # continuous-batching decode.
-    for result, want, tokens in zip(results, naive, requests):
+    for result, want, tokens in zip(results, naive, requests, strict=True):
         np.testing.assert_array_equal(result.tokens, want)
         np.testing.assert_array_equal(
             result.tokens, server.generate_solo(tokens, NEW_TOKENS).tokens)

@@ -82,7 +82,7 @@ def _drive() -> dict:
     on_s = time.perf_counter() - t0
 
     # Bit-exactness: sharing changes where K/V is read from, not its values.
-    for a, b, p in zip(tokens_on, tokens_off, prompts):
+    for a, b, p in zip(tokens_on, tokens_off, prompts, strict=True):
         np.testing.assert_array_equal(a, b)
         np.testing.assert_array_equal(
             a, qlm.generate(p, NEW_TOKENS, mpu_config=MPU_CFG).tokens)

@@ -68,7 +68,7 @@ def _drive() -> dict:
     batched_s = time.perf_counter() - t0
     asyncio.run(server.aclose())
 
-    for result, want in zip(results, solo):
+    for result, want in zip(results, solo, strict=True):
         np.testing.assert_array_equal(result.logits, want)
 
     metrics = server.metrics

@@ -163,7 +163,7 @@ def main() -> None:
 
     ttft_off, tokens_off, m_off = serve_stream(prefix_sharing=False)
     ttft_on, tokens_on, m_on = serve_stream(prefix_sharing=True)
-    same = all(np.array_equal(a, b) for a, b in zip(tokens_on, tokens_off))
+    same = all(np.array_equal(a, b) for a, b in zip(tokens_on, tokens_off, strict=True))
     print(f"workload          : {len(shared_prompts)} requests = "
           f"{len(system_prompt)}-token system prompt + 4-token question")
     print(f"prefix hit rate   : off {m_off.prefix_hit_rate:.0%}   "

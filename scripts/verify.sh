@@ -1,12 +1,16 @@
 #!/usr/bin/env sh
 # Repo verification entry point.
 #
-#   scripts/verify.sh         run the tier-1 suite (unit tests + benchmarks,
-#                             the command CI pins) and then the fast profile
-#   scripts/verify.sh fast    fast profile only: the unit suite with every
-#                             benchmark deselected (-m "not bench")
+#   scripts/verify.sh           run the tier-1 suite (unit tests + benchmarks,
+#                               the command CI pins), the fast profile, and
+#                               the static-analysis passes
+#   scripts/verify.sh fast      fast profile only: the unit suite with every
+#                               benchmark deselected (-m "not bench")
+#   scripts/verify.sh analysis  static-analysis passes only (scripts/analyze.py:
+#                               repo lint rules + plan/program verifiers +
+#                               page-pool audit; no GEMM executes)
 #
-# Both profiles run from the repo root with src/ on PYTHONPATH, matching
+# All profiles run from the repo root with src/ on PYTHONPATH, matching
 # ROADMAP.md's tier-1 command.
 set -eu
 
@@ -17,6 +21,10 @@ export PYTHONPATH
 if [ "${1:-}" = "fast" ]; then
     exec python -m pytest -q -m "not bench"
 fi
+if [ "${1:-}" = "analysis" ]; then
+    exec python scripts/analyze.py
+fi
 
 python -m pytest -x -q
 python -m pytest -q -m "not bench"
+python scripts/analyze.py

@@ -1,0 +1,205 @@
+"""Invariant auditor for :class:`~repro.models.transformer.PagePool` and
+:class:`~repro.models.transformer.PagedKVCache`.
+
+The paged cache's correctness rests on bookkeeping invariants that the
+serving tests only exercise dynamically: refcount conservation against
+the live page tables, the registry staying a bijection, and the free
+list staying exactly the zero-reference set.  :func:`audit_page_pool`
+checks all of them in one cheap pass (O(pages + table entries), no K/V
+data touched) so it can run as a debug hook after every scheduler step
+and as a conftest fixture after every scheduler test.
+
+Invariant catalogue
+-------------------
+``refcount-nonnegative``   no page's refcount is below zero.
+``free-list-consistency``  a page is on the free list **iff** its
+                           refcount is zero (free pages keep their
+                           registry entry for prefix revival).
+``registry-bijection``     ``_registry`` (chain key → page) and
+                           ``_page_key`` (page → chain key) are exact
+                           inverses.
+``registry-token-match``   a registered page's stored tokens equal the
+                           token chunk in its chain key (the content the
+                           prefix lookup will verify against).
+``cache-structure``        per cache: parallel row arrays agree in
+                           length; page tables hold in-bounds, per-row
+                           unique pages, enough for the row's length and
+                           within capacity; registration watermarks lie
+                           in ``[0, len(table)]``.
+``refcount-conservation``  each page's refcount equals the number of
+                           references from the supplied live page
+                           tables (pass *every* live cache; an
+                           unreferenced page must be at refcount zero).
+``free-list-disjoint``     no free-list page appears in a live page
+                           table.
+
+A page that commits under a chain key another page already claimed stays
+unregistered (first writer wins), so the auditor deliberately does *not*
+require a row's leading "registered" pages to appear in ``_page_key``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["PoolAuditError", "assert_pool_consistent", "audit_page_pool"]
+
+
+class PoolAuditError(AssertionError):
+    """One or more pool invariants are violated; ``violations`` lists them."""
+
+    def __init__(self, violations: Sequence[str]):
+        super().__init__(
+            f"{len(violations)} page-pool invariant violation(s):\n  "
+            + "\n  ".join(violations))
+        self.violations = tuple(violations)
+
+
+def audit_page_pool(pool, caches: Iterable | None = None) -> list[str]:
+    """Audit a pool (and optionally its live caches); return violations.
+
+    With ``caches=None`` only the pool-internal invariants run.  Passing
+    an iterable of :class:`~repro.models.transformer.PagedKVCache` — the
+    complete set of live caches, possibly empty — additionally checks
+    refcount conservation against their page tables (an empty iterable
+    asserts that *no* references are outstanding).
+
+    Returns a list of human-readable violation strings, each prefixed
+    with the violated invariant's name; an empty list means consistent.
+    """
+    violations: list[str] = []
+    num_pages = pool.num_pages
+    refcounts = np.asarray(pool.refcounts)
+    free_pages = set(pool._free)
+
+    # -- refcounts and the free list --------------------------------------
+    negative = np.flatnonzero(refcounts < 0)
+    if negative.size:
+        violations.append(
+            f"[refcount-nonnegative] pages {negative.tolist()} have "
+            "negative refcounts")
+    zero_ref = set(np.flatnonzero(refcounts == 0).tolist())
+    if free_pages != zero_ref:
+        missing = sorted(zero_ref - free_pages)
+        extra = sorted(free_pages - zero_ref)
+        if missing:
+            violations.append(
+                f"[free-list-consistency] zero-ref pages {missing} are "
+                "not on the free list")
+        if extra:
+            violations.append(
+                f"[free-list-consistency] free-list pages {extra} have "
+                "non-zero refcounts")
+    out_of_range = [p for p in free_pages if not 0 <= p < num_pages]
+    if out_of_range:
+        violations.append(
+            f"[free-list-consistency] free-list pages {sorted(out_of_range)} "
+            f"are outside [0, {num_pages})")
+
+    # -- registry bijection ------------------------------------------------
+    for key, page in pool._registry.items():
+        if not 0 <= page < num_pages:
+            violations.append(
+                f"[registry-bijection] registry maps a key to page {page}, "
+                f"outside [0, {num_pages})")
+        elif pool._page_key.get(page) != key:
+            violations.append(
+                f"[registry-bijection] registry maps key -> page {page} but "
+                "_page_key does not map it back")
+    for page, key in pool._page_key.items():
+        if pool._registry.get(key) != page:
+            violations.append(
+                f"[registry-bijection] _page_key maps page {page} -> key but "
+                "the registry does not map it back")
+    if len(set(pool._registry.values())) != len(pool._registry):
+        dupes = [p for p, c in Counter(pool._registry.values()).items() if c > 1]
+        violations.append(
+            f"[registry-bijection] pages {sorted(dupes)} are registered "
+            "under multiple keys")
+
+    # -- registered content matches the chain key --------------------------
+    for page, key in pool._page_key.items():
+        if not 0 <= page < num_pages:
+            continue  # already reported above
+        chunk = np.asarray(key[1], dtype=np.int64) if (
+            isinstance(key, tuple) and len(key) == 2) else None
+        if chunk is None or chunk.shape != (pool.page_size,):
+            violations.append(
+                f"[registry-token-match] page {page} is registered under a "
+                "malformed chain key (expected (prefix_hash, page_tokens))")
+        elif not np.array_equal(np.asarray(pool.tokens[page]), chunk):
+            violations.append(
+                f"[registry-token-match] page {page}'s stored tokens do not "
+                "match the token chunk in its chain key")
+
+    if caches is None:
+        return violations
+
+    # -- live page tables --------------------------------------------------
+    references: Counter = Counter()
+    for ci, cache in enumerate(caches):
+        if cache.pool is not pool:
+            violations.append(
+                f"[cache-structure] cache {ci} references a different pool")
+            continue
+        tables = cache.page_tables
+        n_rows = len(tables)
+        if not (len(cache._prefix_keys) == len(cache._registered)
+                == int(cache.lengths.size) == n_rows):
+            violations.append(
+                f"[cache-structure] cache {ci}: parallel row arrays "
+                f"disagree (tables={n_rows}, lengths={cache.lengths.size}, "
+                f"prefix_keys={len(cache._prefix_keys)}, "
+                f"registered={len(cache._registered)})")
+            continue
+        for r, table in enumerate(tables):
+            references.update(table)
+            length = int(cache.lengths[r])
+            if length < 0 or length > cache.capacity:
+                violations.append(
+                    f"[cache-structure] cache {ci} row {r}: length {length} "
+                    f"outside [0, capacity={cache.capacity}]")
+            if len(set(table)) != len(table):
+                violations.append(
+                    f"[cache-structure] cache {ci} row {r}: page table "
+                    "references the same page twice")
+            bad = [p for p in table if not 0 <= p < num_pages]
+            if bad:
+                violations.append(
+                    f"[cache-structure] cache {ci} row {r}: pages "
+                    f"{sorted(bad)} outside [0, {num_pages})")
+            if len(table) < pool.pages_for(length):
+                violations.append(
+                    f"[cache-structure] cache {ci} row {r}: {len(table)} "
+                    f"pages cannot hold {length} cached tokens "
+                    f"(page_size={pool.page_size})")
+            reg = cache._registered[r]
+            if not 0 <= reg <= len(table):
+                violations.append(
+                    f"[cache-structure] cache {ci} row {r}: registration "
+                    f"watermark {reg} outside [0, {len(table)}]")
+
+    for page in range(num_pages):
+        expected = references.get(page, 0)
+        got = int(refcounts[page])
+        if got != expected:
+            violations.append(
+                f"[refcount-conservation] page {page}: refcount {got} but "
+                f"{expected} reference(s) from live page tables")
+    leaked = sorted(free_pages & set(references))
+    if leaked:
+        violations.append(
+            f"[free-list-disjoint] free-list pages {leaked} are still "
+            "referenced by live page tables")
+    return violations
+
+
+def assert_pool_consistent(pool, caches: Iterable | None = None) -> None:
+    """Raise :class:`PoolAuditError` if :func:`audit_page_pool` finds
+    violations; the cheap always-on form of the audit."""
+    violations = audit_page_pool(pool, caches)
+    if violations:
+        raise PoolAuditError(violations)

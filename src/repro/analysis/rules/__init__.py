@@ -1,0 +1,29 @@
+"""Repo-specific lint rules for :mod:`repro.analysis.lint`.
+
+``default_rules()`` returns one instance of every rule; the lint driver
+and ``scripts/analyze.py`` use it when no explicit rule list is given.
+"""
+
+from repro.analysis.rules.bitexact import AccumulatorDtypeLiteralRule, ReassociatingReductionRule
+from repro.analysis.rules.concurrency import LockAcrossAwaitRule, UnlockedSharedStateRule
+from repro.analysis.rules.hygiene import MutableDefaultArgRule
+
+__all__ = [
+    "AccumulatorDtypeLiteralRule",
+    "LockAcrossAwaitRule",
+    "MutableDefaultArgRule",
+    "ReassociatingReductionRule",
+    "UnlockedSharedStateRule",
+    "default_rules",
+]
+
+
+def default_rules():
+    """One instance of every repo lint rule, in reporting order."""
+    return [
+        ReassociatingReductionRule(),
+        AccumulatorDtypeLiteralRule(),
+        LockAcrossAwaitRule(),
+        UnlockedSharedStateRule(),
+        MutableDefaultArgRule(),
+    ]

@@ -39,8 +39,8 @@ memory traffic) is therefore a plan-weighted sum over bands, not ``× bits``.
 
 from __future__ import annotations
 
+from collections.abc import Iterator, Sequence
 from dataclasses import dataclass
-from typing import Iterator, Sequence
 
 import numpy as np
 
@@ -274,7 +274,7 @@ class TileExecutionPlan:
 
     # -- shard-aware slicing ----------------------------------------------
     def shard_rows(self, band_indices: Sequence[int],
-                   index: int = 0, count: int = 1) -> "PlanShard":
+                   index: int = 0, count: int = 1) -> PlanShard:
         """A :class:`PlanShard` covering a subset of the plan's row bands.
 
         Output rows partition disjointly across row bands, so row-band
@@ -292,7 +292,7 @@ class TileExecutionPlan:
                          owned_scale_groups=tuple(range(self.num_scale_groups)))
 
     def shard_segments(self, segment_indices: Sequence[int],
-                       index: int = 0, count: int = 1) -> "PlanShard":
+                       index: int = 0, count: int = 1) -> PlanShard:
         """A :class:`PlanShard` covering a subset of the plan's column segments.
 
         Column-segment shards split the LUT-generation work instead of the
@@ -411,7 +411,7 @@ class PlanShard:
 def plan_bcq_tile_execution(m: int, n: int, bits: int, config: TilingConfig,
                             mu: int = 1,
                             group_size: int | None = None,
-                            per_row_bits: "Sequence[int] | np.ndarray | None" = None
+                            per_row_bits: Sequence[int] | np.ndarray | None = None
                             ) -> TileExecutionPlan:
     """Plan the BCQ weight-stationary schedule with scale-group splitting.
 

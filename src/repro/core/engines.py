@@ -72,7 +72,7 @@ class EngineStats:
                 + self.dequantizations + self.prealignments)
 
 
-def _as_bcq(weights: "BCQTensor | UniformQuantizedTensor") -> BCQTensor:
+def _as_bcq(weights: BCQTensor | UniformQuantizedTensor) -> BCQTensor:
     if isinstance(weights, BCQTensor):
         return weights
     return uniform_to_bcq(weights)
@@ -150,7 +150,7 @@ class GEMMEngine:
     supports_bcq = False
     supports_mixed_precision = False
 
-    def __init__(self, activation_format: "FloatFormat | str" = "fp16",
+    def __init__(self, activation_format: FloatFormat | str = "fp16",
                  accumulator: str = "fp32") -> None:
         self.activation_format = get_format(activation_format)
         if accumulator not in ("fp16", "fp32", "fp64"):
@@ -181,7 +181,7 @@ class FPEngine(GEMMEngine):
     name = "fpe"
     supports_bcq = False
 
-    def gemm(self, weights: "UniformQuantizedTensor | BCQTensor",
+    def gemm(self, weights: UniformQuantizedTensor | BCQTensor,
              activations: np.ndarray) -> np.ndarray:
         if isinstance(weights, BCQTensor):
             raise TypeError("FPE has no BCQ datapath (Table I); provide a uniform tensor")
@@ -207,7 +207,7 @@ class IFPUEngine(GEMMEngine):
     supports_bcq = True
     supports_mixed_precision = True
 
-    def gemm(self, weights: "UniformQuantizedTensor | BCQTensor",
+    def gemm(self, weights: UniformQuantizedTensor | BCQTensor,
              activations: np.ndarray) -> np.ndarray:
         bcq = _as_bcq(weights)
         m, n = bcq.shape
@@ -244,7 +244,7 @@ def _figna_work_dtype(mantissa_bits: int, code_magnitude: int, n: int) -> np.dty
     return np.dtype(np.int64)
 
 
-def _reference_figna_gemm(weights: "UniformQuantizedTensor", x: np.ndarray,
+def _reference_figna_gemm(weights: UniformQuantizedTensor, x: np.ndarray,
                           fmt: FloatFormat) -> np.ndarray:
     """Scalar per-(batch column, scope) FIGNA loop (the seed hot loop).
 
@@ -288,7 +288,7 @@ class FIGNAEngine(GEMMEngine):
     name = "figna"
     supports_bcq = False
 
-    def gemm(self, weights: "UniformQuantizedTensor | BCQTensor",
+    def gemm(self, weights: UniformQuantizedTensor | BCQTensor,
              activations: np.ndarray) -> np.ndarray:
         if isinstance(weights, BCQTensor):
             raise TypeError("FIGNA supports only uniformly quantized weights (Table I)")
@@ -360,7 +360,7 @@ class _FIGLUTBase(GEMMEngine):
     supports_bcq = True
     supports_mixed_precision = True
 
-    def __init__(self, activation_format: "FloatFormat | str" = "fp16",
+    def __init__(self, activation_format: FloatFormat | str = "fp16",
                  accumulator: str = "fp32", mu: int = 4) -> None:
         super().__init__(activation_format, accumulator)
         if mu < 1:
@@ -384,7 +384,7 @@ class FIGLUTFloatEngine(_FIGLUTBase):
 
     name = "figlut-f"
 
-    def gemm(self, weights: "UniformQuantizedTensor | BCQTensor",
+    def gemm(self, weights: UniformQuantizedTensor | BCQTensor,
              activations: np.ndarray) -> np.ndarray:
         bcq = _as_bcq(weights)
         m, n = bcq.shape
@@ -426,7 +426,7 @@ class FIGLUTIntEngine(_FIGLUTBase):
 
     name = "figlut-i"
 
-    def gemm(self, weights: "UniformQuantizedTensor | BCQTensor",
+    def gemm(self, weights: UniformQuantizedTensor | BCQTensor,
              activations: np.ndarray) -> np.ndarray:
         bcq = _as_bcq(weights)
         m, n = bcq.shape

@@ -21,6 +21,10 @@ bit value 0 → weight −1, with the first element of the group mapped to the
 most significant key bit.
 """
 
+# repro: bit-exact — LUT construction is the numerical root of the
+# compiled == interpreted == reference contract: tables accumulate
+# sequentially over µ, never via a reassociating reduction.
+
 from __future__ import annotations
 
 from dataclasses import dataclass
@@ -145,7 +149,7 @@ class FFLUT:
 
     @classmethod
     def from_activations(cls, activations: np.ndarray,
-                         dtype: np.dtype | type = np.float64) -> "FFLUT":
+                         dtype: np.dtype | type = np.float64) -> FFLUT:
         x = np.asarray(activations).ravel()
         values = build_lut_values(x, dtype=dtype)
         lut = cls(values=values, mu=int(x.size))
@@ -192,7 +196,7 @@ class HalfFFLUT:
 
     @classmethod
     def from_activations(cls, activations: np.ndarray,
-                         dtype: np.dtype | type = np.float64) -> "HalfFFLUT":
+                         dtype: np.dtype | type = np.float64) -> HalfFFLUT:
         x = np.asarray(activations).ravel()
         full = build_lut_values(x, dtype=dtype)
         half = full[: full.size // 2] if full.size > 1 else full

@@ -63,6 +63,9 @@ Two serving-oriented extensions sit on top (used by :mod:`repro.serve`):
   a shard partition sum exactly to the unsharded run's.
 """
 
+# repro: bit-exact — every executor path in this module is bound by the
+# bitwise compiled == interpreted == reference contract (docs/analysis.md).
+
 from __future__ import annotations
 
 from dataclasses import dataclass, field, fields, replace
@@ -169,7 +172,7 @@ class MPURunStats:
     def total_table_lookups(self) -> int:
         return self.lut_reads
 
-    def merge(self, other: "MPURunStats") -> "MPURunStats":
+    def merge(self, other: MPURunStats) -> MPURunStats:
         """Counter-wise sum of two runs (e.g. the layers of a model)."""
         return MPURunStats(*(getattr(self, f.name) + getattr(other, f.name)
                              for f in fields(self)))
@@ -212,7 +215,7 @@ class PreparedWeights:
     keys: tuple[tuple[np.ndarray, ...], ...]
     active_rows: tuple[np.ndarray, ...] | None
     max_planes: int
-    program: "object | None" = None
+    program: object | None = None
 
 
 class MatrixProcessingUnit:
@@ -328,11 +331,12 @@ class MatrixProcessingUnit:
             plane_w = np.concatenate(
                 [plane_w, -np.ones((rows, pad), dtype=np.int64)], axis=1)
         patt = plane_w.reshape(rows, seg.lut_groups, mu)
-        return (((patt + 1) // 2) * powers[None, None, :]).sum(axis=2)
+        # Integer sum over µ key bits: exact in any order.
+        return (((patt + 1) // 2) * powers[None, None, :]).sum(axis=2)  # repro: noqa reassociating-reduction
 
     def _add_offset_terms(self, weights: BCQTensor, x: np.ndarray,
                           y: np.ndarray,
-                          groups: "tuple[int, ...] | None" = None) -> None:
+                          groups: tuple[int, ...] | None = None) -> None:
         """y += z_rg · Σ(x over group g), once per output (shared by both paths).
 
         ``groups`` restricts the sum to a shard's owned scale groups (always
@@ -342,7 +346,10 @@ class MatrixProcessingUnit:
         for g, sl in enumerate(weights.column_groups()):
             if owned is not None and g not in owned:
                 continue
-            group_sum = x[sl, :].sum(axis=0, keepdims=True)  # (1, batch)
+            # Every executor (and the compiled offset stage) reduces the
+            # group with this same call, so the order is consistent by
+            # construction across the contract's three paths.
+            group_sum = x[sl, :].sum(axis=0, keepdims=True)  # repro: noqa reassociating-reduction
             y += weights.offsets[:, g][:, None] * group_sum
 
     # -- weight-stationary preparation -------------------------------------
@@ -386,7 +393,7 @@ class MatrixProcessingUnit:
         return replace(prepared, program=compile_plan(plan, prepared, cfg))
 
     # -- batched executor --------------------------------------------------
-    def gemm(self, weights: "BCQTensor | PreparedWeights",
+    def gemm(self, weights: BCQTensor | PreparedWeights,
              activations: np.ndarray,
              accumulate_dtype: np.dtype | type = np.float64,
              shard: PlanShard | None = None,
@@ -526,7 +533,7 @@ class MatrixProcessingUnit:
             max_planes, active_rows = weights.plane_activity()
         uniform = active_rows is None
 
-        for seg_pos, seg in zip(segment_indices, segments):
+        for seg_pos, seg in zip(segment_indices, segments, strict=True):
             # One LUT table per (µ-group, batch column), built once for the
             # segment and reused by every bit plane and every row tile (the
             # table contents depend only on the activations; the hardware

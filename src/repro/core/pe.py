@@ -30,7 +30,7 @@ class PEStats:
     accumulations: int = 0
     generator_additions: int = 0
 
-    def merge(self, other: "PEStats") -> "PEStats":
+    def merge(self, other: PEStats) -> PEStats:
         return PEStats(
             lut_generations=self.lut_generations + other.lut_generations,
             lut_reads=self.lut_reads + other.lut_reads,
@@ -56,7 +56,7 @@ class ProcessingElement:
     mu: int = 4
     k: int = 32
     use_half_lut: bool = True
-    _lut: "FFLUT | HalfFFLUT | None" = None
+    _lut: FFLUT | HalfFFLUT | None = None
     _generator: LUTGenerator = field(default=None)  # type: ignore[assignment]
     _accumulators: np.ndarray = field(default=None)  # type: ignore[assignment]
     stats: PEStats = field(default_factory=PEStats)
@@ -70,7 +70,7 @@ class ProcessingElement:
         self._accumulators = np.zeros(self.k, dtype=np.float64)
 
     @property
-    def lut(self) -> "FFLUT | HalfFFLUT | None":
+    def lut(self) -> FFLUT | HalfFFLUT | None:
         return self._lut
 
     def load_activations(self, activations: np.ndarray) -> None:

@@ -71,8 +71,12 @@ process-backend serving pool ship a compiled program through shared memory
 and execute zero-copy views in the worker.
 """
 
+# repro: bit-exact — the compiled executor must replay the interpreted
+# executor's float operations exactly (see "Bit-exactness contract" above).
+
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, fields
 
 import numpy as np
@@ -157,11 +161,11 @@ class CompiledProgram:
         if batch < 0:
             raise ValueError("batch must be >= 0")
         return MPURunStats(*(b + s * batch
-                             for b, s in zip(self.stats_base, self.stats_slope)))
+                             for b, s in zip(self.stats_base, self.stats_slope, strict=True)))
 
     # -- execution ---------------------------------------------------------
     def execute(self, activations: np.ndarray,
-                accumulate_dtype: "np.dtype | type" = np.float64
+                accumulate_dtype: np.dtype | type = np.float64
                 ) -> tuple[np.ndarray, MPURunStats]:
         """Run the program: ``Y = W X`` plus the plan-exact counters.
 
@@ -198,7 +202,9 @@ class CompiledProgram:
                     y[pp.rows] += term
             else:  # "offset"
                 start, stop = self.offset_slices[op[1]]
-                group_sum = x[start:stop, :].sum(axis=0, keepdims=True)
+                # Same reduction call as _add_offset_terms: the one shared
+                # group-sum op of all three executors.
+                group_sum = x[start:stop, :].sum(axis=0, keepdims=True)  # repro: noqa reassociating-reduction
                 y += self.offsets[:, op[1]][:, None] * group_sum
 
         stats = self.stats(batch)
@@ -260,7 +266,7 @@ class CompiledProgram:
 
     @classmethod
     def from_buffers(cls, spec: dict,
-                     arrays: dict[str, np.ndarray]) -> "CompiledProgram":
+                     arrays: dict[str, np.ndarray]) -> CompiledProgram:
         """Rebuild a program from :meth:`spec` metadata and buffer views.
 
         Arrays are referenced, not copied, so a worker process can execute
@@ -293,12 +299,12 @@ def _affine_stats(stats_fn) -> tuple[tuple[int, ...], tuple[int, ...]]:
     at0, at1 = stats_fn(0), stats_fn(1)
     base = tuple(getattr(at0, f.name) for f in fields(MPURunStats))
     slope = tuple(getattr(at1, f.name) - b
-                  for f, b in zip(fields(MPURunStats), base))
+                  for f, b in zip(fields(MPURunStats), base, strict=True))
     return base, slope
 
 
 def compile_plan(plan: TileExecutionPlan,
-                 weights: "BCQTensor | PreparedWeights",
+                 weights: BCQTensor | PreparedWeights,
                  config: MPUConfig | None = None,
                  shard: PlanShard | None = None) -> CompiledProgram:
     """Lower a tile-execution plan (or one segment-axis shard of it) into a
@@ -373,7 +379,7 @@ def compile_plan(plan: TileExecutionPlan,
         keys = np.zeros((num_slots, num_rows), dtype=np.int32)
         scales = np.empty((num_segments, num_rows),
                           dtype=weights.scales.dtype)
-        for si, (seg_pos, seg) in enumerate(zip(segment_indices, segments)):
+        for si, (seg_pos, seg) in enumerate(zip(segment_indices, segments, strict=True)):
             if prepared is not None:
                 seg_keys = prepared.keys[seg_pos][p]       # (rows, G)
             else:
@@ -404,8 +410,15 @@ def compile_plan(plan: TileExecutionPlan,
         instructions.append(("offset", k))
 
     base, slope = _affine_stats(stats_fn)
-    return CompiledProgram(
+    program = CompiledProgram(
         m=m, n=n, mu=mu, num_segments=num_segments, slots_per_segment=gmax,
         lut_cols=lut_cols, passes=tuple(passes), offsets=offsets,
         offset_slices=offset_slices, instructions=tuple(instructions),
         stats_base=base, stats_slope=slope)
+    if os.environ.get("REPRO_VERIFY"):
+        # Structural verification of every freshly compiled program
+        # (including prepare() and the serving pools' shard sub-programs).
+        # Lazy import: analysis depends on this module.
+        from repro.analysis.verify import verify_program
+        verify_program(program, plan=plan, config=config, shard=shard)
+    return program

@@ -49,7 +49,7 @@ class RAC:
             raise ValueError("key must be non-negative")
         self.key_register = int(key)
 
-    def step(self, lut: "FFLUT | HalfFFLUT", key: int | None = None) -> float:
+    def step(self, lut: FFLUT | HalfFFLUT, key: int | None = None) -> float:
         """Perform one read-accumulate: fetch LUT[key] and add it to the accumulator.
 
         If ``key`` is omitted, the currently latched key register is used.

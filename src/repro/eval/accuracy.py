@@ -120,7 +120,7 @@ def _load_cached_params(cache_file: Path, model: TransformerLM) -> bool:
 def build_testbed(d_model: int = 48, n_layers: int = 2, n_heads: int = 4, d_ff: int = 128,
                   epochs: int = 4, num_paragraphs: int = 160, seed: int = 0,
                   max_batches: int | None = 4,
-                  cache_dir: "str | Path | None" = None) -> AccuracyTestbed:
+                  cache_dir: str | Path | None = None) -> AccuracyTestbed:
     """Train the small LM on the synthetic corpus and return the shared testbed.
 
     ``cache_dir`` enables a disk cache of the *trained weights*, keyed by a

@@ -104,7 +104,7 @@ def tops_per_watt_by_model(precisions: tuple[int, ...] = (2, 3, 4), batch: int =
 def mixed_precision_efficiency_point(target_average_bits: float = 2.4,
                                      model_name: str = "opt-6.7b", batch: int = 32,
                                      engine_name: str = "figlut-i",
-                                     sensitivities: "list[LayerSensitivity] | None" = None,
+                                     sensitivities: list[LayerSensitivity] | None = None,
                                      min_bits: int = 2, max_bits: int = 4,
                                      memory: MemorySystemModel | None = None
                                      ) -> WorkloadResult:

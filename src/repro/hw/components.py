@@ -47,10 +47,10 @@ class ComponentCost:
     energy_pj: float
     area_um2: float
 
-    def __add__(self, other: "ComponentCost") -> "ComponentCost":
+    def __add__(self, other: ComponentCost) -> ComponentCost:
         return ComponentCost(self.energy_pj + other.energy_pj, self.area_um2 + other.area_um2)
 
-    def scaled(self, factor: float) -> "ComponentCost":
+    def scaled(self, factor: float) -> ComponentCost:
         return ComponentCost(self.energy_pj * factor, self.area_um2 * factor)
 
 

@@ -75,7 +75,7 @@ class AreaBreakdown:
     def total_mm2(self) -> float:
         return self.total_um2 / 1e6
 
-    def normalized_to(self, reference: "AreaBreakdown") -> dict[str, float]:
+    def normalized_to(self, reference: AreaBreakdown) -> dict[str, float]:
         ref = reference.total_um2
         return {
             "arithmetic": self.arithmetic_um2 / ref,

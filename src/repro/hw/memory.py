@@ -77,7 +77,7 @@ class MemoryTraffic:
     def sram_bits(self) -> float:
         return self.sram_weight_bits + self.sram_activation_bits + self.sram_output_bits
 
-    def merge(self, other: "MemoryTraffic") -> "MemoryTraffic":
+    def merge(self, other: MemoryTraffic) -> MemoryTraffic:
         return MemoryTraffic(
             self.dram_weight_bits + other.dram_weight_bits,
             self.dram_activation_bits + other.dram_activation_bits,
@@ -143,7 +143,7 @@ class MemorySystemModel:
             sram_output_bits=output_bits_total,
         )
 
-    def traffic_for_plan(self, plan: "TileExecutionPlan", batch: int,
+    def traffic_for_plan(self, plan: TileExecutionPlan, batch: int,
                          activation_format: str = "fp16") -> MemoryTraffic:
         """Traffic of one BCQ GEMM derived from its tile-execution plan.
 
@@ -179,7 +179,7 @@ class MemorySystemModel:
 
     def traffic_for_workload(self, shapes: list[GEMMWorkloadShape], weight_bits: float,
                              activation_format: str = "fp16", bcq: bool = True,
-                             plans: "list[TileExecutionPlan] | None" = None) -> MemoryTraffic:
+                             plans: list[TileExecutionPlan] | None = None) -> MemoryTraffic:
         """Aggregate traffic over a list of GEMMs.
 
         With ``plans`` (one :class:`TileExecutionPlan` per shape) each GEMM
@@ -190,7 +190,7 @@ class MemorySystemModel:
         if plans is not None:
             if len(plans) != len(shapes):
                 raise ValueError("plans must align one-to-one with shapes")
-            for shape, plan in zip(shapes, plans):
+            for shape, plan in zip(shapes, plans, strict=True):
                 if (plan.m, plan.n) != (shape.m, shape.n):
                     raise ValueError(
                         f"plan shape ({plan.m}, {plan.n}) does not match "

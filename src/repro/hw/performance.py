@@ -24,8 +24,8 @@ default (:func:`plan_utilization`: ragged edge tiles, padded final
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
-from typing import Sequence
 
 import numpy as np
 
@@ -110,7 +110,7 @@ def per_row_bits_for_average(m: int, average_bits: float) -> np.ndarray:
 
 
 def plans_for_workload(shapes: Sequence[GEMMWorkloadShape],
-                       weight_bits: "float | Sequence[float]",
+                       weight_bits: float | Sequence[float],
                        tiling: TilingConfig | None = None,
                        mu: int = 4,
                        group_size: int | None = 128) -> list[TileExecutionPlan]:
@@ -130,7 +130,7 @@ def plans_for_workload(shapes: Sequence[GEMMWorkloadShape],
         if len(per_shape) != len(shapes):
             raise ValueError("weight_bits must be scalar or align with shapes")
     plans = []
-    for shape, bits in zip(shapes, per_shape):
+    for shape, bits in zip(shapes, per_shape, strict=True):
         row_bits = per_row_bits_for_average(shape.m, bits)
         plans.append(plan_bcq_tile_execution(
             shape.m, shape.n, int(row_bits.max()), tiling, mu=mu,
@@ -160,7 +160,7 @@ def plan_utilization(plans: Sequence[TileExecutionPlan],
         raise ValueError("plans must align one-to-one with shapes")
     useful = 0.0
     slots = 0.0
-    for plan, shape in zip(plans, shapes):
+    for plan, shape in zip(plans, shapes, strict=True):
         useful += plan.plane_bits_total * plan.n * shape.batch
         slots += (plan.plane_passes * plan.tiling.tile_m
                   * plan.lut_group_total * plan.mu * shape.batch)
@@ -174,7 +174,7 @@ def evaluate_workload(engine: HardwareEngineModel,
                       weight_bits: float,
                       memory: MemorySystemModel | None = None,
                       utilization: float | None = None,
-                      plans: "Sequence[TileExecutionPlan] | None" = None) -> WorkloadResult:
+                      plans: Sequence[TileExecutionPlan] | None = None) -> WorkloadResult:
     """Run the analytical model of one engine over a GEMM workload.
 
     Parameters
@@ -226,7 +226,7 @@ def evaluate_workload(engine: HardwareEngineModel,
         # Scheduled binary weight operations: each row streams only its own
         # planes, Σ_r per_row_bits[r] × n per batch column.
         binary_ops = float(sum(p.plane_bits_total * p.n * s.batch
-                               for p, s in zip(plans, shapes)))
+                               for p, s in zip(plans, shapes, strict=True)))
         weight_elems = float(sum(s.m * s.n for s in shapes))
         mean_bits = sum(p.plane_bits_total * p.n for p in plans) / weight_elems
         cycles = binary_ops / engine.binary_weight_lanes() / used_utilization

@@ -57,7 +57,7 @@ def opt_config(name: str) -> OPTConfig:
     return OPT_CONFIGS[key]
 
 
-def decoder_gemm_shapes(config: "OPTConfig | str", batch: int = 1,
+def decoder_gemm_shapes(config: OPTConfig | str, batch: int = 1,
                         include_lm_head: bool = False) -> list[GEMMWorkloadShape]:
     """The weight GEMMs executed per generated token (one decoding step).
 
@@ -85,7 +85,7 @@ def decoder_gemm_shapes(config: "OPTConfig | str", batch: int = 1,
     return shapes
 
 
-def total_weight_count(config: "OPTConfig | str", include_lm_head: bool = False) -> int:
+def total_weight_count(config: OPTConfig | str, include_lm_head: bool = False) -> int:
     """Number of weight elements in the GEMM workload of one decoding step."""
     shapes = decoder_gemm_shapes(config, batch=1, include_lm_head=include_lm_head)
     return sum(s.m * s.n for s in shapes)

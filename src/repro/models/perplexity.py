@@ -33,7 +33,7 @@ class PerplexityResult:
         return float(np.exp(self.mean_loss))
 
 
-def evaluate_perplexity(model: "TransformerLM | QuantizedLM", tokens: np.ndarray,
+def evaluate_perplexity(model: TransformerLM | QuantizedLM, tokens: np.ndarray,
                         seq_len: int = 32, batch_size: int = 8,
                         label: str | None = None,
                         max_batches: int | None = None) -> PerplexityResult:

@@ -90,7 +90,7 @@ class QuantizationRecipe:
         return self.bits
 
 
-def recipe_from_mixed_precision(plan: "MixedPrecisionPlan", method: str = "bcq",
+def recipe_from_mixed_precision(plan: MixedPrecisionPlan, method: str = "bcq",
                                 group_size: int | None = None) -> QuantizationRecipe:
     """Turn a :class:`~repro.quant.mixed_precision.MixedPrecisionPlan` into a
     quantization recipe.
@@ -114,7 +114,7 @@ def recipe_from_mixed_precision(plan: "MixedPrecisionPlan", method: str = "bcq",
 
 def quantize_model_weights(model: TransformerLM, recipe: QuantizationRecipe,
                            calibration: dict[str, np.ndarray] | None = None
-                           ) -> dict[str, "UniformQuantizedTensor | BCQTensor"]:
+                           ) -> dict[str, UniformQuantizedTensor | BCQTensor]:
     """Quantize every weight GEMM matrix of the model according to the recipe."""
     quantized: dict[str, UniformQuantizedTensor | BCQTensor] = {}
     for name in model.weight_matrix_names():
@@ -251,20 +251,20 @@ class QuantizedLM:
     """
 
     model: TransformerLM
-    quantized_weights: dict[str, "UniformQuantizedTensor | BCQTensor"]
+    quantized_weights: dict[str, UniformQuantizedTensor | BCQTensor]
     engine: GEMMEngine
     _converted: dict[str, object] = field(default_factory=dict)
     _bcq_converted: dict[str, BCQTensor] = field(default_factory=dict)
-    _plans: "dict[MPUConfig, dict[str, object]]" = field(default_factory=dict,
+    _plans: dict[MPUConfig, dict[str, object]] = field(default_factory=dict,
                                                          repr=False)
-    _prepared: "dict[MPUConfig, dict[str, PreparedWeights]]" = field(
+    _prepared: dict[MPUConfig, dict[str, PreparedWeights]] = field(
         default_factory=dict, repr=False)
 
     @classmethod
     def build(cls, model: TransformerLM, recipe: QuantizationRecipe,
-              engine: "GEMMEngine | str" = "figlut-f",
+              engine: GEMMEngine | str = "figlut-f",
               calibration: dict[str, np.ndarray] | None = None,
-              **engine_kwargs) -> "QuantizedLM":
+              **engine_kwargs) -> QuantizedLM:
         """Quantize the model and attach an engine (by instance or name)."""
         quantized = quantize_model_weights(model, recipe, calibration)
         if isinstance(engine, str):
@@ -299,7 +299,7 @@ class QuantizedLM:
         return tensor
 
     def layer_mpu_stats(self, name: str, batch: int,
-                        mpu_config: "MPUConfig | None" = None) -> "MPURunStats":
+                        mpu_config: MPUConfig | None = None) -> MPURunStats:
         """Analytic MPU run counters for one weight GEMM of the model.
 
         Uses the tile-execution planner (no activation data needed), so a
@@ -314,7 +314,7 @@ class QuantizedLM:
         return MatrixProcessingUnit(cfg).stats_from_plan(
             self.layer_plan(name, cfg), batch)
 
-    def layer_plan(self, name: str, mpu_config: "MPUConfig | None" = None):
+    def layer_plan(self, name: str, mpu_config: MPUConfig | None = None):
         """The layer's :class:`~repro.core.dataflow.TileExecutionPlan`.
 
         Carries the layer's ``per_row_bits``, so the plan-driven memory/
@@ -335,7 +335,7 @@ class QuantizedLM:
         return plan
 
     def model_mpu_stats(self, batch: int,
-                        mpu_config: "MPUConfig | None" = None) -> "MPURunStats":
+                        mpu_config: MPUConfig | None = None) -> MPURunStats:
         """Summed analytic MPU counters over every quantized weight GEMM."""
         total = MPURunStats()
         for name in self.quantized_weights:
@@ -343,7 +343,7 @@ class QuantizedLM:
         return total
 
     # -- weight-stationary prepared state ---------------------------------
-    def prepared_weights(self, mpu_config: "MPUConfig | None" = None
+    def prepared_weights(self, mpu_config: MPUConfig | None = None
                          ) -> dict[str, PreparedWeights]:
         """Every layer's :class:`~repro.core.mpu.PreparedWeights`, memoised.
 
@@ -364,7 +364,7 @@ class QuantizedLM:
             self._prepared[cfg] = cached
         return cached
 
-    def prepared_gemm(self, mpu_config: "MPUConfig | None" = None,
+    def prepared_gemm(self, mpu_config: MPUConfig | None = None,
                       executor: str = "compiled"):
         """``gemm(name, flat) -> (y, stats)`` over the prepared weights.
 
@@ -388,7 +388,7 @@ class QuantizedLM:
 
         return gemm
 
-    def _decode_hook(self, gemm, sink: "_StatsSink"):
+    def _decode_hook(self, gemm, sink: _StatsSink):
         """A transformer ``matmul`` hook over ``gemm(name, flat) -> (y,
         stats)``, feeding every GEMM's stats into ``sink``."""
         def dispatch(name: str, flat: np.ndarray) -> np.ndarray:
@@ -400,7 +400,7 @@ class QuantizedLM:
     # -- incremental decoding ---------------------------------------------
     def prefill(self, tokens: np.ndarray, *, num_valid: np.ndarray | None = None,
                 capacity: int | None = None,
-                mpu_config: "MPUConfig | None" = None,
+                mpu_config: MPUConfig | None = None,
                 gemm=None, cache=None) -> tuple[np.ndarray, KVCache, MPURunStats]:
         """Run the prompt(s) through the cache-aware step path.
 
@@ -429,9 +429,9 @@ class QuantizedLM:
         logits = self.model.step(arr, cache, matmul=hook, num_valid=num_valid)
         return logits, cache, sink.take()
 
-    def paged_prefill(self, prompts: "list[np.ndarray]", pool: PagePool, *,
+    def paged_prefill(self, prompts: list[np.ndarray], pool: PagePool, *,
                       capacity: int | None = None,
-                      mpu_config: "MPUConfig | None" = None,
+                      mpu_config: MPUConfig | None = None,
                       gemm=None,
                       prefix_sharing: bool = True) -> PagedPrefillResult:
         """Prefill a batch of prompts over a shared page pool.
@@ -472,7 +472,7 @@ class QuantizedLM:
                                   shared_lens=shared, suffix_lens=suffix_lens)
 
     def decode_step(self, tokens: np.ndarray, cache: KVCache, *,
-                    mpu_config: "MPUConfig | None" = None,
+                    mpu_config: MPUConfig | None = None,
                     gemm=None) -> tuple[np.ndarray, MPURunStats]:
         """One stacked decode iteration: ``(batch, t_new)`` new tokens.
 
@@ -512,8 +512,8 @@ class QuantizedLM:
 
     def generate(self, tokens: np.ndarray, max_new_tokens: int, *,
                  eos_token: int | None = None,
-                 mpu_config: "MPUConfig | None" = None,
-                 gemm=None, pool: "PagePool | None" = None,
+                 mpu_config: MPUConfig | None = None,
+                 gemm=None, pool: PagePool | None = None,
                  prefix_sharing: bool = True) -> GenerationResult:
         """Greedy autoregressive generation for one prompt (KV-cached).
 
@@ -579,7 +579,7 @@ class QuantizedLM:
         """
         return {name: self._bcq_view(name) for name in self.quantized_weights}
 
-    def matmul_via(self, gemm) -> "callable":
+    def matmul_via(self, gemm) -> callable:
         """A transformer ``matmul`` hook routing weight GEMMs through ``gemm``.
 
         ``gemm(name, flat)`` receives the layer name and activations of

@@ -22,7 +22,7 @@ class WordTokenizer:
     UNK = "<unk>"
     EOS = "<eos>"
 
-    def fit(self, text: str) -> "WordTokenizer":
+    def fit(self, text: str) -> WordTokenizer:
         """Build the vocabulary from a corpus (most frequent words first)."""
         counts: dict[str, int] = {}
         for word in text.split():

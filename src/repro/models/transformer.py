@@ -209,7 +209,7 @@ class KVCache:
     def capacity(self) -> int:
         return self.k.shape[3]
 
-    def gather_rows(self, rows) -> "KVCache":
+    def gather_rows(self, rows) -> KVCache:
         """A new cache holding only ``rows`` (copies; rows stay independent).
 
         This is how the decode scheduler changes batch membership between
@@ -220,7 +220,7 @@ class KVCache:
                        lengths=self.lengths[rows].copy())
 
     @staticmethod
-    def concat(caches: "list[KVCache]") -> "KVCache":
+    def concat(caches: list[KVCache]) -> KVCache:
         """Stack caches along the batch axis (copies the full arrays).
 
         New sequences join an in-flight dense decode batch this way: their
@@ -347,7 +347,7 @@ class PagePool:
 
     def __init__(self, n_layers: int, n_heads: int, d_head: int,
                  num_pages: int, page_size: int,
-                 dtype: "np.dtype | type" = np.float64) -> None:
+                 dtype: np.dtype | type = np.float64) -> None:
         for name, value in (("n_layers", n_layers), ("n_heads", n_heads),
                             ("d_head", d_head), ("num_pages", num_pages),
                             ("page_size", page_size)):
@@ -360,7 +360,7 @@ class PagePool:
         self.refcounts = np.zeros(num_pages, dtype=np.int64)
         # Free pages in freed order: allocation pops the oldest, so recently
         # freed (still registered) pages survive longest for prefix revival.
-        self._free: "OrderedDict[int, None]" = OrderedDict(
+        self._free: OrderedDict[int, None] = OrderedDict(
             (p, None) for p in range(num_pages))
         self._registry: dict = {}      # chain key -> page id
         self._page_key: dict = {}      # page id -> chain key (for eviction)
@@ -390,6 +390,17 @@ class PagePool:
     def pages_for(self, num_tokens: int) -> int:
         """Pages spanned by ``num_tokens`` cached positions."""
         return -(-int(num_tokens) // self.page_size)
+
+    def audit(self, caches: list | None = None) -> list[str]:
+        """Bookkeeping invariant violations (empty list = consistent).
+
+        Delegates to :func:`repro.analysis.pool_audit.audit_page_pool`:
+        refcount conservation against ``caches`` (the complete set of live
+        :class:`PagedKVCache` views, when given), registry bijection, and
+        free-list consistency.  Cheap — never touches K/V storage.
+        """
+        from repro.analysis.pool_audit import audit_page_pool
+        return audit_page_pool(self, caches)
 
     def allocate(self, n: int) -> list[int]:
         """Take ``n`` fresh pages (refcount 1 each) off the free list.
@@ -521,11 +532,11 @@ class PagedKVCache:
         self._prefix_keys: list[int] = []   # chain state after registered pages
         self._registered: list[int] = []    # leading pages already registered
         self._version = 0                   # bumped on any table change
-        self._gather_memo: "tuple | None" = None
+        self._gather_memo: tuple | None = None
 
     # -- construction / membership ------------------------------------------
     @classmethod
-    def empty(cls, pool: PagePool, batch: int, capacity: int) -> "PagedKVCache":
+    def empty(cls, pool: PagePool, batch: int, capacity: int) -> PagedKVCache:
         cache = cls(pool, capacity)
         for _ in range(int(batch)):
             cache.add_row([], _PAGE_ROOT_KEY, 0)
@@ -547,7 +558,7 @@ class PagedKVCache:
         self._version += 1
         return len(self.page_tables) - 1
 
-    def extend(self, other: "PagedKVCache") -> None:
+    def extend(self, other: PagedKVCache) -> None:
         """Splice another cache's rows onto this one (same pool required).
 
         Page references transfer — the donor must be discarded afterwards.
@@ -634,7 +645,7 @@ class PagedKVCache:
         if needed:
             self._version += 1
         pages = np.fromiter(
-            (self.page_tables[r][p // ps] for r, p in zip(rows, positions)),
+            (self.page_tables[r][p // ps] for r, p in zip(rows, positions, strict=True)),
             dtype=np.int64, count=rows.size)
         return _PagedAppendPlan(rows=rows, positions=positions,
                                 tokens=np.asarray(tokens, dtype=np.int64),

@@ -90,7 +90,7 @@ FP32 = FloatFormat("fp32", exponent_bits=8, mantissa_bits=23)
 _FORMATS = {"fp16": FP16, "bf16": BF16, "fp32": FP32}
 
 
-def get_format(fmt: "FloatFormat | str") -> FloatFormat:
+def get_format(fmt: FloatFormat | str) -> FloatFormat:
     """Resolve a format given either a :class:`FloatFormat` or its name."""
     if isinstance(fmt, FloatFormat):
         return fmt
@@ -110,7 +110,7 @@ def _round_to_bf16(values: np.ndarray) -> np.ndarray:
     return rounded.view(np.float32)
 
 
-def cast_to_format(values: np.ndarray, fmt: "FloatFormat | str") -> np.ndarray:
+def cast_to_format(values: np.ndarray, fmt: FloatFormat | str) -> np.ndarray:
     """Cast ``values`` to ``fmt`` and back to float64.
 
     The returned array holds the exact values representable in the target
@@ -128,7 +128,7 @@ def cast_to_format(values: np.ndarray, fmt: "FloatFormat | str") -> np.ndarray:
     raise ValueError(f"unsupported format {fmt}")
 
 
-def decompose(values: np.ndarray, fmt: "FloatFormat | str") -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+def decompose(values: np.ndarray, fmt: FloatFormat | str) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Decompose values into (sign, unbiased exponent, integer mantissa).
 
     The mantissa is returned as an integer including the hidden leading one
@@ -168,7 +168,7 @@ def decompose(values: np.ndarray, fmt: "FloatFormat | str") -> tuple[np.ndarray,
 
 
 def compose(sign: np.ndarray, exponent: np.ndarray, mantissa: np.ndarray,
-            fmt: "FloatFormat | str") -> np.ndarray:
+            fmt: FloatFormat | str) -> np.ndarray:
     """Inverse of :func:`decompose`; rebuild real values from the fields."""
     fmt = get_format(fmt)
     sign = np.asarray(sign, dtype=np.float64)
@@ -177,7 +177,7 @@ def compose(sign: np.ndarray, exponent: np.ndarray, mantissa: np.ndarray,
     return sign * mantissa * np.exp2(exponent - fmt.mantissa_bits)
 
 
-def ulp(value: float, fmt: "FloatFormat | str") -> float:
+def ulp(value: float, fmt: FloatFormat | str) -> float:
     """Unit in the last place of ``value`` in the given format."""
     fmt = get_format(fmt)
     value = float(value)

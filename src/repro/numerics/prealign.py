@@ -74,7 +74,7 @@ class PreAlignedBlock:
         return self.mantissas.astype(np.float64) * self.scale
 
 
-def prealign(values: np.ndarray, fmt: "FloatFormat | str" = "fp16",
+def prealign(values: np.ndarray, fmt: FloatFormat | str = "fp16",
              extra_bits: int = 0) -> PreAlignedBlock:
     """Pre-align a 1-D block of activations to their maximum exponent.
 
@@ -162,7 +162,7 @@ class PreAlignedGroups:
     group_size: int
 
 
-def prealign_blocks(blocks: np.ndarray, fmt: "FloatFormat | str" = "fp16",
+def prealign_blocks(blocks: np.ndarray, fmt: FloatFormat | str = "fp16",
                     extra_bits: int = 0) -> PreAlignedBlocks:
     """Pre-align every row of a ``(n_blocks, n)`` stack in one pass.
 
@@ -197,7 +197,7 @@ def prealign_blocks(blocks: np.ndarray, fmt: "FloatFormat | str" = "fp16",
 
 
 def prealign_grouped(x: np.ndarray, group_size: int,
-                     fmt: "FloatFormat | str" = "fp16",
+                     fmt: FloatFormat | str = "fp16",
                      extra_bits: int = 0) -> PreAlignedGroups:
     """Pre-align all (column-group × batch-column) blocks of ``x`` at once.
 

@@ -117,7 +117,7 @@ class BCQTensor:
     group_size: int
     shape: tuple[int, int]
     per_row_bits: np.ndarray = field(default=None)  # type: ignore[assignment]
-    _plane_activity: "tuple[int, list[np.ndarray] | None] | None" = field(
+    _plane_activity: tuple[int, list[np.ndarray] | None] | None = field(
         default=None, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
@@ -159,7 +159,7 @@ class BCQTensor:
         return [slice(g * self.group_size, min((g + 1) * self.group_size, cols))
                 for g in range(self.n_groups)]
 
-    def plane_activity(self) -> "tuple[int, list[np.ndarray] | None]":
+    def plane_activity(self) -> tuple[int, list[np.ndarray] | None]:
         """Executed plane count and per-plane active rows.
 
         Returns ``(max_planes, active_rows)`` where ``active_rows`` is
@@ -187,7 +187,7 @@ class BCQTensor:
             self._plane_activity = cached
         return cached
 
-    def take_rows(self, rows: "np.ndarray | Sequence[int] | slice") -> "BCQTensor":
+    def take_rows(self, rows: np.ndarray | Sequence[int] | slice) -> BCQTensor:
         """A new tensor holding only the given output rows.
 
         The row axis of a BCQ tensor is fully independent — bit planes,

@@ -19,8 +19,9 @@ machinery batches raw GEMM rows in tests and token sequences in
 from __future__ import annotations
 
 import asyncio
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass
-from typing import Any, Callable, Sequence
+from typing import Any
 
 __all__ = ["BatchPolicy", "BatcherStats", "AsyncBatcher"]
 
@@ -140,7 +141,7 @@ class AsyncBatcher:
         self.stats.requests += len(items)
         self.stats.batches += 1
         self.stats.max_batch_size = max(self.stats.max_batch_size, len(items))
-        for (_, future), result in zip(batch, results):
+        for (_, future), result in zip(batch, results, strict=True):
             if not future.done():
                 future.set_result(result)
 

@@ -44,6 +44,7 @@ via the event loop's executor, and tests/benchmarks drive it inline with
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from collections import deque
@@ -135,9 +136,9 @@ class DecodeMetrics:
     prefix_hit_tokens: int = 0
     backpressure_events: int = 0
     busy_s: float = 0.0
-    step_latencies_s: "deque[float]" = field(
+    step_latencies_s: deque[float] = field(
         default_factory=lambda: deque(maxlen=LATENCY_WINDOW))
-    request_latencies_s: "deque[float]" = field(
+    request_latencies_s: deque[float] = field(
         default_factory=lambda: deque(maxlen=LATENCY_WINDOW))
     mpu_stats: MPURunStats = field(default_factory=MPURunStats)
 
@@ -189,7 +190,7 @@ class SequenceState:
     prompt: np.ndarray
     max_new_tokens: int
     eos_token: int | None = None
-    on_token: "callable | None" = None   # on_token(seq, token|None, done)
+    on_token: callable | None = None   # on_token(seq, token|None, done)
     generated: list[int] = field(default_factory=list)
     finish_reason: str | None = None
     error: BaseException | None = None
@@ -240,11 +241,17 @@ class DecodeScheduler:
         KV-cache strategy (:class:`CacheConfig`); default: paged with
         prefix sharing and a pool sized so admission never blocks below
         ``max_active``.
+    debug_audit:
+        Run the :mod:`repro.analysis.pool_audit` invariant auditor after
+        every :meth:`step` (cheap: O(pages + table entries), no K/V data
+        touched).  Defaults to on when ``REPRO_VERIFY`` is set in the
+        environment, off otherwise.
     """
 
     def __init__(self, qlm: QuantizedLM, gemm=None, max_active: int = 8,
                  mpu_config: MPUConfig | None = None,
-                 cache_config: CacheConfig | None = None) -> None:
+                 cache_config: CacheConfig | None = None,
+                 debug_audit: bool | None = None) -> None:
         if max_active < 1:
             raise ValueError("max_active must be >= 1")
         self.qlm = qlm
@@ -259,11 +266,14 @@ class DecodeScheduler:
                     max_active, self.model.config.max_seq_len),
                 self.cache_config.page_size)
         self.metrics = DecodeMetrics()
-        self._waiting: "deque[SequenceState]" = deque()
+        self._waiting: deque[SequenceState] = deque()
         self._active: list[SequenceState] = []
-        self._cache: "KVCache | PagedKVCache | None" = None
+        self._cache: KVCache | PagedKVCache | None = None
         self._lock = threading.Lock()
         self._next_id = 0
+        if debug_audit is None:
+            debug_audit = bool(os.environ.get("REPRO_VERIFY"))
+        self.debug_audit = debug_audit
 
     # -- request admission -------------------------------------------------
     def submit(self, prompt: np.ndarray, max_new_tokens: int,
@@ -399,14 +409,15 @@ class DecodeScheduler:
             stacked[i, : seq.prompt.size] = seq.prompt
         logits, cache, stats = self.qlm.prefill(stacked, num_valid=lens,
                                                 gemm=self._gemm)
-        self.metrics.mpu_stats = self.metrics.mpu_stats.merge(stats)
-        self.metrics.admissions += 1
-        self.metrics.prefill_tokens += int(lens.sum())
+        with self._lock:
+            self.metrics.mpu_stats = self.metrics.mpu_stats.merge(stats)
+            self.metrics.admissions += 1
+            self.metrics.prefill_tokens += int(lens.sum())
+            self.metrics.generated_tokens += len(admitted)
 
         finished: list[SequenceState] = []
         for i, seq in enumerate(admitted):
             seq._emit(int(np.argmax(logits[i, lens[i] - 1])))
-            self.metrics.generated_tokens += 1
             if seq.done:
                 finished.append(seq)
         survivors = [i for i, seq in enumerate(admitted) if not seq.done]
@@ -450,12 +461,12 @@ class DecodeScheduler:
             else:
                 pages, key, matched = [], _PAGE_ROOT_KEY, 0
             growth += sum(s._max_pages - len(p) for s, (p, _, _)
-                          in zip(admitted, rowspecs))
+                          in zip(admitted, rowspecs, strict=True))
             if pool.num_free < (max_pages - len(pages)) + growth:
                 pool.release(pages)
                 with self._lock:
                     self._waiting.appendleft(seq)
-                self.metrics.backpressure_events += 1
+                    self.metrics.backpressure_events += 1
                 break
             seq._max_pages = max_pages
             seq.shared_tokens = matched
@@ -466,7 +477,7 @@ class DecodeScheduler:
 
         while admitted:
             cache = self.model.init_paged_cache(0, pool, capacity=capacity)
-            for seq, (pages, key, matched) in zip(admitted, rowspecs):
+            for seq, (pages, key, matched) in zip(admitted, rowspecs, strict=True):
                 pool.acquire(pages)  # the wave cache's own reference
                 cache.add_row(pages, key, matched)
             shared = np.array([m for _, _, m in rowspecs], dtype=np.int64)
@@ -498,15 +509,16 @@ class DecodeScheduler:
         if not admitted:
             return finished
 
-        self.metrics.mpu_stats = self.metrics.mpu_stats.merge(stats)
-        self.metrics.admissions += 1
-        self.metrics.prefill_tokens += int(suffix.sum())
-        self.metrics.prefix_hit_tokens += int(shared.sum())
-        self.metrics.prefix_hit_requests += int(np.count_nonzero(shared))
+        with self._lock:
+            self.metrics.mpu_stats = self.metrics.mpu_stats.merge(stats)
+            self.metrics.admissions += 1
+            self.metrics.prefill_tokens += int(suffix.sum())
+            self.metrics.prefix_hit_tokens += int(shared.sum())
+            self.metrics.prefix_hit_requests += int(np.count_nonzero(shared))
+            self.metrics.generated_tokens += len(admitted)
 
         for i, seq in enumerate(admitted):
             seq._emit(int(np.argmax(logits[i, suffix[i] - 1])))
-            self.metrics.generated_tokens += 1
             if seq.done:
                 finished.append(seq)
         dead = [i for i, seq in enumerate(admitted) if seq.done]
@@ -521,11 +533,28 @@ class DecodeScheduler:
             self._active.extend(survivors)
         return finished
 
+    def audit_cache(self) -> None:
+        """Assert the paged pool's bookkeeping invariants.
+
+        Cheap debug hook (O(pages + page-table entries), never touches K/V
+        data): refcount conservation against the live cache's page tables,
+        registry bijection, free-list consistency.  Raises
+        :class:`repro.analysis.pool_audit.PoolAuditError` naming every
+        violated invariant.  No-op for the dense cache.
+        """
+        if self.pool is None:
+            return
+        from repro.analysis.pool_audit import assert_pool_consistent
+        with self._lock:
+            caches = [self._cache] if self._cache is not None else []
+            assert_pool_consistent(self.pool, caches)
+
     def step(self) -> list[SequenceState]:
         """One scheduler iteration: admit, then one stacked decode step.
 
         Returns the sequences that finished during this iteration.  Safe to
-        call when idle (returns ``[]``).
+        call when idle (returns ``[]``).  With ``debug_audit`` (or
+        ``REPRO_VERIFY=1``) the pool auditor runs after the iteration.
         """
         t0 = time.perf_counter()
         finished = self._admit()
@@ -550,14 +579,17 @@ class DecodeScheduler:
                     finished.append(active[r])
                 with self._lock:
                     self._compact_locked()
-                self.metrics.busy_s += time.perf_counter() - t0
-                self.metrics.finished += len(finished)
+                    self.metrics.busy_s += time.perf_counter() - t0
+                    self.metrics.finished += len(finished)
+                if self.debug_audit:
+                    self.audit_cache()
                 return finished
-            self.metrics.step_latencies_s.append(time.perf_counter() - it0)
-            self.metrics.mpu_stats = self.metrics.mpu_stats.merge(stats)
-            self.metrics.iterations += 1
-            self.metrics.decode_tokens += len(active)
-            self.metrics.generated_tokens += len(active)
+            with self._lock:
+                self.metrics.step_latencies_s.append(time.perf_counter() - it0)
+                self.metrics.mpu_stats = self.metrics.mpu_stats.merge(stats)
+                self.metrics.iterations += 1
+                self.metrics.decode_tokens += len(active)
+                self.metrics.generated_tokens += len(active)
             for i, seq in enumerate(active):
                 seq._emit(int(np.argmax(logits[i, 0])))
                 if seq.done:
@@ -565,8 +597,11 @@ class DecodeScheduler:
             with self._lock:
                 self._compact_locked()
 
-        self.metrics.busy_s += time.perf_counter() - t0
-        self.metrics.finished += len(finished)
+        with self._lock:
+            self.metrics.busy_s += time.perf_counter() - t0
+            self.metrics.finished += len(finished)
+        if self.debug_audit:
+            self.audit_cache()
         return finished
 
     def run_until_idle(self) -> list[SequenceState]:

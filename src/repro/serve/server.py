@@ -96,7 +96,7 @@ class ServerMetrics:
     requests: int = 0
     batches: int = 0
     tokens: int = 0
-    latencies_s: "deque[float]" = field(
+    latencies_s: deque[float] = field(
         default_factory=lambda: deque(maxlen=LATENCY_WINDOW))
     mpu_stats: MPURunStats = field(default_factory=MPURunStats)
     started_at: float | None = None
@@ -165,11 +165,11 @@ class InferenceServer:
     def __init__(self, qlm: QuantizedLM, num_shards: int = 2,
                  policy: BatchPolicy | None = None,
                  mpu_config: MPUConfig | None = None, backend: str = "thread",
-                 accumulate_dtype: "np.dtype | type" = np.float64,
+                 accumulate_dtype: np.dtype | type = np.float64,
                  pin_keys: bool = True, axis: str = "rows",
                  executor: str = "compiled",
                  decode_max_active: int = 8,
-                 cache_config: "CacheConfig | None" = None) -> None:
+                 cache_config: CacheConfig | None = None) -> None:
         self.qlm = qlm
         # Solo and served execution share prepared weight-stationary state
         # where the shard layout allows it (one row shard = the full plan);
@@ -193,7 +193,7 @@ class InferenceServer:
         self._hook = qlm.matmul_via(self._pool_gemm)
         self._lock = threading.Lock()
         self._next_id = 0
-        self._pump_task: "asyncio.Task | None" = None
+        self._pump_task: asyncio.Task | None = None
 
     # -- the sharded forward path -----------------------------------------
     def _metered_gemm(self, name: str,
@@ -278,9 +278,10 @@ class InferenceServer:
         iterations the event loop runs, which is exactly when new requests
         enqueue and get admitted (iteration-level batching).
         """
-        if self._pump_task is None or self._pump_task.done():
-            self._pump_task = asyncio.get_running_loop().create_task(
-                self._pump())
+        with self._lock:
+            if self._pump_task is None or self._pump_task.done():
+                self._pump_task = asyncio.get_running_loop().create_task(
+                    self._pump())
 
     async def _pump(self) -> None:
         loop = asyncio.get_running_loop()
@@ -344,7 +345,7 @@ class InferenceServer:
         """
         arr = self._check_request(tokens)
         loop = asyncio.get_running_loop()
-        queue: "asyncio.Queue[tuple[int | None, bool]]" = asyncio.Queue()
+        queue: asyncio.Queue[tuple[int | None, bool]] = asyncio.Queue()
         t0 = time.perf_counter()
 
         def on_token(seq, token, done):
@@ -404,7 +405,7 @@ class InferenceServer:
         """Synchronous shutdown (pool only; call :meth:`aclose` in a loop)."""
         self.pool.close()
 
-    def __enter__(self) -> "InferenceServer":
+    def __enter__(self) -> InferenceServer:
         return self
 
     def __exit__(self, *exc) -> None:

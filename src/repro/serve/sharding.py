@@ -40,7 +40,7 @@ with exactly additive stats on segments.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -114,7 +114,7 @@ def shard_plan(plan: TileExecutionPlan, num_shards: int,
 
 
 def compile_shard_programs(shards: Sequence[PlanShard], weights,
-                           config: "MPUConfig | None" = None
+                           config: MPUConfig | None = None
                            ) -> list[CompiledProgram]:
     """Lower each shard of one plan to its executable sub-program.
 
@@ -170,7 +170,7 @@ def _validate_partition(shards: Sequence[PlanShard]) -> tuple[TileExecutionPlan,
 
 
 def merge_shard_outputs(shards: Sequence[PlanShard],
-                        results: "Sequence[tuple[np.ndarray, MPURunStats]]"
+                        results: Sequence[tuple[np.ndarray, MPURunStats]]
                         ) -> tuple[np.ndarray, MPURunStats]:
     """Reduce per-shard ``(output, stats)`` pairs to the full GEMM result.
 
@@ -196,7 +196,7 @@ def merge_shard_outputs(shards: Sequence[PlanShard],
     if axis == "rows":
         batch = 1 if squeeze else outputs[0].shape[1]
         y = np.zeros((plan.m, batch), dtype=np.float64)
-        for shard, out in zip(shards, outputs):
+        for shard, out in zip(shards, outputs, strict=True):
             block = out[:, None] if out.ndim == 1 else out
             if block.shape != (shard.rows, batch):
                 raise ValueError(
@@ -205,7 +205,7 @@ def merge_shard_outputs(shards: Sequence[PlanShard],
         return (y[:, 0], stats) if squeeze else (y, stats)
 
     y = np.zeros_like(outputs[0], dtype=np.float64)
-    for shard, out in zip(shards, outputs):
+    for shard, out in zip(shards, outputs, strict=True):
         if out.shape != outputs[0].shape:
             raise ValueError("segment shard outputs disagree on shape")
         y += out

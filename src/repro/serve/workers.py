@@ -72,8 +72,8 @@ class _PinnedShard:
     """
 
     shard: PlanShard
-    weights: "BCQTensor | PreparedWeights"
-    program: "CompiledProgram | None" = None
+    weights: BCQTensor | PreparedWeights
+    program: CompiledProgram | None = None
 
     def run(self, mpu: MatrixProcessingUnit, x: np.ndarray,
             accumulate_dtype, executor: str = "compiled"
@@ -167,7 +167,7 @@ class _ProcessWorker:
     copied once into shared memory here and viewed zero-copy in the worker.
     """
 
-    def __init__(self, ctx, payloads: "dict[str, tuple]",
+    def __init__(self, ctx, payloads: dict[str, tuple],
                  mpu_config: MPUConfig, acc_dtype: np.dtype, pin_keys: bool,
                  executor: str) -> None:
         from multiprocessing import shared_memory
@@ -281,12 +281,12 @@ class ShardedMPUPool:
         MPU geometry; layers present here skip re-planning.
     """
 
-    def __init__(self, weights: "dict[str, BCQTensor]", num_shards: int = 2,
+    def __init__(self, weights: dict[str, BCQTensor], num_shards: int = 2,
                  mpu_config: MPUConfig | None = None, backend: str = "thread",
-                 accumulate_dtype: "np.dtype | type" = np.float64,
+                 accumulate_dtype: np.dtype | type = np.float64,
                  pin_keys: bool = True, axis: str = "rows",
-                 shared_prepared: "dict[str, PreparedWeights] | None" = None,
-                 plans: "dict[str, TileExecutionPlan] | None" = None,
+                 shared_prepared: dict[str, PreparedWeights] | None = None,
+                 plans: dict[str, TileExecutionPlan] | None = None,
                  executor: str = "compiled") -> None:
         if backend not in ("serial", "thread", "process"):
             raise ValueError("backend must be 'serial', 'thread' or 'process'")
@@ -315,7 +315,7 @@ class ShardedMPUPool:
         # Worker w pins shard w of every layer that has one.  On the
         # segments axis the prepared full-plan keys are read-only and every
         # worker indexes its own segment subset, so one prep is shared.
-        shared_full: dict[str, "BCQTensor | PreparedWeights"] = {}
+        shared_full: dict[str, BCQTensor | PreparedWeights] = {}
         if axis == "segments":
             shared_full = {name: (self.mpu.prepare(t) if pin_keys else t)
                            for name, t in weights.items()}
@@ -328,7 +328,7 @@ class ShardedMPUPool:
                 if w >= len(self.shards[name]):
                     continue
                 shard = self.shards[name][w]
-                program: "CompiledProgram | None" = None
+                program: CompiledProgram | None = None
                 if axis == "rows":
                     if (len(self.shards[name]) == 1 and pin_keys
                             and backend != "process" and shared_prepared
@@ -336,7 +336,7 @@ class ShardedMPUPool:
                         # The single shard is the whole plan: pin the
                         # caller's shared prepared state (identical keys,
                         # one resident copy for solo and served paths).
-                        pinned_weights: "BCQTensor | PreparedWeights" = \
+                        pinned_weights: BCQTensor | PreparedWeights = \
                             shared_prepared[name]
                     else:
                         sliced = tensor.take_rows(shard.row_indices)
@@ -427,14 +427,18 @@ class ShardedMPUPool:
 
     # -- lifecycle ---------------------------------------------------------
     def close(self) -> None:
+        # Teardown is single-owner by the context-manager contract: no gemm
+        # call may race close(), and shutdown(wait=True) below joins the
+        # executor threads before the store — holding _proc_lock here would
+        # deadlock against a worker draining its last request.
         if self._executor is not None:
             self._executor.shutdown(wait=True)
-            self._executor = None
+            self._executor = None  # repro: noqa unlocked-shared-state
         for proc in self._procs:
             proc.close()
         self._procs.clear()
 
-    def __enter__(self) -> "ShardedMPUPool":
+    def __enter__(self) -> ShardedMPUPool:
         return self
 
     def __exit__(self, *exc) -> None:

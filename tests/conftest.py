@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import sys
 from pathlib import Path
 
 import numpy as np
@@ -30,6 +31,40 @@ def small_weight(rng) -> np.ndarray:
 def small_activations(rng) -> np.ndarray:
     """A small activation matrix (in_features, batch)."""
     return rng.standard_normal((32, 5))
+
+
+@pytest.fixture(autouse=True)
+def _audit_scheduler_pools(monkeypatch):
+    """Audit every scheduler's page pool when its test ends.
+
+    Each ``DecodeScheduler`` constructed during a test is recorded; at
+    teardown the :mod:`repro.analysis.pool_audit` invariants (refcount
+    conservation, registry bijection, free-list consistency) are asserted
+    against the scheduler's pool and live cache — so *any* serving test
+    that leaks, double-frees, or corrupts a page fails itself, not some
+    later test that inherits the pool.  Tests that never import the
+    scheduler pay nothing.
+    """
+    mod = sys.modules.get("repro.serve.scheduler")
+    if mod is None:
+        yield
+        return
+    instances: list = []
+    orig_init = mod.DecodeScheduler.__init__
+
+    def recording_init(self, *args, **kwargs):
+        orig_init(self, *args, **kwargs)
+        instances.append(self)
+
+    monkeypatch.setattr(mod.DecodeScheduler, "__init__", recording_init)
+    yield
+    from repro.analysis.pool_audit import assert_pool_consistent
+
+    for sched in instances:
+        if sched.pool is None:
+            continue
+        caches = [sched._cache] if sched._cache is not None else []
+        assert_pool_consistent(sched.pool, caches)
 
 
 @pytest.fixture(scope="session")

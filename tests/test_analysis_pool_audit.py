@@ -1,0 +1,170 @@
+"""Tests for the PagePool/PagedKVCache invariant auditor
+(repro.analysis.pool_audit).
+
+A clean lifecycle must audit silently; each seeded corruption must be
+reported under its own invariant name; and the auditor must be reachable
+both as ``PagePool.audit`` and as the ``DecodeScheduler`` debug hook.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import PoolAuditError, assert_pool_consistent, audit_page_pool
+from repro.core.mpu import MPUConfig
+from repro.models.quantized_model import QuantizationRecipe, QuantizedLM
+from repro.models.transformer import (
+    PagedKVCache,
+    PagePool,
+    TransformerConfig,
+    TransformerLM,
+)
+from repro.serve import CacheConfig, DecodeScheduler
+
+MPU_CFG = MPUConfig(pe_rows=2, pe_cols=2, mu=4, k=2)
+
+
+def make_pool(num_pages=16, page_size=4):
+    return PagePool(n_layers=2, n_heads=2, d_head=4, num_pages=num_pages,
+                    page_size=page_size)
+
+
+def violations_named(violations, invariant):
+    return [v for v in violations if v.startswith(f"[{invariant}]")]
+
+
+class TestCleanStates:
+    def test_fresh_pool_is_consistent(self):
+        pool = make_pool()
+        assert audit_page_pool(pool) == []
+        assert audit_page_pool(pool, []) == []
+        assert pool.audit() == []
+
+    def test_lifecycle_audits_clean(self):
+        pool = make_pool()
+        cache = PagedKVCache(pool, capacity=32)
+        pages = pool.allocate(3)
+        cache.add_row(pages, prefix_key=0, length=10)
+        assert audit_page_pool(pool, [cache]) == []
+
+        pool.tokens[pages[0]] = np.arange(4)
+        pool.register(pages[0], (0, tuple(range(4))))
+        assert audit_page_pool(pool, [cache]) == []
+
+        cache.release()
+        assert audit_page_pool(pool, []) == []
+        assert pool.num_free == pool.num_pages
+
+
+class TestCorruptions:
+    def test_negative_refcount(self):
+        pool = make_pool()
+        pages = pool.allocate(1)
+        pool.refcounts[pages[0]] = -1
+        assert violations_named(audit_page_pool(pool), "refcount-nonnegative")
+
+    def test_zero_ref_page_missing_from_free_list(self):
+        pool = make_pool()
+        pages = pool.allocate(1)
+        pool.refcounts[pages[0]] = 0  # dropped without being freed
+        found = violations_named(audit_page_pool(pool),
+                                 "free-list-consistency")
+        assert found and str(pages[0]) in found[0]
+
+    def test_registry_without_inverse_mapping(self):
+        pool = make_pool()
+        pool._registry[(99, tuple(range(4)))] = 3  # no _page_key entry
+        assert violations_named(audit_page_pool(pool), "registry-bijection")
+
+    def test_registered_tokens_drift_from_chain_key(self):
+        pool = make_pool()
+        pages = pool.allocate(1)
+        pool.tokens[pages[0]] = np.arange(4)
+        pool.register(pages[0], (0, tuple(range(4))))
+        pool.tokens[pages[0]] = np.arange(4) + 1  # content no longer matches
+        assert violations_named(audit_page_pool(pool), "registry-token-match")
+
+    def test_cache_length_exceeds_capacity(self):
+        pool = make_pool()
+        cache = PagedKVCache(pool, capacity=8)
+        cache.add_row(pool.allocate(2), prefix_key=0, length=8)
+        cache.lengths[0] = 9
+        assert violations_named(audit_page_pool(pool, [cache]),
+                                "cache-structure")
+
+    def test_duplicate_page_in_row_table(self):
+        pool = make_pool()
+        cache = PagedKVCache(pool, capacity=32)
+        pages = pool.allocate(2)
+        cache.add_row(pages, prefix_key=0, length=5)
+        cache.page_tables[0][1] = cache.page_tables[0][0]
+        found = audit_page_pool(pool, [cache])
+        assert violations_named(found, "cache-structure")
+
+    def test_refcount_conservation_against_live_tables(self):
+        pool = make_pool()
+        cache = PagedKVCache(pool, capacity=32)
+        pages = pool.allocate(2)
+        cache.add_row(pages, prefix_key=0, length=5)
+        pool.acquire([pages[0]])  # phantom reference, no table holds it
+        found = violations_named(audit_page_pool(pool, [cache]),
+                                 "refcount-conservation")
+        assert found and f"page {pages[0]}" in found[0]
+
+    def test_free_page_still_referenced_by_table(self):
+        pool = make_pool()
+        cache = PagedKVCache(pool, capacity=32)
+        pages = pool.allocate(2)
+        cache.add_row(pages, prefix_key=0, length=5)
+        pool.release([pages[1]])  # table still points at the freed page
+        found = audit_page_pool(pool, [cache])
+        assert violations_named(found, "free-list-disjoint")
+
+    def test_assert_pool_consistent_raises_with_violations(self):
+        pool = make_pool()
+        pages = pool.allocate(1)
+        pool.refcounts[pages[0]] = -1
+        with pytest.raises(PoolAuditError) as err:
+            assert_pool_consistent(pool)
+        assert err.value.violations
+        assert any("[refcount-nonnegative]" in v for v in err.value.violations)
+        assert_pool_consistent(make_pool())  # clean pool does not raise
+
+
+class TestSchedulerHook:
+    @pytest.fixture(scope="class")
+    def qlm(self):
+        model = TransformerLM(TransformerConfig(
+            vocab_size=41, max_seq_len=24, d_model=16, n_heads=2, n_layers=2,
+            d_ff=32, seed=7))
+        recipe = QuantizationRecipe(method="bcq", bits=2, group_size=8)
+        return QuantizedLM.build(model, recipe, engine="figlut-f")
+
+    def test_debug_audit_runs_clean_through_decode(self, qlm, rng):
+        sched = DecodeScheduler(qlm, max_active=3, mpu_config=MPU_CFG,
+                                cache_config=CacheConfig(page_size=4),
+                                debug_audit=True)
+        assert sched.debug_audit
+        for length in (3, 5, 4):
+            sched.submit(rng.integers(0, 41, size=length), 6)
+        seqs = sched.run_until_idle()  # audits after every step
+        assert all(s.done for s in seqs)
+        sched.audit_cache()  # idle state stays consistent too
+        assert sched.pool.num_free == sched.pool.num_pages
+
+    def test_debug_audit_defaults_from_env_knob(self, qlm, monkeypatch):
+        monkeypatch.setenv("REPRO_VERIFY", "1")
+        assert DecodeScheduler(qlm, mpu_config=MPU_CFG).debug_audit
+        monkeypatch.delenv("REPRO_VERIFY")
+        assert not DecodeScheduler(qlm, mpu_config=MPU_CFG).debug_audit
+
+    def test_audit_cache_surfaces_seeded_corruption(self, qlm, rng):
+        sched = DecodeScheduler(qlm, max_active=2, mpu_config=MPU_CFG,
+                                cache_config=CacheConfig(page_size=4),
+                                debug_audit=False)
+        sched.submit(rng.integers(0, 41, size=4), 4)
+        while not sched.step():
+            pass  # run to completion; pool back to fully free
+        sched.pool.refcounts[0] = 5  # phantom references
+        with pytest.raises(PoolAuditError):
+            sched.audit_cache()
+        sched.pool.refcounts[0] = 0  # repair for the conftest teardown audit

@@ -74,7 +74,7 @@ class TestBuildLUTValues:
     def test_lut_table_rows_structure(self):
         rows = lut_table_rows(np.array([1.0, 2.0, 3.0]))
         assert len(rows) == 8
-        patterns, keys, values = zip(*rows)
+        patterns, keys, values = zip(*rows, strict=True)
         assert list(keys) == list(range(8))
         assert patterns[0] == (-1, -1, -1)
         assert values[0] == -6.0

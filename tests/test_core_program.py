@@ -148,7 +148,7 @@ class TestShardPrograms:
         shards = shard_plan(plan, num_shards, axis="segments")
         programs = compile_shard_programs(shards, tensor, MPU_CFG)
         results = []
-        for shard, prog in zip(shards, programs):
+        for shard, prog in zip(shards, programs, strict=True):
             compiled = prog.execute(x)
             _assert_same(compiled, mpu.gemm(tensor, x, shard=shard,
                                             executor="interpreted"))

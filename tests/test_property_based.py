@@ -207,7 +207,7 @@ class TestExecutorEquivalenceSweep:
         shards = shard_plan(plan, num_shards, axis="segments")
         programs = compile_shard_programs(shards, tensor, mpu.config)
         results = []
-        for shard, prog in zip(shards, programs):
+        for shard, prog in zip(shards, programs, strict=True):
             y_s, s_s = prog.execute(x)
             y_int, s_int = mpu.gemm(tensor, x, shard=shard,
                                     executor="interpreted")

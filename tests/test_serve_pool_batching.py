@@ -74,7 +74,7 @@ class TestShardedMPUPool:
             with ThreadPoolExecutor(max_workers=4) as executor:
                 outs = list(executor.map(
                     lambda x: pool.gemm("uniform", x)[0], xs))
-        for got, want in zip(outs, refs):
+        for got, want in zip(outs, refs, strict=True):
             np.testing.assert_array_equal(got, want)
 
     def test_plan_stats_equal_merged_run_stats(self, rng, layers):
@@ -218,5 +218,5 @@ class TestAsyncBatcher:
 
             batched, stats = asyncio.run(main())
         assert stats.max_batch_size > 1  # genuinely coalesced
-        for got, want in zip(batched, solo):
+        for got, want in zip(batched, solo, strict=True):
             np.testing.assert_array_equal(got, want)

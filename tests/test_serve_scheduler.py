@@ -53,7 +53,7 @@ class TestDecodeScheduler:
         prompts = [rng.integers(0, VOCAB, size=int(n)) for n in (4, 8, 6)]
         seqs = [sched.submit(p, 7) for p in prompts]
         sched.run_until_idle()
-        for seq, prompt in zip(seqs, prompts):
+        for seq, prompt in zip(seqs, prompts, strict=True):
             solo = qlm.generate(prompt, 7, mpu_config=MPU_CFG)
             np.testing.assert_array_equal(seq.tokens, solo.tokens)
             assert seq.finish_reason == "length"
@@ -67,7 +67,7 @@ class TestDecodeScheduler:
             assert sched.num_active <= 2
         assert all(s.done for s in seqs)
         assert sched.metrics.admissions >= 3  # 5 requests through a pool of 2
-        for seq, prompt in zip(seqs, prompts):
+        for seq, prompt in zip(seqs, prompts, strict=True):
             np.testing.assert_array_equal(
                 seq.tokens, qlm.generate(prompt, 4, mpu_config=MPU_CFG).tokens)
 
@@ -204,7 +204,7 @@ class TestPagedScheduling:
         assert {s.request_id for s in finished} == {s.request_id for s in seqs}
         assert sched.num_active == 0 and not sched.has_work
         assert sched.pool.num_free == sched.pool.num_pages  # all pages back
-        for seq, p in zip(seqs, prompts):
+        for seq, p in zip(seqs, prompts, strict=True):
             np.testing.assert_array_equal(
                 seq.tokens, qlm.generate(p, 3, mpu_config=MPU_CFG).tokens)
         # The emptied scheduler admits fresh work.
@@ -252,7 +252,7 @@ class TestPagedScheduling:
         assert sched.num_active == 1
         assert sched.metrics.backpressure_events >= 1
         sched.run_until_idle()
-        for seq, p in zip(seqs, prompts):
+        for seq, p in zip(seqs, prompts, strict=True):
             assert seq.finish_reason == "length"
             np.testing.assert_array_equal(
                 seq.tokens, qlm.generate(p, 8, mpu_config=MPU_CFG).tokens)
@@ -294,7 +294,7 @@ class TestPagedScheduling:
             seqs = [sched.submit(p, 7) for p in prompts]
             sched.run_until_idle()
             results.append([s.tokens for s in seqs])
-        for paged, dense, p in zip(results[0], results[1], prompts):
+        for paged, dense, p in zip(results[0], results[1], prompts, strict=True):
             solo = qlm.generate(p, 7, mpu_config=MPU_CFG)
             np.testing.assert_array_equal(paged, dense)
             np.testing.assert_array_equal(paged, solo.tokens)
@@ -329,7 +329,7 @@ class TestServerGenerate:
             return results
 
         results = asyncio.run(main())
-        for result, want, prompt in zip(results, solo, prompts):
+        for result, want, prompt in zip(results, solo, prompts, strict=True):
             np.testing.assert_array_equal(result.tokens, want.tokens)
             assert result.finish_reason == want.finish_reason
             assert result.latency_s > 0

@@ -46,7 +46,7 @@ class TestInferenceServer:
         solo = [server.run_solo(t) for t in requests]
         results = _serve(server, requests)
         assert any(r.batch_size > 1 for r in results)  # batching happened
-        for result, want in zip(results, solo):
+        for result, want in zip(results, solo, strict=True):
             assert result.logits.shape == (want.shape[0], VOCAB)
             np.testing.assert_array_equal(result.logits, want)
 
@@ -107,7 +107,7 @@ class TestInferenceServer:
                                  mpu_config=MPU_CFG)
         requests = _requests(rng, 4, lengths=(6,))
         solo = [server.run_solo(t) for t in requests]
-        for result, want in zip(_serve(server, requests), solo):
+        for result, want in zip(_serve(server, requests), solo, strict=True):
             np.testing.assert_array_equal(result.logits, want)
 
     def test_rejects_malformed_requests(self, served_qlm):

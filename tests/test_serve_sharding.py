@@ -183,7 +183,7 @@ class TestPreparedWeights:
         shards = shard_plan(prepared.plan, 2, axis="segments")
         raw = [mpu.gemm(tensor, x, shard=s) for s in shards]
         prep = [mpu.gemm(prepared, x, shard=s) for s in shards]
-        for (y_r, s_r), (y_p, s_p) in zip(raw, prep):
+        for (y_r, s_r), (y_p, s_p) in zip(raw, prep, strict=True):
             np.testing.assert_array_equal(y_p, y_r)
             assert s_p == s_r
 
