@@ -33,7 +33,9 @@ Run:  python examples/generate_quickstart.py
 from __future__ import annotations
 
 import asyncio
+import os
 import time
+from pathlib import Path
 
 import numpy as np
 
@@ -41,10 +43,17 @@ from repro.core.mpu import MPUConfig
 from repro.models.quantized_model import QuantizationRecipe, QuantizedLM
 from repro.models.transformer import TransformerConfig, TransformerLM
 from repro.serve import BatchPolicy, CacheConfig, DecodeScheduler, InferenceServer
+from repro.telemetry import Telemetry, set_telemetry
 
 NUM_REQUESTS = 12
 NEW_TOKENS = 12
 VOCAB = 211
+
+# REPRO_TELEMETRY=1 turns on the observability layer for the whole script
+# (request/executor tracing + metrics + per-opcode profiling) and exports a
+# Chrome trace and a Prometheus snapshot into REPRO_TELEMETRY_DIR (default:
+# the current directory).  See docs/observability.md.
+TELEMETRY_ON = os.environ.get("REPRO_TELEMETRY", "") not in ("", "0")
 
 
 def build_server() -> InferenceServer:
@@ -77,6 +86,10 @@ async def clients(server: InferenceServer, prompts: list[np.ndarray]):
 
 
 def main() -> None:
+    tel = None
+    if TELEMETRY_ON:
+        tel = Telemetry(enabled=True, profiling=True)
+        set_telemetry(tel)  # InferenceServer auto-binds its metrics adapters
     rng = np.random.default_rng(0)
     server = build_server()
     prompts = [rng.integers(0, VOCAB, size=int(rng.integers(6, 17)))
@@ -159,16 +172,19 @@ def main() -> None:
             sched.run_until_idle()
             ttfts.append((arrivals[0] - t0) * 1e3)
             token_lists.append(seq.tokens)
-        return ttfts, token_lists, sched.metrics
+        return ttfts, token_lists, sched.metrics, sched.pool.counters
 
-    ttft_off, tokens_off, m_off = serve_stream(prefix_sharing=False)
-    ttft_on, tokens_on, m_on = serve_stream(prefix_sharing=True)
+    ttft_off, tokens_off, m_off, pages_off = serve_stream(prefix_sharing=False)
+    ttft_on, tokens_on, m_on, pages_on = serve_stream(prefix_sharing=True)
     same = all(np.array_equal(a, b) for a, b in zip(tokens_on, tokens_off, strict=True))
     print(f"workload          : {len(shared_prompts)} requests = "
           f"{len(system_prompt)}-token system prompt + 4-token question")
     print(f"prefix hit rate   : off {m_off.prefix_hit_rate:.0%}   "
           f"on {m_on.prefix_hit_rate:.0%}  "
           f"({m_on.prefix_hit_tokens} prompt tokens never re-prefilled)")
+    print(f"page-level hits   : off {pages_off.prefix_hit_rate:.0%}   "
+          f"on {pages_on.prefix_hit_rate:.0%}  "
+          f"({pages_on.lookup_hit_pages} whole pages reused from the pool)")
     print(f"prefill computed  : off {m_off.prefill_tokens} tokens   "
           f"on {m_on.prefill_tokens} tokens")
     print(f"TTFT (median)     : off {float(np.median(ttft_off[1:])):.2f} ms   "
@@ -178,6 +194,20 @@ def main() -> None:
     print(f"tokens identical  : {same}")
 
     asyncio.run(server.aclose())
+
+    if tel is not None:
+        out_dir = Path(os.environ.get("REPRO_TELEMETRY_DIR", "."))
+        out_dir.mkdir(parents=True, exist_ok=True)
+        trace = tel.export_chrome(out_dir / "telemetry_trace.json")
+        prom = out_dir / "telemetry_metrics.prom"
+        prom.write_text(tel.render_prometheus())
+        print()
+        print("=" * 72)
+        print("5. Telemetry exports (REPRO_TELEMETRY=1)")
+        print("=" * 72)
+        print(f"chrome trace      : {trace} ({len(tel.trace)} events — open "
+              f"in Perfetto / chrome://tracing)")
+        print(f"prometheus        : {prom}")
 
 
 if __name__ == "__main__":

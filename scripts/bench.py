@@ -23,6 +23,7 @@ whichever benchmarks completed.
 """
 
 import argparse
+import datetime
 import json
 import os
 import subprocess
@@ -30,6 +31,32 @@ import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _git_sha() -> str | None:
+    """Current commit SHA, or None outside a git checkout."""
+    try:
+        out = subprocess.run(["git", "rev-parse", "HEAD"], cwd=REPO_ROOT,
+                             capture_output=True, text=True, timeout=10)
+    except OSError:
+        return None
+    return out.stdout.strip() if out.returncode == 0 else None
+
+
+def stamp_rows(rows: list[dict], *, sha: str | None,
+               timestamp: str) -> list[dict]:
+    """Attach provenance to trajectory rows, backfill-safe.
+
+    Older trajectory files (and rows written by ``record_bench`` itself,
+    which runs inside the timed pytest process and deliberately never
+    reads the wall clock) lack the ``git_sha``/``recorded_at`` keys;
+    ``setdefault`` fills them without clobbering rows that already carry a
+    stamp from a previous run.
+    """
+    for row in rows:
+        row.setdefault("git_sha", sha)
+        row.setdefault("recorded_at", timestamp)
+    return rows
 
 
 def main(argv=None) -> int:
@@ -49,12 +76,20 @@ def main(argv=None) -> int:
         cwd=REPO_ROOT, env=env)
 
     if out.exists():
-        rows = json.loads(out.read_text())
+        # Stamp provenance here, after pytest exits — the stamper reads the
+        # wall clock, which is why it lives in this driver and not in the
+        # timed benchmark process.
+        stamp = datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds")
+        rows = stamp_rows(json.loads(out.read_text()), sha=_git_sha(),
+                          timestamp=stamp)
+        out.write_text(json.dumps(rows, indent=2) + "\n")
         print(f"\nwrote {out} ({len(rows)} metrics):")
         for row in rows:
-            floor = "" if row["floor"] is None else f"   (floor {row['floor']:g})"
+            floor = row.get("floor")
+            suffix = "" if floor is None else f"   (floor {floor:g})"
             print(f"  {row['id']:48s} {row['metric']:>14s} = "
-                  f"{row['value']:8.2f}{floor}")
+                  f"{row['value']:8.2f}{suffix}")
     else:
         print(f"\nno trajectory written ({out}): no benchmark recorded metrics",
               file=sys.stderr)

@@ -7,6 +7,7 @@ and ``scripts/analyze.py`` use it when no explicit rule list is given.
 from repro.analysis.rules.bitexact import AccumulatorDtypeLiteralRule, ReassociatingReductionRule
 from repro.analysis.rules.concurrency import LockAcrossAwaitRule, UnlockedSharedStateRule
 from repro.analysis.rules.hygiene import MutableDefaultArgRule
+from repro.analysis.rules.timing import WallClockInServeRule
 
 __all__ = [
     "AccumulatorDtypeLiteralRule",
@@ -14,6 +15,7 @@ __all__ = [
     "MutableDefaultArgRule",
     "ReassociatingReductionRule",
     "UnlockedSharedStateRule",
+    "WallClockInServeRule",
     "default_rules",
 ]
 
@@ -26,4 +28,5 @@ def default_rules():
         LockAcrossAwaitRule(),
         UnlockedSharedStateRule(),
         MutableDefaultArgRule(),
+        WallClockInServeRule(),
     ]

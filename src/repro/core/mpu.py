@@ -81,6 +81,7 @@ from repro.core.dataflow import (
 from repro.core.lut import build_lut_tables, build_lut_values
 from repro.core.lut_generator import generator_addition_count
 from repro.quant.bcq import BCQTensor
+from repro.telemetry import get_telemetry
 
 __all__ = ["MPUConfig", "MPURunStats", "MatrixProcessingUnit", "PreparedWeights"]
 
@@ -439,6 +440,24 @@ class MatrixProcessingUnit:
             ``stats`` is derived analytically from the execution plan and is
             identical to the counters :meth:`gemm_reference` increments.
         """
+        tel = get_telemetry()
+        if not tel.enabled:
+            return self._gemm_impl(weights, activations, accumulate_dtype,
+                                   shard, executor)
+        w = weights.weights if isinstance(weights, PreparedWeights) else weights
+        with tel.trace.span("mpu.gemm", m=w.shape[0], n=w.shape[1],
+                            executor=executor, sharded=shard is not None,
+                            prepared=w is not weights):
+            return self._gemm_impl(weights, activations, accumulate_dtype,
+                                   shard, executor)
+
+    def _gemm_impl(self, weights: BCQTensor | PreparedWeights,
+                   activations: np.ndarray,
+                   accumulate_dtype: np.dtype | type = np.float64,
+                   shard: PlanShard | None = None,
+                   executor: str = "compiled") -> tuple[np.ndarray, MPURunStats]:
+        # The executor body of gemm() (the public wrapper only adds the
+        # telemetry span; values are never touched either way).
         if executor not in ("compiled", "interpreted", "reference"):
             raise ValueError(
                 "executor must be 'compiled', 'interpreted' or 'reference'")

@@ -77,6 +77,7 @@ and execute zero-copy views in the worker.
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass, fields
 
 import numpy as np
@@ -91,6 +92,7 @@ from repro.core.mpu import (
     _normalize_activations,
 )
 from repro.quant.bcq import BCQTensor
+from repro.telemetry import get_telemetry
 
 __all__ = ["CompiledProgram", "PlanePass", "compile_plan"]
 
@@ -178,8 +180,21 @@ class CompiledProgram:
         acc_dtype = np.dtype(accumulate_dtype)
         y = np.zeros((self.m, batch), dtype=np.float64)
 
+        # Opt-in per-instruction profiling: when off (the default) the loop
+        # pays one None check per opcode; when on, timings accumulate in a
+        # local dict and merge into the profile once per call.  Values are
+        # never touched either way — the bit-exactness contract holds.
+        tel = get_telemetry()
+        prof: dict[str, list] | None = None
+        if tel.enabled and tel.profiling:
+            prof = {"luts": [0, 0], "plane": [0, 0], "scale": [0, 0],
+                    "offset": [0, 0]}
+        t_op = 0
+
         luts = None
         partials: list[np.ndarray | None] = [None] * len(self.passes)
+        if prof is not None:
+            t_op = time.perf_counter_ns()
         for op in self.instructions:
             kind = op[0]
             if kind == "luts":
@@ -206,11 +221,77 @@ class CompiledProgram:
                 # group-sum op of all three executors.
                 group_sum = x[start:stop, :].sum(axis=0, keepdims=True)  # repro: noqa reassociating-reduction
                 y += self.offsets[:, op[1]][:, None] * group_sum
+            if prof is not None:
+                # Chained stamps: one clock read per instruction (each op's
+                # end is the next one's start), not two.
+                now = time.perf_counter_ns()
+                entry = prof[kind]
+                entry[0] += 1
+                entry[1] += now - t_op
+                t_op = now
+        if prof is not None:
+            # Every execute() runs the whole static instruction list, so the
+            # bytes-touched rollup per opcode is a constant of (batch,
+            # accumulator width) — computed once and cached, keeping the
+            # per-instruction cost above to two clock reads.
+            nbytes = self._profile_bytes(batch, acc_dtype.itemsize)
+            tel.profile.update({f"program.{kind}": (e[0], e[1] / 1e9,
+                                                    nbytes.get(kind, 0))
+                                for kind, e in prof.items() if e[0]})
 
         stats = self.stats(batch)
         if squeeze:
             return y[:, 0], stats
         return y, stats
+
+    def _profile_bytes(self, batch: int, acc_itemsize: int) -> dict[str, int]:
+        """Per-opcode bytes-touched totals for one full program run, cached.
+
+        The cache lives on the (frozen) instance via ``object.__setattr__``;
+        it is not a dataclass field, so equality/serialization of compiled
+        programs are unaffected.
+        """
+        cache = getattr(self, "_profile_bytes_cache", None)
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_profile_bytes_cache", cache)
+        key = (batch, acc_itemsize)
+        totals = cache.get(key)
+        if totals is None:
+            totals = {}
+            for op in self.instructions:
+                totals[op[0]] = (totals.get(op[0], 0)
+                                 + self._op_bytes(op[0], op, batch,
+                                                  acc_itemsize))
+            cache[key] = totals
+        return totals
+
+    def _op_bytes(self, kind: str, op: tuple, batch: int,
+                  acc_itemsize: int) -> int:
+        """Bytes-touched estimate of one instruction (profiling rollups).
+
+        Counts the dominant array traffic of each opcode — activation
+        gathers, key matrices, LUT tables, partial/output updates — from
+        the program's static shapes; integer arithmetic only.
+        """
+        if kind == "luts":
+            # µ-column activation gather in + every segment's table out.
+            return (self.num_slots * self.mu * batch * 8
+                    + self.num_slots * batch * (1 << self.mu) * acc_itemsize)
+        if kind == "plane":
+            # Key matrix + the gathered LUT values + the partial updates.
+            pp = self.passes[op[1]]
+            rows = pp.keys.shape[1]
+            return (pp.keys.nbytes
+                    + 2 * self.num_slots * rows * batch * acc_itemsize)
+        if kind == "scale":
+            # α·partial read + y scatter update (both float64).
+            pp = self.passes[op[2]]
+            rows = pp.keys.shape[1]
+            return 2 * rows * batch * 8
+        # "offset": group-sum read + dense y update.
+        start, stop = self.offset_slices[op[1]]
+        return (stop - start) * batch * 8 + self.m * batch * 8
 
     def _run_plane(self, pp: PlanePass, luts: np.ndarray,
                    acc_dtype: np.dtype) -> np.ndarray:

@@ -325,6 +325,17 @@ class PagePoolCounters:
     lookup_hit_pages: int = 0    # registry hits during prefix walks
     lookup_misses: int = 0       # prefix walks that ended on a miss
 
+    @property
+    def prefix_hit_rate(self) -> float:
+        """Fraction of prefix-walk page lookups that hit the registry.
+
+        Page-granular (one sample per page-chain step), unlike the
+        token-granular :attr:`~repro.serve.scheduler.DecodeMetrics.
+        prefix_hit_rate`; 0.0 before any lookup happened.
+        """
+        total = self.lookup_hit_pages + self.lookup_misses
+        return self.lookup_hit_pages / total if total else 0.0
+
 
 class PagePool:
     """A shared pool of fixed-size K/V pages with content-addressed reuse.

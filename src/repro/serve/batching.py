@@ -19,9 +19,12 @@ machinery batches raw GEMM rows in tests and token sequences in
 from __future__ import annotations
 
 import asyncio
+import time
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 from typing import Any
+
+from repro.telemetry import get_telemetry
 
 __all__ = ["BatchPolicy", "BatcherStats", "AsyncBatcher"]
 
@@ -107,7 +110,15 @@ class AsyncBatcher:
         elif self._timer is None:
             self._timer = loop.call_later(self.policy.max_wait_us / 1e6,
                                           self._dispatch, loop)
-        return await future
+        tel = get_telemetry()
+        if not tel.enabled:
+            return await future
+        queued = len(self._pending)
+        t0_ns = time.perf_counter_ns()
+        result = await future
+        tel.trace.record("batcher.wait", t0_ns, time.perf_counter_ns(),
+                         queue_depth=queued)
+        return result
 
     def _dispatch(self, loop: asyncio.AbstractEventLoop) -> None:
         if self._timer is not None:

@@ -62,6 +62,7 @@ from repro.models.transformer import (
     PagedKVCache,
     PagePool,
 )
+from repro.telemetry import get_telemetry
 
 __all__ = ["CacheConfig", "DecodeMetrics", "DecodeScheduler", "SequenceState"]
 
@@ -196,6 +197,7 @@ class SequenceState:
     error: BaseException | None = None
     shared_tokens: int = 0               # prompt tokens served from shared pages
     _max_pages: int = 0                  # worst-case page span (reservation)
+    _submitted_ns: int = 0               # perf_counter_ns at submit (telemetry)
 
     @property
     def done(self) -> bool:
@@ -286,7 +288,8 @@ class DecodeScheduler:
         with self._lock:
             seq = SequenceState(request_id=self._next_id, prompt=arr,
                                 max_new_tokens=max_new_tokens,
-                                eos_token=eos_token, on_token=on_token)
+                                eos_token=eos_token, on_token=on_token,
+                                _submitted_ns=time.perf_counter_ns())
             self._next_id += 1
             self._waiting.append(seq)
             self.metrics.requests += 1
@@ -301,6 +304,11 @@ class DecodeScheduler:
     def num_active(self) -> int:
         with self._lock:
             return len(self._active)
+
+    @property
+    def num_waiting(self) -> int:
+        with self._lock:
+            return len(self._waiting)
 
     def cancel(self, seq: SequenceState) -> None:
         """Abandon a request (thread-safe, idempotent).
@@ -395,20 +403,32 @@ class DecodeScheduler:
         """
         if self.pool is not None:
             return self._admit_paged()
+        tel = get_telemetry()
+        t_adm = time.perf_counter_ns() if tel.enabled else 0
         with self._lock:
             admitted: list[SequenceState] = []
             while self._waiting and len(self._active) + len(admitted) < self.max_active:
                 admitted.append(self._waiting.popleft())
         if not admitted:
             return []
+        if tel.enabled:
+            now = time.perf_counter_ns()
+            for seq in admitted:
+                tel.trace.record("request.queue", seq._submitted_ns, now,
+                                 request_id=seq.request_id)
 
         lens = np.array([s.prompt.size for s in admitted], dtype=np.int64)
         width = int(lens.max())
         stacked = np.zeros((len(admitted), width), dtype=np.int64)
         for i, seq in enumerate(admitted):
             stacked[i, : seq.prompt.size] = seq.prompt
+        t_pf = time.perf_counter_ns() if tel.enabled else 0
         logits, cache, stats = self.qlm.prefill(stacked, num_valid=lens,
                                                 gemm=self._gemm)
+        if tel.enabled:
+            tel.trace.record("scheduler.prefill", t_pf, time.perf_counter_ns(),
+                             request_ids=[s.request_id for s in admitted],
+                             prefill_tokens=int(lens.sum()))
         with self._lock:
             self.metrics.mpu_stats = self.metrics.mpu_stats.merge(stats)
             self.metrics.admissions += 1
@@ -427,12 +447,19 @@ class DecodeScheduler:
                 self._cache = rows if self._cache is None \
                     else KVCache.concat([self._cache, rows])
                 self._active.extend(admitted[i] for i in survivors)
+        if tel.enabled:
+            tel.trace.record("scheduler.admission", t_adm,
+                             time.perf_counter_ns(),
+                             request_ids=[s.request_id for s in admitted],
+                             prefill_tokens=int(lens.sum()))
         return finished
 
     def _admit_paged(self) -> list[SequenceState]:
         pool = self.pool
         capacity = self.cache_config.capacity
         sharing = self.cache_config.prefix_sharing
+        tel = get_telemetry()
+        t_adm = time.perf_counter_ns() if tel.enabled else 0
         admitted: list[SequenceState] = []
         rowspecs: list[tuple[list[int], int, int]] = []
         finished: list[SequenceState] = []
@@ -467,6 +494,11 @@ class DecodeScheduler:
                 with self._lock:
                     self._waiting.appendleft(seq)
                     self.metrics.backpressure_events += 1
+                if tel.enabled:
+                    tel.instant("scheduler.backpressure",
+                                request_id=seq.request_id,
+                                free_pages=pool.num_free,
+                                needed_pages=(max_pages - len(pages)) + growth)
                 break
             seq._max_pages = max_pages
             seq.shared_tokens = matched
@@ -474,6 +506,11 @@ class DecodeScheduler:
             rowspecs.append((pages, key, matched))
         if not admitted:
             return finished
+        if tel.enabled:
+            now = time.perf_counter_ns()
+            for seq in admitted:
+                tel.trace.record("request.queue", seq._submitted_ns, now,
+                                 request_id=seq.request_id)
 
         while admitted:
             cache = self.model.init_paged_cache(0, pool, capacity=capacity)
@@ -487,6 +524,7 @@ class DecodeScheduler:
                                dtype=np.int64)
             for i, seq in enumerate(admitted):
                 stacked[i, : suffix[i]] = seq.prompt[shared[i]:]
+            t_pf = time.perf_counter_ns() if tel.enabled else 0
             try:
                 logits, cache, stats = self.qlm.prefill(
                     stacked, num_valid=suffix, cache=cache, gemm=self._gemm)
@@ -503,6 +541,12 @@ class DecodeScheduler:
                 admitted = [admitted[i] for i in keep]
                 rowspecs = [rowspecs[i] for i in keep]
                 continue
+            if tel.enabled:
+                tel.trace.record("scheduler.prefill", t_pf,
+                                 time.perf_counter_ns(),
+                                 request_ids=[s.request_id for s in admitted],
+                                 prefill_tokens=int(suffix.sum()),
+                                 prefix_hit_tokens=int(shared.sum()))
             break
         for pages, _, _ in rowspecs:
             pool.release(pages)  # map_prefix's reference; the cache holds its own
@@ -531,6 +575,12 @@ class DecodeScheduler:
             else:
                 self._cache.extend(cache)
             self._active.extend(survivors)
+        if tel.enabled:
+            tel.trace.record("scheduler.admission", t_adm,
+                             time.perf_counter_ns(),
+                             request_ids=[s.request_id for s in admitted],
+                             prefill_tokens=int(suffix.sum()),
+                             prefix_hit_tokens=int(shared.sum()))
         return finished
 
     def audit_cache(self) -> None:
@@ -556,8 +606,10 @@ class DecodeScheduler:
         call when idle (returns ``[]``).  With ``debug_audit`` (or
         ``REPRO_VERIFY=1``) the pool auditor runs after the iteration.
         """
+        tel = get_telemetry()
         t0 = time.perf_counter()
         finished = self._admit()
+        t_admit = time.perf_counter()
 
         with self._lock:
             # Compact cancelled sequences out before the stacked pass so they
@@ -568,6 +620,7 @@ class DecodeScheduler:
             last = np.array([[seq.generated[-1]] for seq in active],
                             dtype=np.int64)
             it0 = time.perf_counter()
+            it0_ns = time.perf_counter_ns() if tel.enabled else 0
             try:
                 logits, stats = self.qlm.decode_step(last, self._cache,
                                                      gemm=self._gemm)
@@ -581,11 +634,24 @@ class DecodeScheduler:
                     self._compact_locked()
                     self.metrics.busy_s += time.perf_counter() - t0
                     self.metrics.finished += len(finished)
+                if tel.enabled:
+                    self._record_departures(tel, finished)
                 if self.debug_audit:
                     self.audit_cache()
                 return finished
+            step_s = time.perf_counter() - it0
+            if tel.enabled:
+                tel.trace.record("decode.iteration", it0_ns,
+                                 time.perf_counter_ns(),
+                                 request_ids=[s.request_id for s in active])
+                tel.metrics.histogram(
+                    "decode_token_latency_seconds",
+                    help="stacked decode-step latency (one token per "
+                         "in-flight sequence per step)").observe(step_s)
+                if tel.profiling:
+                    tel.profile.record("scheduler.decode", step_s)
             with self._lock:
-                self.metrics.step_latencies_s.append(time.perf_counter() - it0)
+                self.metrics.step_latencies_s.append(step_s)
                 self.metrics.mpu_stats = self.metrics.mpu_stats.merge(stats)
                 self.metrics.iterations += 1
                 self.metrics.decode_tokens += len(active)
@@ -600,9 +666,27 @@ class DecodeScheduler:
         with self._lock:
             self.metrics.busy_s += time.perf_counter() - t0
             self.metrics.finished += len(finished)
+        if tel.enabled:
+            if tel.profiling:
+                tel.profile.record("scheduler.admit", t_admit - t0)
+            self._record_departures(tel, finished)
         if self.debug_audit:
             self.audit_cache()
         return finished
+
+    def _record_departures(self, tel, finished: list[SequenceState]) -> None:
+        """Close each finished request's lifecycle span (telemetry only)."""
+        if not finished:
+            return
+        now = time.perf_counter_ns()
+        for seq in finished:
+            tel.trace.record("request.lifecycle", seq._submitted_ns, now,
+                             request_id=seq.request_id,
+                             finish_reason=seq.finish_reason,
+                             generated_tokens=len(seq.generated),
+                             shared_tokens=seq.shared_tokens)
+            tel.instant("request.departure", request_id=seq.request_id,
+                        finish_reason=seq.finish_reason)
 
     def run_until_idle(self) -> list[SequenceState]:
         """Drive :meth:`step` until no work remains (inline driver)."""

@@ -48,6 +48,8 @@ from repro.models.quantized_model import GenerationResult, QuantizedLM
 from repro.serve.batching import AsyncBatcher, BatchPolicy
 from repro.serve.scheduler import LATENCY_WINDOW, CacheConfig, DecodeScheduler
 from repro.serve.workers import ShardedMPUPool
+from repro.telemetry import Telemetry, get_telemetry
+from repro.telemetry.adapters import bind_server
 
 __all__ = ["InferenceResult", "GeneratedSequence", "ServerMetrics",
            "InferenceServer"]
@@ -194,6 +196,22 @@ class InferenceServer:
         self._lock = threading.Lock()
         self._next_id = 0
         self._pump_task: asyncio.Task | None = None
+        if get_telemetry().enabled:
+            self.bind_telemetry()
+
+    def bind_telemetry(self, telemetry: Telemetry | None = None) -> None:
+        """Export this stack's live metrics through a telemetry registry.
+
+        Binds callback gauges (queue depth, active/waiting requests,
+        page-pool occupancy, prefix hit rate, per-shard plan-exact
+        utilization, the four struct adapters) into ``telemetry.metrics``
+        — the active handle by default.  Runs automatically at
+        construction when telemetry is already enabled; call it manually
+        after enabling a handle for an existing server.  Idempotent:
+        re-binding replaces the callbacks in place.
+        """
+        tel = telemetry if telemetry is not None else get_telemetry()
+        bind_server(tel.metrics, self)
 
     # -- the sharded forward path -----------------------------------------
     def _metered_gemm(self, name: str,
@@ -251,9 +269,15 @@ class InferenceServer:
             self._next_id += 1
             if self.metrics.started_at is None:
                 self.metrics.started_at = time.perf_counter()
+        tel = get_telemetry()
         t0 = time.perf_counter()
+        t0_ns = time.perf_counter_ns() if tel.enabled else 0
         logits, batch_size = await self.batcher.submit(arr)
         latency = time.perf_counter() - t0
+        if tel.enabled:
+            tel.trace.record("server.submit", t0_ns, time.perf_counter_ns(),
+                             request_id=request_id, batch_size=batch_size,
+                             tokens=arr.size)
         with self._lock:
             self.metrics.requests += 1
             self.metrics.latencies_s.append(latency)
@@ -310,7 +334,9 @@ class InferenceServer:
         arr = self._check_request(tokens)
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
+        tel = get_telemetry()
         t0 = time.perf_counter()
+        t0_ns = time.perf_counter_ns() if tel.enabled else 0
 
         def on_token(seq, token, done):
             if done:
@@ -328,6 +354,12 @@ class InferenceServer:
         if finished.error is not None:
             raise finished.error
         latency = time.perf_counter() - t0
+        if tel.enabled:
+            tel.trace.record("server.submit_generate", t0_ns,
+                             time.perf_counter_ns(),
+                             request_id=finished.request_id,
+                             finish_reason=finished.finish_reason,
+                             generated_tokens=len(finished.generated))
         self.scheduler.metrics.request_latencies_s.append(latency)
         return GeneratedSequence(request_id=finished.request_id, prompt=arr,
                                  tokens=finished.tokens,
@@ -346,7 +378,9 @@ class InferenceServer:
         arr = self._check_request(tokens)
         loop = asyncio.get_running_loop()
         queue: asyncio.Queue[tuple[int | None, bool]] = asyncio.Queue()
+        tel = get_telemetry()
         t0 = time.perf_counter()
+        t0_ns = time.perf_counter_ns() if tel.enabled else 0
 
         def on_token(seq, token, done):
             item = (None if token is None else int(token), bool(done))
@@ -366,6 +400,11 @@ class InferenceServer:
             self.scheduler.cancel(seq)  # no-op if the request finished
         if seq.error is not None:
             raise seq.error
+        if tel.enabled:
+            tel.trace.record("server.stream_generate", t0_ns,
+                             time.perf_counter_ns(),
+                             request_id=seq.request_id,
+                             finish_reason=seq.finish_reason)
         self.scheduler.metrics.request_latencies_s.append(
             time.perf_counter() - t0)
 

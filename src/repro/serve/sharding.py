@@ -48,7 +48,8 @@ from repro.core.dataflow import PlanShard, TileExecutionPlan
 from repro.core.mpu import MPUConfig, MPURunStats
 from repro.core.program import CompiledProgram, compile_plan
 
-__all__ = ["shard_plan", "compile_shard_programs", "merge_shard_outputs"]
+__all__ = ["shard_plan", "compile_shard_programs", "merge_shard_outputs",
+           "pool_shard_costs"]
 
 
 def _lpt_partition(costs: Sequence[int], num_shards: int) -> list[list[int]]:
@@ -210,3 +211,22 @@ def merge_shard_outputs(shards: Sequence[PlanShard],
             raise ValueError("segment shard outputs disagree on shape")
         y += out
     return y, stats
+
+
+def pool_shard_costs(shards_by_layer: dict[str, Sequence[PlanShard]],
+                     mpu, num_workers: int) -> list[float]:
+    """Plan-exact modelled cost per worker of a sharded pool.
+
+    Worker ``w``'s cost is its analytic batch-1
+    :meth:`~repro.core.mpu.MatrixProcessingUnit.shard_stats` cycles summed
+    across every layer shard it pins — exactly the quantity the LPT
+    partition balanced, so ``costs[w] / max(costs)`` is the worker's
+    plan-exact utilization (what the telemetry adapter exports as
+    ``pool_shard_utilization``).  Workers beyond a layer's shard count
+    simply contribute nothing for that layer.
+    """
+    costs = [0.0] * num_workers
+    for shards in shards_by_layer.values():
+        for w, shard in enumerate(shards):
+            costs[w] += float(mpu.shard_stats(shard, 1).cycles)
+    return costs

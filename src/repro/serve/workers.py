@@ -44,6 +44,7 @@ from __future__ import annotations
 
 import multiprocessing
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
@@ -54,6 +55,7 @@ from repro.core.mpu import MatrixProcessingUnit, MPUConfig, MPURunStats, Prepare
 from repro.core.program import CompiledProgram, compile_plan
 from repro.quant.bcq import BCQTensor
 from repro.serve.sharding import merge_shard_outputs, shard_plan
+from repro.telemetry import get_telemetry
 
 __all__ = ["ShardedMPUPool"]
 
@@ -406,24 +408,57 @@ class ShardedMPUPool:
         if name not in self.plans:
             raise KeyError(f"{name!r} is not a pooled layer")
         shards = self.shards[name]
+        tel = get_telemetry()
+        if not tel.enabled:
+            return merge_shard_outputs(
+                shards, self._dispatch(name, shards, activations))
+        with tel.trace.span("pool.gemm", layer=name, backend=self.backend,
+                            shards=len(shards)):
+            results = self._dispatch(name, shards, activations)
+            with tel.trace.span("pool.merge", layer=name):
+                return merge_shard_outputs(shards, results)
+
+    def _dispatch(self, name: str, shards: list[PlanShard],
+                  activations: np.ndarray) -> list[tuple[np.ndarray, MPURunStats]]:
+        """Run every shard of one layer through the backend, shard order."""
         if self.backend == "process":
+            tel = get_telemetry()
+            t0 = time.perf_counter_ns() if tel.enabled else 0
             with self._proc_lock:
                 for w in range(len(shards)):
                     self._procs[w].submit(name, activations)
-                results = [self._procs[w].collect() for w in range(len(shards))]
-        elif self.backend == "thread":
+                results = []
+                for w in range(len(shards)):
+                    results.append(self._procs[w].collect())
+                    if tel.enabled:
+                        # Round-trip as the parent sees it: fan-out submit
+                        # to this worker's collect (the child runs in its
+                        # own process with its own disabled telemetry).
+                        tel.trace.record("pool.shard", t0,
+                                         time.perf_counter_ns(),
+                                         layer=name, shard=w,
+                                         backend="process")
+            return results
+        if self.backend == "thread":
             futures = [
-                self._executor.submit(self._pinned[w][name].run, self.mpu,
-                                      activations, self.accumulate_dtype,
-                                      self.executor)
+                self._executor.submit(self._run_shard, w, name, activations)
                 for w in range(len(shards))]
-            results = [f.result() for f in futures]
-        else:
-            results = [self._pinned[w][name].run(self.mpu, activations,
-                                                 self.accumulate_dtype,
-                                                 self.executor)
-                       for w in range(len(shards))]
-        return merge_shard_outputs(shards, results)
+            return [f.result() for f in futures]
+        return [self._run_shard(w, name, activations)
+                for w in range(len(shards))]
+
+    def _run_shard(self, w: int, name: str, activations: np.ndarray
+                   ) -> tuple[np.ndarray, MPURunStats]:
+        """One worker's pinned-shard execution (serial/thread backends)."""
+        pinned = self._pinned[w][name]
+        tel = get_telemetry()
+        if not tel.enabled:
+            return pinned.run(self.mpu, activations, self.accumulate_dtype,
+                              self.executor)
+        with tel.trace.span("pool.shard", layer=name, shard=w,
+                            axis=pinned.shard.axis, backend=self.backend):
+            return pinned.run(self.mpu, activations, self.accumulate_dtype,
+                              self.executor)
 
     # -- lifecycle ---------------------------------------------------------
     def close(self) -> None:

@@ -21,6 +21,7 @@ from repro.analysis.rules.concurrency import (
     UnlockedSharedStateRule,
 )
 from repro.analysis.rules.hygiene import MutableDefaultArgRule
+from repro.analysis.rules.timing import WallClockInServeRule
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 SRC = REPO_ROOT / "src"
@@ -290,6 +291,60 @@ class TestMutableDefaultArg:
         assert lint_source(src, rules=[MutableDefaultArgRule()]) == []
 
 
+class TestWallClockInServe:
+    SERVE_PATH = "src/repro/serve/example.py"
+
+    def test_flags_time_time_under_serve(self):
+        src = dedent("""\
+            import time
+
+            def latency():
+                return time.time()
+        """)
+        findings = lint_source(src, path=self.SERVE_PATH,
+                               rules=[WallClockInServeRule()])
+        assert [f.line for f in findings] == [4]
+
+    def test_flags_bare_time_and_datetime_now(self):
+        src = dedent("""\
+            from time import time
+            from datetime import datetime
+            import datetime as dt
+
+            def stamp():
+                return time(), datetime.now(), dt.datetime.utcnow()
+        """)
+        findings = lint_source(src, path="src/repro/telemetry/example.py",
+                               rules=[WallClockInServeRule()])
+        assert len(findings) == 3
+
+    def test_monotonic_clocks_are_fine(self):
+        src = dedent("""\
+            import time
+
+            def latency():
+                return time.perf_counter(), time.perf_counter_ns(), time.monotonic()
+        """)
+        assert lint_source(src, path=self.SERVE_PATH,
+                           rules=[WallClockInServeRule()]) == []
+
+    def test_other_packages_are_out_of_jurisdiction(self):
+        src = "import time\n\nstamp = time.time()\n"
+        assert lint_source(src, path="scripts/bench.py",
+                           rules=[WallClockInServeRule()]) == []
+        assert lint_source(src, path="src/repro/core/mpu.py",
+                           rules=[WallClockInServeRule()]) == []
+
+    def test_aware_datetime_now_still_flagged_but_bare_name_time_is_not(self):
+        # `time` as a variable (not `from time import time`) must not trip.
+        src = dedent("""\
+            def f(time):
+                return time()
+        """)
+        assert lint_source(src, path=self.SERVE_PATH,
+                           rules=[WallClockInServeRule()]) == []
+
+
 class TestRepoLintState:
     """Pin the repo's own lint state so regressions fail loudly."""
 
@@ -329,6 +384,7 @@ class TestRepoLintState:
             "lock-across-await",
             "unlocked-shared-state",
             "mutable-default-argument",
+            "wall-clock-in-serve",
         }
 
     def test_bit_exact_modules_are_marked(self):
