@@ -125,6 +125,6 @@ def test_telemetry_overhead_within_budget(benchmark):
                  data["enabled_ratio"], floor=ENABLED_RATIO_FLOOR)
     assert data["tokens_match"], "telemetry changed the generated tokens"
     assert data["traced_events"] > 0, "enabled run recorded no spans"
-    assert "program.luts" in data["profiled_ops"]
+    assert "program.fused.luts" in data["profiled_ops"]
     assert data["disabled_speedup"] > DISABLED_SPEEDUP_FLOOR
     assert data["enabled_ratio"] > ENABLED_RATIO_FLOOR

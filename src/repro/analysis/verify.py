@@ -24,6 +24,10 @@ Plan (:func:`verify_plan`):
 
 Program (:func:`verify_program`):
 
+``program-tier``            tier is a known lowering; the ``dense``
+                            matrix exists exactly on the relaxed tier
+                            (shape ``(m, n)`` float64, LUT-path buffers
+                            empty there); ``gather_budget >= 1``.
 ``program-geometry``        slot count, buffer shapes, dtypes.
 ``lut-cols-bounds``         gather indices in ``[0, n]`` (``n`` = sentinel).
 ``lut-cols-layout``         per segment block: non-sentinel indices form
@@ -40,10 +44,20 @@ Program (:func:`verify_program`):
 ``scales-shape``            α matrix is ``(num_segments, rows_p)``.
 ``offset-slices``           offset column spans valid, ascending,
                             disjoint; one offset column per span.
-``instruction-order``       the instruction list is exactly the
-                            interpreter's replay order (LUTs, planes
-                            ascending, scale updates segments-ascending /
-                            planes-innermost, offsets ascending).
+``instruction-order``       the instruction list is exactly the tier's
+                            replay order: fused = LUTs, ``("plane", p)``
+                            passes ascending, the full scale tail,
+                            offsets; blocked = LUTs, then per segment
+                            range every plane's ``("plane_block", p, lo,
+                            hi)`` followed by that range's scale updates
+                            (segments-ascending / planes-innermost
+                            throughout), offsets ascending; a relaxed
+                            program is the single ``("matmul",)``.
+``plane-block-coverage``    blocked tier only: the shared segment-range
+                            walk is non-empty, ascending, contiguous, and
+                            covers ``[0, num_segments)`` exactly — every
+                            segment's partial is produced once, in the
+                            interpreter's segment order.
 ``affine-stats``            baked ``(intercept, slope)`` integer pairs,
                             non-negative — and equal to the analytic
                             ``stats_from_plan``/``shard_stats`` at a
@@ -219,19 +233,82 @@ def verify_plan(plan: TileExecutionPlan) -> None:
 # Programs
 # ---------------------------------------------------------------------------
 
-def _expected_instructions(program: CompiledProgram) -> tuple[tuple, ...]:
-    """The interpreter's replay order for this program's dimensions."""
-    ops: list[tuple] = []
-    if program.num_slots and program.passes:
-        ops.append(("luts",))
-        for p in range(len(program.passes)):
-            ops.append(("plane", p))
-        for s in range(program.num_segments):
-            for p in range(len(program.passes)):
-                ops.append(("scale", s, p))
-    for k in range(len(program.offset_slices)):
-        ops.append(("offset", k))
-    return tuple(ops)
+_PROGRAM_TIERS = ("fused", "blocked", "relaxed")
+
+
+def _check_instructions(program: CompiledProgram) -> None:
+    """Pin the instruction list to the program tier's replay order.
+
+    A fused program is exactly LUTs, one ``("plane", p)`` per pass, the
+    scale tail segments-ascending/planes-innermost, offsets.  A blocked
+    program walks one shared segment-range sequence — boundaries depend on
+    the compile-time gather budget, so the verifier first checks their
+    *coverage* (non-empty, ascending, contiguous, complete), then pins the
+    whole interleaved list: each range emits every plane's ``("plane_block",
+    p, lo, hi)`` followed by that range's scale ops in the interpreter's
+    order.  A relaxed program is exactly the single ``("matmul",)``.
+    """
+    if program.tier == "relaxed":
+        if program.instructions != (("matmul",),):
+            _prog_fail("instruction-order",
+                       "a relaxed program must be the single ('matmul',) "
+                       f"instruction; got {program.instructions[:4]}")
+        return
+
+    num_planes = len(program.passes)
+    offset_ops = [("offset", k) for k in range(len(program.offset_slices))]
+    ops = list(program.instructions)
+    if not (program.num_slots and program.passes):
+        if ops != offset_ops:
+            _prog_fail("instruction-order",
+                       "an empty-slot program must hold only its offset "
+                       f"instructions; got {ops[:4]}")
+        return
+
+    if program.tier == "fused":
+        expected = [("luts",)]
+        expected += [("plane", p) for p in range(num_planes)]
+        expected += [("scale", s, p) for s in range(program.num_segments)
+                     for p in range(num_planes)]
+        expected += offset_ops
+        if ops != expected:
+            _prog_fail("instruction-order",
+                       "fused instruction list is not the interpreter's "
+                       "replay order (LUTs, plane passes ascending, scale "
+                       "updates segments-ascending/planes-innermost, "
+                       f"offsets ascending); got {ops[:6]}...")
+        return
+
+    # Blocked: the shared range walk is pinned by plane 0's blocks — they
+    # must be non-empty, ascending, contiguous, covering [0, num_segments)
+    # exactly, so every segment's partial is produced once, in order.
+    bounds = [(op[2], op[3]) for op in ops
+              if op[:2] == ("plane_block", 0) and len(op) == 4]
+    cursor = 0
+    for lo, hi in bounds:
+        if lo != cursor or not lo < hi <= program.num_segments:
+            _prog_fail("plane-block-coverage",
+                       f"block [{lo}, {hi}) breaks the segment walk at "
+                       f"{cursor}: blocks must be non-empty, ascending and "
+                       "contiguous")
+        cursor = hi
+    if cursor != program.num_segments:
+        _prog_fail("plane-block-coverage",
+                   f"plane blocks end at segment {cursor}; they must cover "
+                   f"all {program.num_segments} segments")
+    expected = [("luts",)]
+    for lo, hi in bounds:
+        expected += [("plane_block", p, lo, hi) for p in range(num_planes)]
+        expected += [("scale", s, p) for s in range(lo, hi)
+                     for p in range(num_planes)]
+    expected += offset_ops
+    if ops != expected:
+        _prog_fail("instruction-order",
+                   "blocked instruction list is not the interleaved replay "
+                   "order (LUTs, then per segment range every plane's "
+                   "plane_block followed by the range's scale updates "
+                   "segments-ascending/planes-innermost, offsets "
+                   f"ascending); got {ops[:6]}...")
 
 
 def _segment_blocks(program: CompiledProgram):
@@ -257,6 +334,30 @@ def verify_program(program: CompiledProgram,
     Raises :class:`ProgramInvariantError` naming the violated invariant.
     """
     m, n, mu = program.m, program.n, program.mu
+
+    # -- tier --------------------------------------------------------------
+    if program.tier not in _PROGRAM_TIERS:
+        _prog_fail("program-tier",
+                   f"unknown lowering tier {program.tier!r}; expected one "
+                   f"of {_PROGRAM_TIERS}")
+    if program.gather_budget < 1:
+        _prog_fail("program-tier",
+                   f"gather_budget must be >= 1, got {program.gather_budget}")
+    if (program.dense is not None) != (program.tier == "relaxed"):
+        _prog_fail("program-tier",
+                   f"the dense matrix must exist exactly on the relaxed "
+                   f"tier; tier={program.tier!r}, dense "
+                   f"{'present' if program.dense is not None else 'absent'}")
+    if program.tier == "relaxed":
+        if program.dense.shape != (m, n) or \
+                program.dense.dtype != np.float64:
+            _prog_fail("program-tier",
+                       f"relaxed dense matrix must be float64 ({m}, {n}); "
+                       f"got {program.dense.dtype} {program.dense.shape}")
+        if program.passes or program.num_slots or program.offset_slices:
+            _prog_fail("program-tier",
+                       "a relaxed program bakes everything into dense: "
+                       "LUT-path buffers must be empty")
 
     # -- geometry ----------------------------------------------------------
     if m < 0 or n < 0 or mu < 1:
@@ -373,14 +474,7 @@ def verify_program(program: CompiledProgram,
         prev_stop = stop
 
     # -- instruction list --------------------------------------------------
-    expected = _expected_instructions(program)
-    if program.instructions != expected:
-        _prog_fail("instruction-order",
-                   "instruction list is not the interpreter's replay order "
-                   "(LUTs, planes ascending, scale updates "
-                   "segments-ascending/planes-innermost, offsets ascending); "
-                   f"got {program.instructions[:6]}... expected "
-                   f"{expected[:6]}...")
+    _check_instructions(program)
 
     # -- affine stats ------------------------------------------------------
     num_counters = len(fields(MPURunStats))
@@ -416,6 +510,13 @@ def verify_program(program: CompiledProgram,
             _prog_fail("program-geometry",
                        f"program is ({m}, {n}, µ={mu}) but plan is "
                        f"({plan.m}, {plan.n}, µ={plan.mu})")
+
+    if program.tier == "relaxed":
+        # The dense matrix bakes the whole LUT/scale/offset structure, so
+        # the only plan-pinned contracts left are the shape (checked above)
+        # and the baked affine stats (checked below).
+        _check_affine_stats_vs_plan(program, stats_fn)
+        return
 
     if program.num_segments != len(segments):
         _prog_fail("segment-cols-match",
@@ -472,9 +573,13 @@ def verify_program(program: CompiledProgram,
                    f"offset spans {program.offset_slices} do not match the "
                    f"owned scale groups {owned} (group_size={group_size})")
 
-    # Affine stats vs the analytic counters at a symbolic batch: both
-    # sides are affine in the batch, so agreement at 0 and 1 is agreement
-    # at every batch.
+    _check_affine_stats_vs_plan(program, stats_fn)
+
+
+def _check_affine_stats_vs_plan(program: CompiledProgram, stats_fn) -> None:
+    """Baked stats vs the analytic counters at a symbolic batch: both
+    sides are affine in the batch, so agreement at 0 and 1 is agreement
+    at every batch."""
     for batch in (0, 1):
         analytic = stats_fn(batch)
         baked = program.stats(batch)

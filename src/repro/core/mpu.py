@@ -122,6 +122,13 @@ class MPUConfig:
         RACs per PE; each PE column produces k output channels.
     use_half_lut:
         Model the hFFLUT (half-size LUT + sign-flip decoder).
+    gather_budget:
+        Elements per gather buffer before the compiled executor chunks its
+        work (batch columns on the fused tier, segment blocks on the
+        blocked tier).  ``None`` defers to the ``REPRO_GATHER_BUDGET``
+        environment variable, then to the compiler default
+        (:data:`repro.core.program._GATHER_BUDGET`).  Chunking is exact —
+        the budget bounds peak memory, never the numerics.
     """
 
     pe_rows: int = 16
@@ -129,11 +136,14 @@ class MPUConfig:
     mu: int = 4
     k: int = 32
     use_half_lut: bool = True
+    gather_budget: int | None = None
 
     def __post_init__(self) -> None:
         for name in ("pe_rows", "pe_cols", "mu", "k"):
             if getattr(self, name) < 1:
                 raise ValueError(f"{name} must be >= 1")
+        if self.gather_budget is not None and self.gather_budget < 1:
+            raise ValueError("gather_budget must be >= 1")
 
     @property
     def tile_n(self) -> int:
@@ -209,6 +219,11 @@ class PreparedWeights:
         The plan lowered to a flat :class:`~repro.core.program.
         CompiledProgram` (reusing these key matrices), the default executor
         for every :meth:`MatrixProcessingUnit.gemm` on prepared weights.
+    tier:
+        The lowering tier the embedded program was compiled to
+        (``"fused"``, ``"blocked"`` or ``"relaxed"``) — what
+        :meth:`MatrixProcessingUnit.prepare` resolved ``tier="auto"`` to,
+        recorded so serving layers can report which kernel a layer runs.
     """
 
     weights: BCQTensor
@@ -217,6 +232,7 @@ class PreparedWeights:
     active_rows: tuple[np.ndarray, ...] | None
     max_planes: int
     program: object | None = None
+    tier: str = "fused"
 
 
 class MatrixProcessingUnit:
@@ -355,7 +371,9 @@ class MatrixProcessingUnit:
 
     # -- weight-stationary preparation -------------------------------------
     def prepare(self, weights: BCQTensor,
-                plan: TileExecutionPlan | None = None) -> PreparedWeights:
+                plan: TileExecutionPlan | None = None,
+                tier: str = "auto", batch_hint: int | None = None,
+                allow_reassociation: bool = False) -> PreparedWeights:
         """Precompute the per-(segment, plane) RAC key matrices for serving.
 
         A weight-stationary worker latches the weight tile's µ-bit patterns
@@ -370,7 +388,10 @@ class MatrixProcessingUnit:
         :class:`~repro.core.program.CompiledProgram` (reusing the packed
         keys), which :meth:`gemm` executes by default, and hoists the
         per-plane active-row derivation of mixed tensors out of the
-        per-call path.
+        per-call path.  ``tier`` / ``batch_hint`` / ``allow_reassociation``
+        pass through to :func:`~repro.core.program.compile_plan`'s
+        working-set-aware lowering selection; the resolved tier is recorded
+        in :attr:`PreparedWeights.tier`.
         """
         cfg = self.config
         plan = plan if plan is not None else self.plan(weights)
@@ -391,7 +412,10 @@ class MatrixProcessingUnit:
         prepared = PreparedWeights(weights=weights, plan=plan, keys=tuple(keys),
                                    active_rows=active, max_planes=max_planes)
         from repro.core.program import compile_plan  # mpu ↔ program cycle
-        return replace(prepared, program=compile_plan(plan, prepared, cfg))
+        program = compile_plan(plan, prepared, cfg, tier=tier,
+                               batch_hint=batch_hint,
+                               allow_reassociation=allow_reassociation)
+        return replace(prepared, program=program, tier=program.tier)
 
     # -- batched executor --------------------------------------------------
     def gemm(self, weights: BCQTensor | PreparedWeights,

@@ -36,6 +36,37 @@ compiled segments) slots each, so every per-slot buffer is a dense matrix:
     The owned scale groups' offset columns and column spans, walked in
     ascending group order exactly like the interpreted offset stage.
 
+Lowering tiers
+--------------
+One buffer layout does not win at every shape, so :func:`compile_plan`
+selects between lowering **tiers** from the plan's analytic working-set
+estimate (:meth:`~repro.core.dataflow.TileExecutionPlan.
+working_set_bytes`) at a compile-time ``batch_hint``:
+
+``"fused"``
+    The one-big-gather lowering above — one ``("plane", p)`` fancy-index
+    per bit plane.  Fastest when each op touches little data (batch-1
+    decode), where Python dispatch, not arithmetic, dominates.
+``"blocked"``
+    Segment-blocked gathers: ``("plane_block", p, lo, hi)`` instructions
+    stream segment ranges ``[lo, hi)`` through a fixed reusable
+    ``(batch, rows)`` scratch buffer, one ``np.take`` per (segment,
+    µ-group) — the interpreter's exact per-group update order, so the tier
+    stays **bitwise** identical to interpreted/reference on outputs and
+    stats while never materialising the fused tier's ``(slots × rows ×
+    batch)`` intermediate.  Selected automatically when the fused working
+    set at ``batch_hint`` exceeds ``_BLOCKED_THRESHOLD_BYTES``.
+``"relaxed"``
+    An opt-in (``allow_reassociation=True``) reassociated fast path: the
+    tensor is dequantized once to a dense float64 matrix and the program
+    is a single ``("matmul",)`` BLAS contraction.  This re-associates the
+    float reductions, so it is **exempt from the bit-exactness contract**
+    (results agree with the bit-exact tiers to accumulator rounding, not
+    bitwise) and is never chosen by ``tier="auto"`` — only for engines
+    whose contract is ``allclose``.  The one audited
+    ``# repro: noqa reassociating-reduction`` suppression in
+    :meth:`CompiledProgram.execute` marks it.
+
 Bit-exactness contract
 ----------------------
 Compiled output and :class:`~repro.core.mpu.MPURunStats` are **identical**
@@ -96,10 +127,55 @@ from repro.telemetry import get_telemetry
 
 __all__ = ["CompiledProgram", "PlanePass", "compile_plan"]
 
-# Elements per gather buffer before execute() chunks over batch columns.
-# Chunking is exact — no reduction crosses batch columns — so this bounds
-# peak memory without touching the numerics.
+# Elements per gather buffer before execute() chunks its work — batch
+# columns on the fused tier, segment blocks on the blocked tier.  Chunking
+# is exact — no reduction crosses a chunk boundary — so this bounds peak
+# memory without touching the numerics.  Overridable per compile via
+# MPUConfig.gather_budget or the REPRO_GATHER_BUDGET environment variable
+# (resolved at compile_plan time into CompiledProgram.gather_budget).
 _GATHER_BUDGET = 1 << 23
+
+# Fused-tier working-set bytes (plan.working_set_bytes at the compile-time
+# batch hint) above which tier="auto" lowers to segment-blocked gathers.
+# 16 MiB ~ the point where the fused gather's (slots × rows × batch)
+# intermediate stops fitting cache and measured throughput falls behind
+# the interpreted walk on the reference machine.
+_BLOCKED_THRESHOLD_BYTES = 1 << 24
+
+# Cache-residency target for the blocked tier's live float64 partial
+# slices: one segment block keeps every plane's (block, rows, batch_hint)
+# partial under this many bytes so the α-scale updates that immediately
+# follow the block re-read partials that are still cache-hot.  Measured on
+# the reference machine: small blocks (1-4 segments at 1024²/batch 8) beat
+# the interpreted walk at every batch, whole-plan blocks lose at batch 32;
+# 512 KiB lands at 2 segments per block on that shape.
+_BLOCKED_PARTIAL_BYTES = 1 << 19
+
+# Batch the tier selection optimises for when the caller gives no hint: a
+# serving layer's program runs batch-1 decode *and* batched prefill, and
+# the blocked tier replays the interpreted core (never slower than
+# interpreted at any batch) while small working sets keep the fused
+# decode-floor win, so a moderate prefill-side hint is safe at both ends.
+_DEFAULT_BATCH_HINT = 8
+
+_TIERS = ("fused", "blocked", "relaxed")
+
+
+def _resolve_gather_budget(config: MPUConfig | None) -> int:
+    """The gather budget for one compile: config field, else env, else default."""
+    if config is not None and config.gather_budget is not None:
+        return int(config.gather_budget)
+    env = os.environ.get("REPRO_GATHER_BUDGET")
+    if env:
+        try:
+            budget = int(env)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_GATHER_BUDGET must be an integer, got {env!r}") from None
+        if budget < 1:
+            raise ValueError("REPRO_GATHER_BUDGET must be >= 1")
+        return budget
+    return _GATHER_BUDGET
 
 
 @dataclass(frozen=True)
@@ -130,10 +206,20 @@ class CompiledProgram:
 
     ``instructions`` is the complete run recipe executed in order:
     ``("luts",)`` builds every segment's LUT tables in one call, ``("plane",
-    p)`` gathers and accumulates plane ``p``'s partials, ``("scale", s, p)``
-    applies one (segment, plane) α update — emitted segments-ascending,
-    planes-innermost, the interpreted executor's exact order — and
-    ``("offset", k)`` adds one owned scale group's offset term.
+    p)`` gathers and accumulates plane ``p``'s partials in one fused gather
+    (the fused tier) or ``("plane_block", p, lo, hi)`` accumulates segments
+    ``[lo, hi)`` of plane ``p`` through a reusable scratch buffer (the
+    blocked tier), ``("scale", s, p)`` applies one (segment, plane) α
+    update — segments-ascending, planes-innermost, the interpreted
+    executor's exact order; on the blocked tier each segment range's scale
+    ops follow that range's ``plane_block`` ops directly, while the range's
+    float64 partial slices are still cache-resident — and ``("offset", k)``
+    adds one owned scale group's offset term.  A relaxed-tier program is a single ``("matmul",)``
+    against the baked ``dense`` matrix (opt-in; see "Lowering tiers").
+
+    ``tier`` names the lowering the program was compiled to and prefixes
+    its profiling rollup keys (``program.<tier>.<op>``); ``gather_budget``
+    is the chunking budget resolved at compile time.
     """
 
     m: int
@@ -148,6 +234,9 @@ class CompiledProgram:
     instructions: tuple[tuple, ...]
     stats_base: tuple[int, ...]
     stats_slope: tuple[int, ...]
+    tier: str = "fused"
+    gather_budget: int = _GATHER_BUDGET
+    dense: np.ndarray | None = None
 
     @property
     def num_slots(self) -> int:
@@ -187,12 +276,20 @@ class CompiledProgram:
         tel = get_telemetry()
         prof: dict[str, list] | None = None
         if tel.enabled and tel.profiling:
-            prof = {"luts": [0, 0], "plane": [0, 0], "scale": [0, 0],
-                    "offset": [0, 0]}
+            prof = {}
         t_op = 0
 
         luts = None
         partials: list[np.ndarray | None] = [None] * len(self.passes)
+        # Blocked tier: each plane's partials buffer holds only the current
+        # block's segments (reused across blocks), so scale ops index it
+        # relative to the plane's current block base.  Fused planes keep the
+        # whole (num_segments, ...) partial with a zero base.
+        part_base = [0] * len(self.passes)
+        # One reusable (batch, rows) scratch per plane width — every
+        # segment of every block streams through it.
+        scratch_by_rows: dict[int, np.ndarray] = {}
+        gmax = self.slots_per_segment
         if prof is not None:
             t_op = time.perf_counter_ns()
         for op in self.instructions:
@@ -207,14 +304,50 @@ class CompiledProgram:
             elif kind == "plane":
                 partials[op[1]] = self._run_plane(self.passes[op[1]], luts,
                                                   acc_dtype)
+            elif kind == "plane_block":
+                p, lo, hi = op[1], op[2], op[3]
+                pp = self.passes[p]
+                rows = pp.keys.shape[1]
+                part = partials[p]
+                if part is None or part.shape[0] < hi - lo:
+                    # Sized by the first block (only the last is narrower),
+                    # then reused for every later block of the plane.
+                    part = np.empty((hi - lo, rows, batch), dtype=np.float64)
+                    partials[p] = part
+                part_base[p] = lo
+                scratch = scratch_by_rows.get(rows)
+                if scratch is None:
+                    scratch = np.empty((batch, rows), dtype=acc_dtype)
+                    scratch_by_rows[rows] = scratch
+                for s in range(lo, hi):
+                    # The interpreted per-segment core verbatim: zero the
+                    # scratch, then one np.take per µ-group accumulated
+                    # ascending in the accumulator dtype (padded tail slots
+                    # read key 0 of an all-zero LUT and add exactly +0.0).
+                    scratch[:] = 0
+                    base = s * gmax
+                    for g in range(gmax):
+                        scratch += np.take(luts[base + g], pp.keys[base + g],
+                                           axis=1)
+                    # float64 conversion happens on assignment — the same
+                    # value-exact cast as the fused tier's astype.
+                    part[s - lo] = scratch.T
             elif kind == "scale":
                 s, p = op[1], op[2]
                 pp = self.passes[p]
-                term = pp.scales[s][:, None] * partials[p][s]
+                term = pp.scales[s][:, None] * partials[p][s - part_base[p]]
                 if pp.rows is None:
                     y += term
                 else:
                     y[pp.rows] += term
+            elif kind == "matmul":
+                # The relaxed tier's whole program: a dense float64 BLAS
+                # contraction over the dequantized matrix (offsets baked
+                # in).  Reassociates the reductions the bit-exact tiers
+                # perform sequentially — compiled only under an explicit
+                # allow_reassociation=True opt-in, for engines whose
+                # contract is allclose rather than bitwise.
+                y = self.dense @ x  # repro: noqa reassociating-reduction
             else:  # "offset"
                 start, stop = self.offset_slices[op[1]]
                 # Same reduction call as _add_offset_terms: the one shared
@@ -225,7 +358,9 @@ class CompiledProgram:
                 # Chained stamps: one clock read per instruction (each op's
                 # end is the next one's start), not two.
                 now = time.perf_counter_ns()
-                entry = prof[kind]
+                entry = prof.get(kind)
+                if entry is None:
+                    entry = prof[kind] = [0, 0]
                 entry[0] += 1
                 entry[1] += now - t_op
                 t_op = now
@@ -233,11 +368,14 @@ class CompiledProgram:
             # Every execute() runs the whole static instruction list, so the
             # bytes-touched rollup per opcode is a constant of (batch,
             # accumulator width) — computed once and cached, keeping the
-            # per-instruction cost above to two clock reads.
+            # per-instruction cost above to two clock reads.  Keys carry the
+            # lowering tier (program.<tier>.<op>) so rollups separate per
+            # kernel family.
             nbytes = self._profile_bytes(batch, acc_dtype.itemsize)
-            tel.profile.update({f"program.{kind}": (e[0], e[1] / 1e9,
-                                                    nbytes.get(kind, 0))
-                                for kind, e in prof.items() if e[0]})
+            tel.profile.update(
+                {f"program.{self.tier}.{kind}": (e[0], e[1] / 1e9,
+                                                 nbytes.get(kind, 0))
+                 for kind, e in prof.items() if e[0]})
 
         stats = self.stats(batch)
         if squeeze:
@@ -284,6 +422,19 @@ class CompiledProgram:
             rows = pp.keys.shape[1]
             return (pp.keys.nbytes
                     + 2 * self.num_slots * rows * batch * acc_itemsize)
+        if kind == "plane_block":
+            # The block's slice of the plane's traffic: its slots' key rows,
+            # LUT reads + scratch accumulations, and the float64 partial
+            # writes.
+            pp = self.passes[op[1]]
+            rows = pp.keys.shape[1]
+            slots = (op[3] - op[2]) * self.slots_per_segment
+            return (slots * rows * pp.keys.itemsize
+                    + 2 * slots * rows * batch * acc_itemsize
+                    + (op[3] - op[2]) * rows * batch * 8)
+        if kind == "matmul":
+            # Dense matrix + activations in, output out (all float64).
+            return (self.m * self.n + self.n * batch + self.m * batch) * 8
         if kind == "scale":
             # α·partial read + y scatter update (both float64).
             pp = self.passes[op[2]]
@@ -292,6 +443,15 @@ class CompiledProgram:
         # "offset": group-sum read + dense y update.
         start, stop = self.offset_slices[op[1]]
         return (stop - start) * batch * 8 + self.m * batch * 8
+
+    def batch_step(self, rows: int) -> int:
+        """Fused-tier batch columns per gather chunk under the budget.
+
+        The knob the gather budget turns on this tier: a plane pass gathers
+        ``num_slots × rows`` elements per batch column, so this many
+        columns fit one budget-sized buffer (at least one).
+        """
+        return max(1, self.gather_budget // max(self.num_slots * rows, 1))
 
     def _run_plane(self, pp: PlanePass, luts: np.ndarray,
                    acc_dtype: np.dtype) -> np.ndarray:
@@ -306,7 +466,7 @@ class CompiledProgram:
         rows, batch = pp.keys.shape[1], luts.shape[1]
         partial = np.zeros((num_segments, rows, batch), dtype=acc_dtype)
         slot_idx = np.arange(self.num_slots)[:, None]
-        step = max(1, _GATHER_BUDGET // max(self.num_slots * rows, 1))
+        step = self.batch_step(rows)
         for c0 in range(0, batch, step):
             c1 = min(c0 + step, batch)
             # (slots, rows, chunk): advanced indices on axes 0/2 broadcast
@@ -329,6 +489,8 @@ class CompiledProgram:
             out[f"scales{p}"] = pp.scales
             if pp.rows is not None:
                 out[f"rows{p}"] = pp.rows
+        if self.dense is not None:
+            out["dense"] = self.dense
         return out
 
     def spec(self) -> dict:
@@ -343,6 +505,9 @@ class CompiledProgram:
             "instructions": [list(op) for op in self.instructions],
             "stats_base": list(self.stats_base),
             "stats_slope": list(self.stats_slope),
+            "tier": self.tier,
+            "gather_budget": self.gather_budget,
+            "has_dense": self.dense is not None,
         }
 
     @classmethod
@@ -367,7 +532,10 @@ class CompiledProgram:
             offset_slices=tuple(tuple(sl) for sl in spec["offset_slices"]),
             instructions=tuple(tuple(op) for op in spec["instructions"]),
             stats_base=tuple(spec["stats_base"]),
-            stats_slope=tuple(spec["stats_slope"]))
+            stats_slope=tuple(spec["stats_slope"]),
+            tier=spec.get("tier", "fused"),
+            gather_budget=spec.get("gather_budget", _GATHER_BUDGET),
+            dense=arrays.get("dense") if spec.get("has_dense") else None)
 
 
 def _affine_stats(stats_fn) -> tuple[tuple[int, ...], tuple[int, ...]]:
@@ -387,7 +555,10 @@ def _affine_stats(stats_fn) -> tuple[tuple[int, ...], tuple[int, ...]]:
 def compile_plan(plan: TileExecutionPlan,
                  weights: BCQTensor | PreparedWeights,
                  config: MPUConfig | None = None,
-                 shard: PlanShard | None = None) -> CompiledProgram:
+                 shard: PlanShard | None = None,
+                 tier: str = "auto",
+                 batch_hint: int | None = None,
+                 allow_reassociation: bool = False) -> CompiledProgram:
     """Lower a tile-execution plan (or one segment-axis shard of it) into a
     :class:`CompiledProgram`.
 
@@ -402,6 +573,17 @@ def compile_plan(plan: TileExecutionPlan,
     the shard's exactly additive share.  Row-axis shards have no
     sub-program — they execute the row-sliced tensor's own full program
     (see :meth:`~repro.core.mpu.MatrixProcessingUnit.gemm`).
+
+    ``tier`` picks the lowering (see "Lowering tiers"): ``"auto"`` (the
+    default) selects ``"blocked"`` when the fused working set at
+    ``batch_hint`` activation columns
+    (:meth:`~repro.core.dataflow.TileExecutionPlan.working_set_bytes`,
+    restricted to the shard's segments for sub-programs) exceeds
+    ``_BLOCKED_THRESHOLD_BYTES``, and ``"fused"`` otherwise — both bitwise
+    tiers.  ``tier="relaxed"`` additionally requires
+    ``allow_reassociation=True`` (it re-associates float reductions; never
+    chosen by ``"auto"``) and has no shard form — a dense sub-matrix
+    cannot carry the shard's owned-offset split.
     """
     config = config or MPUConfig()
     mpu = MatrixProcessingUnit(config)
@@ -411,6 +593,25 @@ def compile_plan(plan: TileExecutionPlan,
     if (plan.m, plan.n) != weights.shape:
         raise ValueError(f"plan shape ({plan.m}, {plan.n}) does not match "
                          f"weights {weights.shape}")
+    if tier not in (*_TIERS, "auto"):
+        raise ValueError(f"tier must be one of {('auto', *_TIERS)}, "
+                         f"got {tier!r}")
+    if tier == "relaxed":
+        if not allow_reassociation:
+            raise ValueError(
+                "tier='relaxed' re-associates float reductions and is "
+                "opt-in: pass allow_reassociation=True (engines with an "
+                "allclose contract only; see docs/compilation.md)")
+        if shard is not None:
+            raise ValueError(
+                "the relaxed tier has no shard sub-programs: the dense "
+                "matrix bakes every offset term, which cannot honour a "
+                "shard's owned-scale-group split")
+    if batch_hint is None:
+        batch_hint = _DEFAULT_BATCH_HINT
+    elif batch_hint < 0:
+        raise ValueError("batch_hint must be >= 0")
+    gather_budget = _resolve_gather_budget(config)
     if shard is not None:
         if shard.axis != "segments":
             raise ValueError(
@@ -433,6 +634,37 @@ def compile_plan(plan: TileExecutionPlan,
     num_segments = len(segments)
     gmax = max((seg.lut_groups for seg in segments), default=0)
     num_slots = num_segments * gmax
+
+    if tier == "auto":
+        if shard is None:
+            working_set = plan.working_set_bytes(batch_hint)
+        else:
+            # The shard's own share of the fused working set: the same
+            # formula as TileExecutionPlan.working_set_bytes over the
+            # shard's segments only.
+            working_set = (num_slots * m * batch_hint * 8
+                           + num_slots * batch_hint * (1 << mu) * 8
+                           + num_segments * m * batch_hint * 8)
+        tier = "blocked" if working_set > _BLOCKED_THRESHOLD_BYTES else "fused"
+
+    base, slope = _affine_stats(stats_fn)
+    if tier == "relaxed":
+        # The whole program is one BLAS contraction over the dequantized
+        # matrix (α scaling and offset terms baked in), so none of the
+        # LUT-path buffers ship: empty slot/pass/offset buffers keep the
+        # geometry checks trivial and the shared-memory payload minimal.
+        program = CompiledProgram(
+            m=m, n=n, mu=mu, num_segments=0, slots_per_segment=0,
+            lut_cols=np.zeros((0, mu), dtype=np.int64), passes=(),
+            offsets=np.zeros((m, 0), dtype=np.float64), offset_slices=(),
+            instructions=(("matmul",),), stats_base=base, stats_slope=slope,
+            tier="relaxed", gather_budget=gather_budget,
+            dense=np.ascontiguousarray(weights.dequantize(),
+                                       dtype=np.float64))
+        if os.environ.get("REPRO_VERIFY"):
+            from repro.analysis.verify import verify_program
+            verify_program(program, plan=plan, config=config, shard=shard)
+        return program
 
     # Gather-index matrix into the zero-row-padded activations: real
     # columns index x, padded positions (ragged µ-group tails and slots
@@ -482,20 +714,46 @@ def compile_plan(plan: TileExecutionPlan,
     instructions: list[tuple] = []
     if num_slots and passes:
         instructions.append(("luts",))
-        for p in range(len(passes)):
-            instructions.append(("plane", p))
-        for s in range(num_segments):
+        if tier == "fused":
             for p in range(len(passes)):
-                instructions.append(("scale", s, p))
+                instructions.append(("plane", p))
+            for s in range(num_segments):
+                for p in range(len(passes)):
+                    instructions.append(("scale", s, p))
+        else:
+            # Blocked: one shared ascending, contiguous segment-range walk.
+            # Each range emits every plane's ("plane_block", p, lo, hi)
+            # followed immediately by the range's α updates (segments
+            # ascending, planes innermost — the interpreted executor's y
+            # order), so the scale ops consume float64 partial slices that
+            # are still cache-hot.  The range width is the smaller of the
+            # gather budget (widest plane's slots × rows × batch_hint per
+            # block) and the partial-residency target; at least one segment.
+            hint = max(batch_hint, 1)
+            rows_max = rows_total = 0
+            for pp in passes:
+                rows_max = max(rows_max, pp.keys.shape[1])
+                rows_total += pp.keys.shape[1]
+            budget_limit = gather_budget // max(gmax * rows_max * hint, 1)
+            stream_limit = _BLOCKED_PARTIAL_BYTES // max(
+                8 * rows_total * hint, 1)
+            segs_per_block = max(1, min(budget_limit, stream_limit))
+            for lo in range(0, num_segments, segs_per_block):
+                hi = min(lo + segs_per_block, num_segments)
+                for p in range(len(passes)):
+                    instructions.append(("plane_block", p, lo, hi))
+                for s in range(lo, hi):
+                    for p in range(len(passes)):
+                        instructions.append(("scale", s, p))
     for k in range(len(offset_slices)):
         instructions.append(("offset", k))
 
-    base, slope = _affine_stats(stats_fn)
     program = CompiledProgram(
         m=m, n=n, mu=mu, num_segments=num_segments, slots_per_segment=gmax,
         lut_cols=lut_cols, passes=tuple(passes), offsets=offsets,
         offset_slices=offset_slices, instructions=tuple(instructions),
-        stats_base=base, stats_slope=slope)
+        stats_base=base, stats_slope=slope, tier=tier,
+        gather_budget=gather_budget)
     if os.environ.get("REPRO_VERIFY"):
         # Structural verification of every freshly compiled program
         # (including prepare() and the serving pools' shard sub-programs).

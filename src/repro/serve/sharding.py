@@ -115,7 +115,10 @@ def shard_plan(plan: TileExecutionPlan, num_shards: int,
 
 
 def compile_shard_programs(shards: Sequence[PlanShard], weights,
-                           config: MPUConfig | None = None
+                           config: MPUConfig | None = None,
+                           tier: str = "auto",
+                           batch_hint: int | None = None,
+                           allow_reassociation: bool = False
                            ) -> list[CompiledProgram]:
     """Lower each shard of one plan to its executable sub-program.
 
@@ -128,6 +131,13 @@ def compile_shard_programs(shards: Sequence[PlanShard], weights,
     against the same rows of the unsharded one).  ``weights`` is the full
     tensor (or its :class:`~repro.core.mpu.PreparedWeights`, whose packed
     keys segment-axis sub-programs reuse).
+
+    ``tier`` / ``batch_hint`` / ``allow_reassociation`` pass through to
+    the compiler's working-set-aware lowering selection — ``tier="auto"``
+    sizes each shard's tier from that shard's own working-set share, so a
+    wide plan can lower some shards blocked and others fused.  The relaxed
+    tier is rejected for segment-axis shards (dense programs cannot split
+    offset ownership; see :func:`~repro.core.program.compile_plan`).
     """
     from repro.core.mpu import MatrixProcessingUnit, PreparedWeights
 
@@ -135,13 +145,17 @@ def compile_shard_programs(shards: Sequence[PlanShard], weights,
     mpu = MatrixProcessingUnit(config)
     for shard in shards:
         if shard.axis == "segments":
-            programs.append(compile_plan(shard.plan, weights, mpu.config,
-                                         shard=shard))
+            programs.append(compile_plan(
+                shard.plan, weights, mpu.config, shard=shard, tier=tier,
+                batch_hint=batch_hint,
+                allow_reassociation=allow_reassociation))
         else:
             tensor = (weights.weights if isinstance(weights, PreparedWeights)
                       else weights)
             programs.append(mpu.prepare(
-                tensor.take_rows(shard.row_indices)).program)
+                tensor.take_rows(shard.row_indices), tier=tier,
+                batch_hint=batch_hint,
+                allow_reassociation=allow_reassociation).program)
     return programs
 
 

@@ -1,10 +1,14 @@
 """Opt-in profiling rollups: cumulative (count, seconds, bytes) per op.
 
 This is the third telemetry layer: when ``Telemetry.profiling`` is on,
-the compiled executor rolls up per-instruction opcode timings
-(``program.luts`` / ``program.plane`` / ``program.scale`` /
-``program.offset`` with bytes-touched estimates) and the scheduler rolls
-up per-phase timings (``scheduler.admit`` / ``scheduler.decode``).
+the compiled executor rolls up per-instruction opcode timings keyed by
+lowering tier — ``program.<tier>.<op>``, e.g. ``program.fused.luts`` /
+``program.fused.plane`` / ``program.blocked.plane_block`` /
+``program.relaxed.matmul`` plus the shared ``scale`` / ``offset`` ops,
+with bytes-touched estimates — and the scheduler rolls up per-phase
+timings (``scheduler.admit`` / ``scheduler.decode``).  The tier prefix
+separates the kernel families, so a mixed fleet (decode layers fused,
+prefill-heavy layers blocked) shows where each lowering spends its time.
 
 Hot loops accumulate into a *local* dict and merge once per call via
 :meth:`Profile.update`, so the lock is taken once per program execution,

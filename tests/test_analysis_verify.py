@@ -18,13 +18,22 @@ from repro.analysis import (
     verify_program,
     verify_shard_programs,
 )
-from repro.analysis.verify import _expected_instructions
 from repro.core.mpu import MatrixProcessingUnit, MPUConfig
 from repro.core.program import compile_plan
 from repro.quant.bcq import BCQConfig, quantize_bcq, quantize_bcq_mixed
 from repro.serve.sharding import shard_plan
 
 CFG = MPUConfig(pe_rows=4, pe_cols=2, mu=4, k=4)
+
+
+def _fused_instructions(program):
+    """The fused tier's exact replay order for a program's dimensions."""
+    ops = [("luts",)]
+    ops += [("plane", p) for p in range(len(program.passes))]
+    ops += [("scale", s, p) for s in range(program.num_segments)
+            for p in range(len(program.passes))]
+    ops += [("offset", k) for k in range(len(program.offset_slices))]
+    return tuple(ops)
 
 
 def build(m=24, n=40, bits=3, group_size=16, config=CFG, mixed=False, seed=7):
@@ -56,6 +65,23 @@ def ragged():
     # the widest one, so the program has fully padded sentinel slots.
     cfg = MPUConfig(pe_rows=8, pe_cols=1, mu=2, k=8)
     return build(m=16, n=30, bits=3, group_size=7, config=cfg)
+
+
+@pytest.fixture(scope="module")
+def blocked(uniform):
+    # gather_budget=1 forces one segment per block, so every plane streams
+    # through multiple plane_block instructions.
+    plan, bcq, _, _ = uniform
+    cfg = MPUConfig(pe_rows=4, pe_cols=2, mu=4, k=4, gather_budget=1)
+    return plan, bcq, compile_plan(plan, bcq, cfg, tier="blocked"), cfg
+
+
+@pytest.fixture(scope="module")
+def relaxed(uniform):
+    plan, bcq, _, _ = uniform
+    program = compile_plan(plan, bcq, CFG, tier="relaxed",
+                           allow_reassociation=True)
+    return plan, bcq, program, CFG
 
 
 def corrupt(program, **replacements):
@@ -220,7 +246,7 @@ class TestProgramMutations:
         bad = corrupt(program, passes=program.passes[:-1])
         # Keep the self-contained checks clean so the plan comparison is
         # what fires: rebake the instruction list for the truncated passes.
-        bad = corrupt(bad, instructions=_expected_instructions(bad))
+        bad = corrupt(bad, instructions=_fused_instructions(bad))
         expect("plane-mask-active-rows", verify_program, bad,
                plan=plan, config=CFG)
 
@@ -300,6 +326,87 @@ class TestShardMutations:
         programs = [compile_plan(plan, bcq, CFG, shard=s) for s in shards]
         with pytest.raises(ProgramInvariantError):
             verify_shard_programs(plan, shards, programs[::-1], CFG)
+
+
+class TestTierMutations:
+    """The tier invariants: ``program-tier``, ``plane-block-coverage``,
+    and the tier-aware ``instruction-order``."""
+
+    def test_sound_blocked_and_relaxed_verify(self, uniform, blocked,
+                                              relaxed):
+        plan, _, _, _ = uniform
+        for _, _, program, cfg in (blocked, relaxed):
+            verify_program(program)
+            verify_program(program, plan=plan, config=cfg)
+
+    def test_unknown_tier(self, uniform):
+        _, _, program, _ = uniform
+        expect("program-tier", verify_program, corrupt(program, tier="turbo"))
+
+    def test_zero_gather_budget(self, uniform):
+        _, _, program, _ = uniform
+        expect("program-tier", verify_program,
+               corrupt(program, gather_budget=0))
+
+    def test_dense_matrix_on_bitwise_tier(self, uniform):
+        _, _, program, _ = uniform
+        dense = np.zeros((program.m, program.n))
+        expect("program-tier", verify_program, corrupt(program, dense=dense))
+
+    def test_relaxed_without_dense_matrix(self, relaxed):
+        _, _, program, _ = relaxed
+        expect("program-tier", verify_program, corrupt(program, dense=None))
+
+    def test_relaxed_dense_wrong_dtype(self, relaxed):
+        _, _, program, _ = relaxed
+        expect("program-tier", verify_program,
+               corrupt(program, dense=program.dense.astype(np.float32)))
+
+    def test_blocked_program_relabelled_fused(self, blocked):
+        # The body holds plane_block streams, not the fused ("plane", p)
+        # passes the relabelled tier promises.
+        _, _, program, _ = blocked
+        expect("instruction-order", verify_program,
+               corrupt(program, tier="fused"))
+
+    def test_dropped_plane_block(self, blocked):
+        # The range walk is pinned by plane 0's blocks; dropping one leaves
+        # a segment whose partial is never produced.
+        _, _, program, _ = blocked
+        blocks = [op for op in program.instructions
+                  if op[:2] == ("plane_block", 0)]
+        assert len(blocks) > 1, "fixture must stream multiple blocks"
+        instructions = list(program.instructions)
+        instructions.remove(blocks[-1])
+        expect("plane-block-coverage", verify_program,
+               corrupt(program, instructions=tuple(instructions)))
+
+    def test_gapped_plane_block(self, blocked):
+        _, _, program, _ = blocked
+        blocks = [op for op in program.instructions
+                  if op[:2] == ("plane_block", 0)]
+        assert len(blocks) > 2, "fixture must stream multiple blocks"
+        instructions = list(program.instructions)
+        instructions.remove(blocks[1])  # hole inside the segment walk
+        expect("plane-block-coverage", verify_program,
+               corrupt(program, instructions=tuple(instructions)))
+
+    def test_dropped_secondary_plane_block(self, blocked):
+        # A missing non-zero-plane block leaves plane 0's walk intact, so
+        # it trips the exact interleaved-order pin instead.
+        _, _, program, _ = blocked
+        blocks = [op for op in program.instructions
+                  if op[0] == "plane_block" and op[1] > 0]
+        assert blocks, "fixture must hold multiple planes"
+        instructions = list(program.instructions)
+        instructions.remove(blocks[0])
+        expect("instruction-order", verify_program,
+               corrupt(program, instructions=tuple(instructions)))
+
+    def test_relaxed_wrong_instruction(self, relaxed):
+        _, _, program, _ = relaxed
+        expect("instruction-order", verify_program,
+               corrupt(program, instructions=(("luts",),)))
 
 
 class TestReproVerifyKnob:

@@ -84,14 +84,76 @@ class TestCompiledEquivalence:
         y2, stats2 = mpu.gemm(tensor, x[:, 0], executor="interpreted")
         _assert_same((y, stats), (y2, stats2))
 
-    def test_batch_chunking_is_exact(self, rng, monkeypatch):
+    def test_batch_chunking_is_exact(self, rng):
         # A one-element gather budget forces a chunk per batch column; the
         # numerics must not move (no reduction crosses batch columns).
         tensor, x = _case(rng, "mixed")
+        whole = MatrixProcessingUnit(MPU_CFG).prepare(tensor) \
+            .program.execute(x, accumulate_dtype=np.float32)
+        tiny = MatrixProcessingUnit(_budget_cfg(1)).prepare(tensor).program
+        assert tiny.gather_budget == 1
+        _assert_same(whole, tiny.execute(x, accumulate_dtype=np.float32))
+
+
+def _budget_cfg(budget):
+    return MPUConfig(pe_rows=2, pe_cols=2, mu=4, k=2, gather_budget=budget)
+
+
+class TestGatherBudget:
+    """The budget knob really changes the chunking — on both tiers — and
+    resolves config field > environment > module default."""
+
+    def test_budget_changes_fused_batch_step(self, rng):
+        tensor, x = _case(rng, "uniform")
+        default = MatrixProcessingUnit(MPU_CFG).prepare(tensor).program
+        tiny = MatrixProcessingUnit(_budget_cfg(1)).prepare(tensor).program
+        rows = default.passes[0].keys.shape[1]
+        assert default.batch_step(rows) >= x.shape[1]  # one whole-batch chunk
+        assert tiny.batch_step(rows) == 1              # one column at a time
+        _assert_same(default.execute(x), tiny.execute(x))
+
+    def test_budget_changes_blocked_block_count(self, rng):
+        tensor, x = _case(rng, "uniform")
+        mpu = MatrixProcessingUnit(MPU_CFG)
+        plan = mpu.plan(tensor)
+        coarse = compile_plan(plan, tensor, MPU_CFG, tier="blocked")
+        fine = compile_plan(plan, tensor, _budget_cfg(1), tier="blocked")
+
+        def blocks(prog):
+            return [op for op in prog.instructions if op[0] == "plane_block"]
+
+        assert len(blocks(coarse)) == len(coarse.passes)  # 1 block per plane
+        assert len(blocks(fine)) == len(fine.passes) * fine.num_segments
+        _assert_same(coarse.execute(x), fine.execute(x))
+
+    def test_env_budget_applies(self, rng, monkeypatch):
+        tensor, _ = _case(rng, "uniform")
+        monkeypatch.setenv("REPRO_GATHER_BUDGET", "12345")
         prog = MatrixProcessingUnit(MPU_CFG).prepare(tensor).program
-        whole = prog.execute(x, accumulate_dtype=np.float32)
-        monkeypatch.setattr(program_mod, "_GATHER_BUDGET", 1)
-        _assert_same(whole, prog.execute(x, accumulate_dtype=np.float32))
+        assert prog.gather_budget == 12345
+
+    def test_config_budget_beats_env(self, rng, monkeypatch):
+        tensor, _ = _case(rng, "uniform")
+        monkeypatch.setenv("REPRO_GATHER_BUDGET", "7")
+        prog = MatrixProcessingUnit(_budget_cfg(123)).prepare(tensor).program
+        assert prog.gather_budget == 123
+
+    def test_default_budget_without_overrides(self, rng, monkeypatch):
+        tensor, _ = _case(rng, "uniform")
+        monkeypatch.delenv("REPRO_GATHER_BUDGET", raising=False)
+        prog = MatrixProcessingUnit(MPU_CFG).prepare(tensor).program
+        assert prog.gather_budget == program_mod._GATHER_BUDGET
+
+    @pytest.mark.parametrize("env", ["zero", "0", "-4"])
+    def test_invalid_env_budget_rejected(self, rng, env, monkeypatch):
+        tensor, _ = _case(rng, "uniform")
+        monkeypatch.setenv("REPRO_GATHER_BUDGET", env)
+        with pytest.raises(ValueError):
+            MatrixProcessingUnit(MPU_CFG).prepare(tensor)
+
+    def test_invalid_config_budget_rejected(self):
+        with pytest.raises(ValueError):
+            _budget_cfg(0)
 
 
 class TestProgramStructure:

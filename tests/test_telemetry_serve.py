@@ -185,7 +185,7 @@ class TestTraceReconstruction:
 
     def test_profiling_rollups_present(self, trace_doc):
         _, _, _, profile = trace_doc
-        assert {"program.luts", "scheduler.decode",
+        assert {"program.fused.luts", "scheduler.decode",
                 "scheduler.admit"} <= set(profile)
         for entry in profile.values():
             assert entry["count"] >= 1
